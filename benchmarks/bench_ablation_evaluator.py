@@ -1,0 +1,64 @@
+"""Ablation A2 — GMDJ evaluator strategies and coalesced-scan sharing.
+
+Not a paper figure: measures the centralized evaluator's paths (DESIGN.md
+§5.1), which set the site-computation term of every distributed result:
+
+* pure equi-join (vectorized group path) vs equi-join + residual
+  (candidate-block scan) vs no equi-join (full per-tuple scan);
+* the shared group-coding across a coalesced GMDJ's grouping variables
+  (one coding pass instead of two).
+"""
+
+import pytest
+
+from repro.data.flows import generate_flows
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import b, r
+from repro.core.evaluator import evaluate_gmdj
+from repro.core.gmdj import Gmdj, GroupingVariable
+
+FLOWS = generate_flows(num_flows=30_000, num_routers=8, num_source_as=64,
+                       seed=17)
+BASE = FLOWS.distinct(["SourceAS"])
+AGGS = [count_star("n"), AggregateSpec("avg", "NumBytes", "m")]
+
+
+def test_bench_equijoin_path(benchmark):
+    gmdj = Gmdj.single(AGGS, r.SourceAS == b.SourceAS)
+    result = benchmark(evaluate_gmdj, gmdj, BASE, FLOWS)
+    assert result.num_rows == BASE.num_rows
+
+
+def test_bench_residual_path(benchmark):
+    gmdj = Gmdj.single(AGGS, (r.SourceAS == b.SourceAS)
+                       & (r.NumBytes >= 1_000))
+    result = benchmark(evaluate_gmdj, gmdj, BASE, FLOWS)
+    assert result.num_rows == BASE.num_rows
+
+
+def test_bench_full_scan_path(benchmark):
+    # No equi-join conjunct: O(|B|·|R|), vectorized over R per base tuple.
+    small_base = BASE.head(32)
+    gmdj = Gmdj.single(AGGS, r.NumBytes >= b.SourceAS * 100)
+    result = benchmark(evaluate_gmdj, gmdj, small_base, FLOWS)
+    assert result.num_rows == small_base.num_rows
+
+
+def test_bench_coalesced_shared_coding(benchmark):
+    """Two grouping variables on the same key: the group coding is
+    computed once (codes cache), so this should cost well under 2x the
+    single-variable case."""
+    gmdj = Gmdj((
+        GroupingVariable((count_star("n1"),), r.SourceAS == b.SourceAS),
+        GroupingVariable(
+            (count_star("n2"),),
+            (r.SourceAS == b.SourceAS) & (r.DestPort == 80))))
+    result = benchmark(evaluate_gmdj, gmdj, BASE, FLOWS)
+    assert result.num_rows == BASE.num_rows
+
+
+def test_bench_groupby_operator(benchmark):
+    """Plain SQL GROUP BY over the same data, as a lower-bound yardstick."""
+    from repro.relational.operators import group_by
+    result = benchmark(group_by, FLOWS, ["SourceAS"], AGGS)
+    assert result.num_rows == BASE.num_rows

@@ -1,0 +1,74 @@
+"""Ablation A1 — every optimization in isolation and in combination.
+
+Not a paper figure: this quantifies how much each Skalla optimization
+contributes on the Fig. 5 combined-reductions query, holding everything
+else fixed (8 sites, high cardinality).  Useful for understanding which
+mechanism buys what: coalescing removes a round, sync reduction removes
+all intermediate rounds, the group reductions shrink what the remaining
+rounds ship.
+"""
+
+import pytest
+
+from repro.bench.harness import run_once
+from repro.bench.queries import combined_query
+from repro.relational.expressions import r
+from repro.distributed.plan import OptimizationFlags
+
+SETTINGS = {
+    "none": OptimizationFlags(),
+    "coalesce only": OptimizationFlags(coalesce=True),
+    "independent GR only":
+        OptimizationFlags(group_reduction_independent=True),
+    "aware GR only": OptimizationFlags(group_reduction_aware=True),
+    "sync reduction only": OptimizationFlags(sync_reduction=True),
+    "both GR": OptimizationFlags(group_reduction_independent=True,
+                                 group_reduction_aware=True),
+    "all": OptimizationFlags.all(),
+}
+
+
+def _query(warehouse):
+    return combined_query([warehouse.group_attr], warehouse.measure,
+                          r.Discount >= 0.05)
+
+
+@pytest.mark.parametrize("label", ["none", "sync reduction only", "all"])
+def test_bench_ablation_point(benchmark, high_card_warehouse, label):
+    query = _query(high_card_warehouse)
+    flags = SETTINGS[label]
+
+    def run():
+        return high_card_warehouse.engine.execute(query, flags)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bench_ablation_table(benchmark, high_card_warehouse, report):
+    query = _query(high_card_warehouse)
+    reference = None
+
+    def sweep():
+        rows = []
+        for label, flags in SETTINGS.items():
+            rows.append(run_once(high_card_warehouse, query, flags,
+                                 label=label))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("ablation_reductions",
+           "Ablation — per-optimization contribution "
+           "(combined query, 8 sites)",
+           rows, ["config", "response_seconds", "total_bytes",
+                  "rows_shipped", "synchronizations"])
+
+    by_label = {row["config"]: row for row in rows}
+    baseline = by_label["none"]
+    # every single optimization must not hurt traffic, and "all" must win
+    for label, row in by_label.items():
+        assert row["total_bytes"] <= baseline["total_bytes"], label
+    assert by_label["all"]["total_bytes"] == \
+        min(row["total_bytes"] for row in rows)
+    # sync reduction dominates the others on this partitioned query
+    assert by_label["sync reduction only"]["total_bytes"] < \
+        by_label["both GR"]["total_bytes"]

@@ -1,0 +1,61 @@
+"""Extension E5 — temporal OLAP: bucketed vs moving-window aggregation.
+
+Moving windows force the GMDJ's band-condition path (overlapping
+ranges, no equi-join on the window edge), which is the expensive
+evaluator strategy; bucketed grouping rides the vectorized fast path.
+This bench quantifies the gap centrally and shows moving windows
+distribute correctly with traffic proportional to buckets, not rows.
+"""
+
+import pytest
+
+from repro.core.temporal import (
+    HOUR, add_time_bucket, bucketed_query, moving_window_query)
+from repro.data.flows import generate_flows
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.partition import partition_round_robin
+from repro.distributed.plan import NO_OPTIMIZATIONS
+
+FLOWS = add_time_bucket(
+    generate_flows(num_flows=20_000, num_routers=4, duration_hours=48,
+                   seed=3),
+    "StartTime", HOUR)
+AGGS = [count_star("n"), AggregateSpec("avg", "NumBytes", "m")]
+
+
+def test_bench_bucketed(benchmark):
+    query = bucketed_query("Bucket", AGGS)
+    result = benchmark(query.evaluate_centralized, FLOWS)
+    assert result.num_rows == 48
+
+
+@pytest.mark.parametrize("window", [3, 12])
+def test_bench_moving_window(benchmark, window):
+    query = moving_window_query("Bucket", window, AGGS)
+    result = benchmark(query.evaluate_centralized, FLOWS)
+    assert result.num_rows == 48
+
+
+def test_bench_moving_window_distributed(benchmark, report):
+    engine = SkallaEngine(partition_round_robin(FLOWS, 4))
+    query = moving_window_query("Bucket", 6, AGGS)
+
+    def run():
+        return engine.execute(query, NO_OPTIMIZATIONS)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    reference = query.evaluate_centralized(FLOWS)
+    assert result.relation.multiset_equals(reference)
+
+    rows = [{"path": "centralized", "rows": reference.num_rows,
+             "bytes_moved": 0},
+            {"path": "distributed (4 sites)",
+             "rows": result.relation.num_rows,
+             "bytes_moved": result.metrics.total_bytes}]
+    report("ext_temporal",
+           "Extension — 6h moving window over 48 hourly buckets",
+           rows, ["path", "rows", "bytes_moved"])
+    # traffic scales with buckets (48), never with the 20k flows
+    per_round_rows = 48 * 4 * 2 + 48 * 4
+    assert result.metrics.rows_shipped <= per_round_rows

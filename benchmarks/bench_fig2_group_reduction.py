@@ -1,0 +1,114 @@
+"""Figure 2 — the group reduction query (speed-up experiment).
+
+The paper: TPCR split equally over eight sites; a two-GMDJ correlated
+aggregate query grouped on a partition attribute; vary the number of
+participating sites 1..8.
+
+Expected shapes (Sect. 5.2):
+
+* without group reduction, evaluation time and bytes grow quadratically
+  with the number of sites;
+* site-side (distribution-independent) group reduction "solves half of
+  the inefficiency" — the up direction becomes linear, the down
+  direction stays quadratic;
+* adding coordinator-side (distribution-aware) group reduction makes the
+  curves linear;
+* the measured group traffic matches the analytical ratio
+  ``(2c + 2n + 1)/(4n + 1)`` (c = 1 on a partition attribute) within 5%.
+"""
+
+import pytest
+
+from repro.bench.harness import growth_exponent, run_once, speedup_series
+from repro.bench.queries import correlated_query
+from repro.distributed.plan import OptimizationFlags
+from repro.optimizer.group_reduction import expected_group_ratio
+
+SETTINGS = {
+    "no reduction": OptimizationFlags(),
+    "site-side GR": OptimizationFlags(group_reduction_independent=True),
+    "both GR": OptimizationFlags(group_reduction_independent=True,
+                                 group_reduction_aware=True),
+}
+SITE_COUNTS = [1, 2, 4, 6, 8]
+
+
+def _query(warehouse):
+    return correlated_query([warehouse.group_attr], warehouse.measure)
+
+
+@pytest.mark.parametrize("label", list(SETTINGS))
+@pytest.mark.parametrize("sites", [2, 8])
+def test_bench_group_reduction_point(benchmark, high_card_warehouse,
+                                     label, sites):
+    """Wall-clock of single executions at the sweep's endpoints."""
+    query = _query(high_card_warehouse)
+    flags = SETTINGS[label]
+    site_list = list(range(sites))
+
+    def run():
+        return high_card_warehouse.engine.execute(query, flags,
+                                                  sites=site_list)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.relation.num_rows > 0
+
+
+def test_bench_fig2_series(benchmark, high_card_warehouse, report):
+    """The full Fig. 2 sweep: time (left plot) and traffic (right plot)."""
+    query = _query(high_card_warehouse)
+
+    def sweep():
+        return speedup_series(high_card_warehouse, query, SETTINGS,
+                              SITE_COUNTS)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    from repro.bench.charts import chart_from_rows
+    report("fig2_group_reduction",
+           "Fig. 2 — group reduction query (8-site TPCR, high card.)",
+           rows, ["config", "sites", "response_seconds", "total_bytes",
+                  "rows_shipped", "synchronizations"],
+           chart=chart_from_rows(rows, "config", "sites",
+                                 "response_seconds"))
+
+    def exponent(label, metric):
+        sub = [row for row in rows
+               if row["config"] == label and row["sites"] > 1]
+        return growth_exponent([row["sites"] for row in sub],
+                               [row[metric] for row in sub])
+
+    # quadratic without reduction, linear with both reductions
+    assert exponent("no reduction", "rows_shipped") > 1.6
+    assert exponent("site-side GR", "rows_shipped") > 1.3
+    assert exponent("both GR", "rows_shipped") < 1.3
+    assert exponent("no reduction", "response_seconds") > \
+        exponent("both GR", "response_seconds")
+
+
+def test_bench_fig2_formula_check(benchmark, high_card_warehouse, report):
+    """The paper's traffic formula matches measurement within 5%."""
+    query = _query(high_card_warehouse)
+
+    def measure():
+        rows = []
+        for sites in (2, 4, 8):
+            site_list = list(range(sites))
+            plain = run_once(high_card_warehouse, query,
+                             SETTINGS["no reduction"], sites=site_list)
+            reduced = run_once(high_card_warehouse, query,
+                               SETTINGS["site-side GR"], sites=site_list)
+            measured = reduced["rows_shipped"] / plain["rows_shipped"]
+            predicted = expected_group_ratio(sites, sites_per_group=1.0)
+            rows.append({"sites": sites,
+                         "measured_ratio": measured,
+                         "predicted_ratio": predicted,
+                         "relative_error":
+                             abs(measured - predicted) / predicted})
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("fig2_formula", "Fig. 2 analysis — (2c+2n+1)/(4n+1) check",
+           rows, ["sites", "measured_ratio", "predicted_ratio",
+                  "relative_error"])
+    for row in rows:
+        assert row["relative_error"] < 0.05

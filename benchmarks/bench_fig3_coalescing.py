@@ -1,0 +1,112 @@
+"""Figure 3 — the coalescing query.
+
+The paper: a two-GMDJ query whose rounds are fusible; high-cardinality
+(left plot) and low-cardinality (right plot) grouping attributes;
+coalesced vs. non-coalesced plans; participating sites 1..8.
+
+The paper's evaluation folds the base-values computation into the first
+GMDJ round (Proposition 2 — "there is only one evaluation round" for
+the coalesced query), but does *not* apply the Corollary-1
+synchronization merge in this experiment — that is Fig. 4's subject.
+We reproduce that isolation by planning with the sync-reduction flag but
+without distribution knowledge: Prop. 2 needs none, Cor. 1 cannot fire.
+
+Expected shapes (Sect. 5.2):
+
+* high cardinality, non-coalesced: quadratic growth in evaluation time
+  (round 2 ships the full base structure to every site);
+  coalesced: one evaluation round, sites only ship results up — linear;
+* low cardinality: less dramatic, but coalescing still cuts evaluation
+  time (~30% in the paper), partly by halving the site's grouping work
+  (the evaluator shares the group coding across the fused grouping
+  variables).
+"""
+
+import pytest
+
+from repro.bench.harness import growth_exponent, run_once
+from repro.bench.queries import coalescible_query
+from repro.relational.expressions import r
+from repro.distributed.plan import OptimizationFlags
+from repro.optimizer.planner import build_plan
+
+SETTINGS = {
+    "not coalesced": OptimizationFlags(sync_reduction=True),
+    "coalesced": OptimizationFlags(coalesce=True, sync_reduction=True),
+}
+SITE_COUNTS = [1, 2, 4, 6, 8]
+
+
+def _query(warehouse):
+    return coalescible_query([warehouse.group_attr], warehouse.measure,
+                             r.Discount >= 0.05)
+
+
+def _run(warehouse, label, sites):
+    """Plan without distribution knowledge (isolates coalescing+Prop. 2)."""
+    query = _query(warehouse)
+    plan = build_plan(query, SETTINGS[label], None,
+                      warehouse.engine.detail_schema, sites=sites)
+    return warehouse.engine.execute_plan(plan, sites=sites)
+
+
+def _sweep(warehouse):
+    rows = []
+    for label in SETTINGS:
+        for count in SITE_COUNTS:
+            result = _run(warehouse, label, list(range(count)))
+            row = {"config": label}
+            row.update(result.metrics.summary())
+            rows.append(row)
+    return rows
+
+
+@pytest.mark.parametrize("label", list(SETTINGS))
+def test_bench_coalescing_point(benchmark, high_card_warehouse, label):
+    sites = list(high_card_warehouse.engine.site_ids)
+
+    def run():
+        return _run(high_card_warehouse, label, sites)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    expected_syncs = 1 if label == "coalesced" else 2
+    assert result.metrics.num_synchronizations == expected_syncs
+
+
+def test_bench_fig3_high_cardinality(benchmark, high_card_warehouse,
+                                     report):
+    rows = benchmark.pedantic(lambda: _sweep(high_card_warehouse),
+                              rounds=1, iterations=1)
+    from repro.bench.charts import chart_from_rows
+    report("fig3_coalescing_high",
+           "Fig. 3 (left) — coalescing query, high cardinality",
+           rows, ["config", "sites", "response_seconds", "total_bytes",
+                  "synchronizations"],
+           chart=chart_from_rows(rows, "config", "sites",
+                                 "response_seconds"))
+
+    def exponent(label):
+        sub = [row for row in rows
+               if row["config"] == label and row["sites"] > 1]
+        return growth_exponent([row["sites"] for row in sub],
+                               [row["total_bytes"] for row in sub])
+
+    assert exponent("not coalesced") > 1.6   # quadratic traffic
+    assert exponent("coalesced") < 1.3       # single round: linear
+    at_eight = {row["config"]: row for row in rows if row["sites"] == 8}
+    assert at_eight["coalesced"]["response_seconds"] < \
+        at_eight["not coalesced"]["response_seconds"]
+
+
+def test_bench_fig3_low_cardinality(benchmark, low_card_warehouse, report):
+    rows = benchmark.pedantic(lambda: _sweep(low_card_warehouse),
+                              rounds=1, iterations=1)
+    report("fig3_coalescing_low",
+           "Fig. 3 (right) — coalescing query, low cardinality",
+           rows, ["config", "sites", "response_seconds", "total_bytes",
+                  "synchronizations"])
+    at_eight = {row["config"]: row for row in rows if row["sites"] == 8}
+    coalesced = at_eight["coalesced"]["response_seconds"]
+    plain = at_eight["not coalesced"]["response_seconds"]
+    # coalescing still wins, but less dramatically than high cardinality
+    assert coalesced < plain

@@ -1,0 +1,92 @@
+"""Figure 4 — the synchronization reduction query.
+
+The paper: a two-GMDJ correlated query (not coalescible) whose
+conditions entail equality on the partition attribute; evaluated with
+and without synchronization reduction; high- and low-cardinality
+grouping; participating sites 1..8.
+
+Expected shapes (Sect. 5.2):
+
+* high cardinality, without sync reduction: quadratic evaluation time;
+  with sync reduction, the query runs in a single round — linear growth
+  (only the output size grows);
+* low cardinality: sync reduction helps, but less than coalescing did
+  on the high-cardinality query (the sites do the same local work; only
+  synchronization overhead is removed).
+"""
+
+import pytest
+
+from repro.bench.harness import growth_exponent, speedup_series
+from repro.bench.queries import correlated_query
+from repro.distributed.plan import OptimizationFlags
+
+SETTINGS = {
+    "no sync reduction": OptimizationFlags(),
+    "sync reduction": OptimizationFlags(sync_reduction=True),
+}
+SITE_COUNTS = [1, 2, 4, 6, 8]
+
+
+def _query(warehouse):
+    return correlated_query([warehouse.group_attr], warehouse.measure)
+
+
+@pytest.mark.parametrize("label", list(SETTINGS))
+def test_bench_sync_reduction_point(benchmark, high_card_warehouse, label):
+    query = _query(high_card_warehouse)
+    flags = SETTINGS[label]
+
+    def run():
+        return high_card_warehouse.engine.execute(query, flags)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    expected_syncs = 1 if label == "sync reduction" else 3
+    assert result.metrics.num_synchronizations == expected_syncs
+
+
+def test_bench_fig4_high_cardinality(benchmark, high_card_warehouse,
+                                     report):
+    query = _query(high_card_warehouse)
+
+    def sweep():
+        return speedup_series(high_card_warehouse, query, SETTINGS,
+                              SITE_COUNTS)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    from repro.bench.charts import chart_from_rows
+    report("fig4_sync_reduction_high",
+           "Fig. 4 (left) — synchronization reduction, high cardinality",
+           rows, ["config", "sites", "response_seconds", "total_bytes",
+                  "synchronizations"],
+           chart=chart_from_rows(rows, "config", "sites",
+                                 "response_seconds"))
+
+    def exponent(label):
+        sub = [row for row in rows
+               if row["config"] == label and row["sites"] > 1]
+        return growth_exponent([row["sites"] for row in sub],
+                               [row["total_bytes"] for row in sub])
+
+    assert exponent("no sync reduction") > 1.6   # quadratic traffic
+    assert exponent("sync reduction") < 1.3      # single round: linear
+    at_eight = {row["config"]: row for row in rows if row["sites"] == 8}
+    assert at_eight["sync reduction"]["response_seconds"] < \
+        at_eight["no sync reduction"]["response_seconds"]
+
+
+def test_bench_fig4_low_cardinality(benchmark, low_card_warehouse, report):
+    query = _query(low_card_warehouse)
+
+    def sweep():
+        return speedup_series(low_card_warehouse, query, SETTINGS,
+                              SITE_COUNTS)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("fig4_sync_reduction_low",
+           "Fig. 4 (right) — synchronization reduction, low cardinality",
+           rows, ["config", "sites", "response_seconds", "total_bytes",
+                  "synchronizations"])
+    at_eight = {row["config"]: row for row in rows if row["sites"] == 8}
+    assert at_eight["sync reduction"]["response_seconds"] < \
+        at_eight["no sync reduction"]["response_seconds"]

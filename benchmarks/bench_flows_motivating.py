@@ -1,0 +1,86 @@
+"""The motivating IP-flow workload (Sect. 1 / 2.1) end-to-end.
+
+Runs the paper's Example 1 query — per (SourceAS, DestAS) flow counts
+plus above-average flow counts — through the full Skalla stack on a
+router-partitioned flow warehouse, unoptimized vs fully optimized, and
+the same query arriving through the Egil SQL frontend.
+"""
+
+import pytest
+
+from repro.bench.harness import build_flow_warehouse
+from repro.core.builder import QueryBuilder, agg
+from repro.relational.aggregates import count_star
+from repro.relational.expressions import b, r
+from repro.distributed.plan import ALL_OPTIMIZATIONS, NO_OPTIMIZATIONS
+from repro.sql.compiler import compile_sql
+
+WAREHOUSE = build_flow_warehouse(num_flows=40_000, num_routers=8,
+                                 num_source_as=64, seed=7)
+
+EXAMPLE1_SQL = """
+SELECT SourceAS, DestAS, COUNT(*) AS cnt1, SUM(NumBytes) AS sum1
+FROM Flow
+GROUP BY SourceAS, DestAS
+THEN COMPUTE COUNT(*) AS cnt2 WHERE NumBytes >= sum1 / cnt1
+"""
+
+
+def example1_query():
+    return (QueryBuilder()
+            .base("SourceAS", "DestAS")
+            .gmdj([count_star("cnt1"), agg("sum", "NumBytes", "sum1")],
+                  (r.SourceAS == b.SourceAS) & (r.DestAS == b.DestAS))
+            .gmdj([count_star("cnt2")],
+                  (r.SourceAS == b.SourceAS) & (r.DestAS == b.DestAS)
+                  & (r.NumBytes >= b.sum1 / b.cnt1))
+            .build())
+
+
+def test_bench_example1_unoptimized(benchmark):
+    query = example1_query()
+
+    def run():
+        return WAREHOUSE.engine.execute(query, NO_OPTIMIZATIONS)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.metrics.num_synchronizations == 3
+
+
+def test_bench_example1_optimized(benchmark):
+    query = example1_query()
+
+    def run():
+        return WAREHOUSE.engine.execute(query, ALL_OPTIMIZATIONS)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Example 5 of the paper: the whole query evaluates locally with a
+    # single synchronization.
+    assert result.metrics.num_synchronizations == 1
+
+
+def test_bench_example1_via_sql(benchmark, report):
+    detail_schema = WAREHOUSE.engine.detail_schema
+
+    def run():
+        query = compile_sql(EXAMPLE1_SQL, detail_schema)
+        return WAREHOUSE.engine.execute(query, ALL_OPTIMIZATIONS)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    manual = WAREHOUSE.engine.execute(example1_query(), ALL_OPTIMIZATIONS)
+    assert result.relation.multiset_equals(manual.relation)
+
+    rows = [{"path": "builder", **manual.metrics.summary()},
+            {"path": "sql frontend", **result.metrics.summary()}]
+    report("flows_example1", "Example 1 on the IP-flow warehouse",
+           rows, ["path", "response_seconds", "total_bytes",
+                  "synchronizations"])
+
+
+def test_bench_centralized_reference(benchmark):
+    """Centralized evaluation of Example 1 (what a single warehouse
+    would pay in compute, ignoring collection-network realities)."""
+    union = WAREHOUSE.engine.total_detail_relation()
+    query = example1_query()
+    result = benchmark(query.evaluate_centralized, union)
+    assert result.num_rows > 0

@@ -1,0 +1,60 @@
+"""Shared fixtures for the figure benchmarks.
+
+Each ``bench_fig*.py`` regenerates one figure of the paper's Sect. 5:
+it sweeps the same parameter the paper sweeps, prints the measured
+series as a table, writes it under ``benchmarks/results/``, and asserts
+the qualitative *shape* (who wins, what grows linearly vs
+quadratically).  Absolute numbers differ from the paper — our substrate
+is a simulated cluster, not eight Daytona servers — but the shapes are
+the reproducible claim.
+
+Benchmark scale: ~40 k TPCR rows over 8 sites (the paper used 6 M over
+8 sites; shapes depend on relative cardinalities, which are preserved —
+see DESIGN.md §2).  Set ``REPRO_BENCH_ROWS`` to run larger sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import build_tpcr_warehouse, format_table
+
+#: Default fact-table size for benchmark warehouses.
+BENCH_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "40000"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def high_card_warehouse():
+    """8-site TPCR, high-cardinality grouping attribute (CustName)."""
+    return build_tpcr_warehouse(num_rows=BENCH_ROWS, num_sites=8,
+                                high_cardinality=True, seed=42)
+
+
+@pytest.fixture(scope="session")
+def low_card_warehouse():
+    """8-site TPCR, low-cardinality grouping attribute (~3k names)."""
+    return build_tpcr_warehouse(num_rows=BENCH_ROWS, num_sites=8,
+                                high_cardinality=False, seed=42)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a figure table (plus optional ASCII chart) and persist it
+    under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, title: str, rows, columns, chart=None):
+        table = format_table(rows, columns)
+        text = f"== {title} ==\n{table}\n"
+        if chart is not None:
+            text += f"\n{chart}\n"
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        return table
+
+    return _report

@@ -1,0 +1,101 @@
+"""Beyond the paper: trees, streaming, cost-based planning, persistence.
+
+Four extension features on one warehouse:
+
+1. **cost-based flag selection** — let the statistics-driven cost model
+   pick the optimization flags instead of hand-choosing them;
+2. **streaming synchronization** under a straggler site (Sect. 3.2's
+   remark, with a per-site slowdown knob);
+3. **multi-tier coordinator** — the paper's future-work aggregation
+   tree, compared with the flat star at 16 sites;
+4. **persistence** — save the warehouse, reload, re-run, same answer.
+
+Run:  python examples/advanced_features.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.bench.queries import correlated_query
+from repro.data.tpch import generate_tpcr, nation_assignment
+from repro.distributed import (
+    NO_OPTIMIZATIONS, HierarchicalEngine, SkallaEngine, TreeTopology,
+    load_warehouse, partition_by_values, partition_round_robin,
+    save_warehouse)
+from repro.optimizer.cost import choose_flags, estimate_plan_cost
+from repro.optimizer.planner import build_plan
+from repro.relational.statistics import collect_stats, merge_stats
+
+
+def main() -> None:
+    relation = generate_tpcr(num_rows=30_000, seed=42)
+    partitions, info = partition_by_values(
+        relation, "NationKey", nation_assignment(8))
+    engine = SkallaEngine(partitions, info)
+    query = correlated_query(["CustName"], "ExtendedPrice")
+
+    # ---- 1. cost-based flag selection ---------------------------------
+    print("== cost-based optimization selection ==")
+    per_site = [collect_stats(engine.fragment(site), attrs=["CustName"])
+                for site in engine.site_ids]
+    stats = merge_stats(per_site)
+    flags, estimate = choose_flags(query, stats, num_sites=8,
+                                   detail_schema=engine.detail_schema,
+                                   info=info, link=engine.link)
+    print(f"model picked: {flags.describe()}")
+    print(f"predicted   : {estimate.bytes_total:,.0f} bytes, "
+          f"{estimate.synchronizations} sync(s)")
+    chosen = engine.execute(query, flags)
+    baseline = engine.execute(query, NO_OPTIMIZATIONS)
+    print(f"measured    : {chosen.metrics.total_bytes:,} bytes "
+          f"(baseline {baseline.metrics.total_bytes:,})")
+    plan = build_plan(query, NO_OPTIMIZATIONS, info,
+                      engine.detail_schema, sites=engine.site_ids)
+    unopt_estimate = estimate_plan_cost(plan, stats, 8,
+                                        engine.detail_schema,
+                                        engine.link, info)
+    print(f"(model predicted {unopt_estimate.bytes_total:,.0f} bytes "
+          f"for the unoptimized plan)\n")
+
+    # ---- 2. streaming synchronization with a straggler ------------------
+    print("== streaming synchronization, site 0 slowed 20x ==")
+    slow_engine = SkallaEngine(partitions, info,
+                               site_slowdowns={0: 20.0})
+    barrier = slow_engine.execute(query, NO_OPTIMIZATIONS,
+                                  streaming=False)
+    streamed = slow_engine.execute(query, NO_OPTIMIZATIONS,
+                                   streaming=True)
+    assert streamed.relation.multiset_equals(barrier.relation)
+    print(f"barrier  : {barrier.metrics.response_seconds:.3f}s")
+    print(f"streaming: {streamed.metrics.response_seconds:.3f}s\n")
+
+    # ---- 3. multi-tier coordinator -----------------------------------------
+    print("== flat star vs fanout-4 aggregation tree (16 sites) ==")
+    many = partition_round_robin(relation, 16)
+    flat = SkallaEngine(many).execute(query, NO_OPTIMIZATIONS)
+    topology = TreeTopology.balanced(sorted(many), fanout=4)
+    tree = HierarchicalEngine(many, topology).execute(query,
+                                                      NO_OPTIMIZATIONS)
+    assert tree.relation.multiset_equals(flat.relation)
+    print(f"flat star: {flat.metrics.response_seconds:.2f}s, "
+          f"{flat.metrics.bytes_to_coordinator:,} bytes into the root")
+    up_to_root = sum(m.total_bytes for m in tree.metrics.log.messages
+                     if m.description.endswith("root")
+                     and m.receiver == -1)
+    print(f"tree     : {tree.metrics.response_seconds:.2f}s, "
+          f"{up_to_root:,} bytes into the root "
+          f"(depth {topology.depth()})\n")
+
+    # ---- 4. persistence -------------------------------------------------------
+    print("== save / reload round trip ==")
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = save_warehouse(engine, Path(tmp) / "warehouse")
+        reloaded = load_warehouse(directory)
+        again = reloaded.execute(query, flags)
+        assert again.relation.multiset_equals(chosen.relation)
+        print(f"saved to {directory.name}/, reloaded "
+              f"{len(reloaded.site_ids)} sites, identical result: True")
+
+
+if __name__ == "__main__":
+    main()

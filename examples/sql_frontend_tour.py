@@ -1,0 +1,97 @@
+"""A tour of Egil, the OLAP-SQL frontend.
+
+Shows the query language the Skalla query generator accepts — grouping,
+filters, IN-lists, and chained ``THEN COMPUTE`` rounds for correlated
+aggregates — and how each statement compiles to a GMDJ expression and a
+distributed plan.
+
+Run:  python examples/sql_frontend_tour.py
+"""
+
+from repro.bench.harness import build_flow_warehouse
+from repro.distributed import ALL_OPTIMIZATIONS
+from repro.errors import ParseError
+from repro.optimizer.planner import build_plan
+from repro.sql import compile_sql, parse
+
+STATEMENTS = {
+    "simple grouping": """
+        SELECT SourceAS, COUNT(*) AS flows, AVG(NumBytes) AS avg_bytes
+        FROM Flow
+        GROUP BY SourceAS
+    """,
+    "filtered (WHERE pushes into every round)": """
+        SELECT SourceAS, COUNT(*) AS web_flows, SUM(NumBytes) AS web_bytes
+        FROM Flow
+        WHERE DestPort IN (80, 443)
+        GROUP BY SourceAS
+    """,
+    "correlated aggregates (Example 1)": """
+        SELECT SourceAS, DestAS, COUNT(*) AS cnt1, SUM(NumBytes) AS sum1
+        FROM Flow
+        GROUP BY SourceAS, DestAS
+        THEN COMPUTE COUNT(*) AS cnt2 WHERE NumBytes >= sum1 / cnt1
+    """,
+    "three correlated rounds": """
+        SELECT SourceAS, COUNT(*) AS n, AVG(NumBytes) AS m
+        FROM Flow
+        GROUP BY SourceAS
+        THEN COMPUTE COUNT(*) AS above WHERE NumBytes >= m
+        THEN COMPUTE MAX(NumBytes) AS biggest_small WHERE NumBytes < m
+    """,
+}
+
+BROKEN = {
+    "unknown attribute": """
+        SELECT Bogus, COUNT(*) AS n FROM Flow GROUP BY Bogus
+    """,
+    "alias referenced too early": """
+        SELECT SourceAS, COUNT(*) AS n FROM Flow GROUP BY SourceAS
+        THEN COMPUTE COUNT(*) AS x WHERE NumBytes > later
+        THEN COMPUTE COUNT(*) AS later
+    """,
+    "aggregate without alias": """
+        SELECT SourceAS, COUNT(*) FROM Flow GROUP BY SourceAS
+    """,
+}
+
+
+def main() -> None:
+    warehouse = build_flow_warehouse(num_flows=30_000, num_routers=4,
+                                     num_source_as=32, seed=11)
+    schema = warehouse.engine.detail_schema
+
+    for title, sql in STATEMENTS.items():
+        print("=" * 72)
+        print(f"-- {title}")
+        print(sql.strip())
+        statement = parse(sql)
+        print(f"\nparsed: {statement.round_count()} GMDJ round(s), "
+              f"grouped on {', '.join(statement.group_attrs)}")
+        expression = compile_sql(sql, schema)
+        print("algebra:")
+        print("  " + expression.describe().replace("\n", "\n  "))
+        plan = build_plan(expression, ALL_OPTIMIZATIONS, warehouse.info,
+                          schema, sites=warehouse.engine.site_ids)
+        print("optimized plan:")
+        print("  " + plan.explain().replace("\n", "\n  "))
+        result = warehouse.engine.execute_plan(plan)
+        print(f"result: {result.relation.num_rows} rows, "
+              f"{result.metrics.total_bytes:,} bytes moved, "
+              f"{result.metrics.num_synchronizations} sync(s)")
+        print(result.relation.head(3).pretty(3))
+        print()
+
+    print("=" * 72)
+    print("-- error reporting")
+    for title, sql in BROKEN.items():
+        try:
+            compile_sql(sql, schema)
+        except ParseError as error:
+            print(f"{title}: ParseError: {error}")
+        else:  # pragma: no cover - all of these must fail
+            raise AssertionError(f"{title} unexpectedly compiled")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — a reproduction of *Efficient OLAP Query Processing in
+Distributed Data Warehouses* (Akinde, Böhlen, Johnson, Lakshmanan,
+Srivastava; EDBT 2002): the **Skalla** system.
+
+Quick tour
+----------
+
+>>> from repro import QueryBuilder, agg, count_star, b, r
+>>> from repro.data.flows import generate_flows
+>>> flows = generate_flows(num_flows=10_000, num_routers=4, seed=7)
+>>> query = (QueryBuilder()
+...          .base("SourceAS", "DestAS")
+...          .gmdj([count_star("cnt1"), agg("sum", "NumBytes", "sum1")],
+...                (r.SourceAS == b.SourceAS) & (r.DestAS == b.DestAS))
+...          .gmdj([count_star("cnt2")],
+...                (r.SourceAS == b.SourceAS) & (r.DestAS == b.DestAS)
+...                & (r.NumBytes >= b.sum1 / b.cnt1))
+...          .build())
+>>> result = query.evaluate_centralized(flows)
+
+For distributed evaluation, partition the data over a simulated cluster
+and run the Skalla engine — see :mod:`repro.distributed` and
+``examples/quickstart.py``.
+"""
+
+from repro.errors import (
+    AggregateError, ExpressionError, NetworkError, OptimizationError,
+    ParseError, PartitionError, PlanError, QueryError, SchemaError,
+    SkallaError)
+from repro.relational import (
+    AggregateSpec, Attribute, DataType, Relation, Schema, b, count_star, r)
+from repro.core import (
+    Gmdj, GmdjExpression, GroupingVariable, ProjectionBase, QueryBuilder,
+    RelationBase, agg, coalesce_expression, evaluate_gmdj, expression)
+from repro.warehouse import QueryResult, Warehouse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateError", "ExpressionError", "NetworkError", "OptimizationError",
+    "ParseError", "PartitionError", "PlanError", "QueryError", "SchemaError",
+    "SkallaError",
+    "AggregateSpec", "Attribute", "DataType", "Relation", "Schema", "b",
+    "count_star", "r",
+    "Gmdj", "GmdjExpression", "GroupingVariable", "ProjectionBase",
+    "QueryBuilder", "RelationBase", "agg", "coalesce_expression",
+    "evaluate_gmdj", "expression",
+    "QueryResult", "Warehouse",
+    "__version__",
+]

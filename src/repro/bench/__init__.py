@@ -1,0 +1,19 @@
+"""Benchmark support: the Sect. 5 experiment queries and the shared
+warehouse/series/reporting harness used by ``benchmarks/``."""
+
+from repro.bench.charts import bar_chart, chart_from_rows, series_chart
+from repro.bench.harness import (
+    HIGH_CARDINALITY_ROWS_PER_GROUP, LOW_CARDINALITY_GROUPS, Warehouse,
+    build_flow_warehouse, build_tpcr_warehouse, format_table,
+    growth_exponent, run_once, scaleup_series, speedup_series)
+from repro.bench.queries import (
+    coalescible_query, combined_query, correlated_query)
+
+__all__ = [
+    "bar_chart", "chart_from_rows", "series_chart",
+    "HIGH_CARDINALITY_ROWS_PER_GROUP", "LOW_CARDINALITY_GROUPS",
+    "Warehouse", "build_flow_warehouse", "build_tpcr_warehouse",
+    "format_table", "growth_exponent", "run_once", "scaleup_series",
+    "speedup_series",
+    "coalescible_query", "combined_query", "correlated_query",
+]

@@ -1,0 +1,88 @@
+"""Terminal charts for benchmark series (no plotting dependencies).
+
+The paper's figures are line plots; when a bench regenerates one, an
+ASCII rendering next to the table makes the shape visible at a glance
+in CI logs and result files.
+
+* :func:`bar_chart` — horizontal bars for one labeled series;
+* :func:`series_chart` — multiple (x, y) series as aligned bar groups,
+  the closest terminal analogue of Figs. 2–5.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Width of the widest bar, in characters.
+DEFAULT_WIDTH = 48
+
+_BLOCK = "█"
+_PARTIAL = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0:
+        return ""
+    cells = value / maximum * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _PARTIAL[int(remainder * 8)] if full < width else ""
+    return _BLOCK * full + partial.strip()
+
+
+def bar_chart(values: Mapping[str, float], width: int = DEFAULT_WIDTH,
+              unit: str = "") -> str:
+    """One horizontal bar per labeled value, scaled to the maximum.
+
+    >>> print(bar_chart({"flat": 14.0, "tree": 4.8}, width=20))
+    """
+    if not values:
+        raise ValueError("nothing to chart")
+    maximum = max(values.values())
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = _bar(float(value), float(maximum), width)
+        lines.append(f"{str(label):<{label_width}} | {bar} "
+                     f"{value:,.4g}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(series: Mapping[str, Sequence[tuple[float, float]]],
+                 width: int = DEFAULT_WIDTH,
+                 x_label: str = "x", unit: str = "") -> str:
+    """Grouped bars: for each x value, one bar per series.
+
+    ``series`` maps a series name to its ``(x, y)`` points; all series
+    share the y scale, so relative magnitudes — the linear-vs-quadratic
+    story — are directly visible.
+    """
+    if not series:
+        raise ValueError("nothing to chart")
+    xs: list[float] = sorted({x for points in series.values()
+                              for x, __ in points})
+    maximum = max(y for points in series.values() for __, y in points)
+    by_series = {name: dict(points) for name, points in series.items()}
+    name_width = max(len(name) for name in series)
+    lines = []
+    for x in xs:
+        lines.append(f"{x_label} = {x:g}")
+        for name in series:
+            y = by_series[name].get(x)
+            if y is None:
+                continue
+            bar = _bar(float(y), float(maximum), width)
+            lines.append(f"  {name:<{name_width}} | {bar} "
+                         f"{y:,.4g}{unit}")
+    return "\n".join(lines)
+
+
+def chart_from_rows(rows: Sequence[Mapping[str, object]], group_key: str,
+                    x_key: str, y_key: str,
+                    width: int = DEFAULT_WIDTH) -> str:
+    """Build a :func:`series_chart` straight from harness result rows."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        series.setdefault(str(row[group_key]), []).append(
+            (float(row[x_key]), float(row[y_key])))
+    return series_chart(series, width=width, x_label=x_key)

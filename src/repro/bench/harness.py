@@ -1,0 +1,199 @@
+"""Shared benchmark harness: warehouse construction, series running,
+and paper-style table printing.
+
+Every figure benchmark follows the same pattern:
+
+1. build a warehouse (:func:`build_tpcr_warehouse` — TPCR partitioned on
+   NationKey over N sites, with CustKey/CustName range knowledge derived
+   from the nation assignment, exactly Sect. 5.1's setup);
+2. run a query under two or more optimization settings across a sweep
+   (participating sites 1..8, or data size ×1..×4);
+3. print the measured series with :func:`format_table` and return the
+   rows so tests/benches can assert on the *shape* (who wins, what grows
+   linearly vs quadratically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.expression_tree import GmdjExpression
+from repro.data.flows import generate_flows, router_as_ranges
+from repro.data.tpch import (
+    TpcrConfig, custkey_ranges, customer_name, generate_tpcr,
+    nation_assignment)
+from repro.distributed.engine import ExecutionResult, SkallaEngine
+from repro.distributed.network import LinkModel
+from repro.distributed.partition import (
+    DistributionInfo, RangeConstraint, partition_by_values)
+from repro.distributed.plan import OptimizationFlags
+
+#: Customers-per-row ratio for the "high cardinality" setting: ~1 group
+#: per 5 fact rows, proportionally matching the paper's 100 k names in a
+#: 6 M row table scaled down.
+HIGH_CARDINALITY_ROWS_PER_GROUP = 5
+
+#: Fixed group count for the "low cardinality" setting (the paper uses
+#: attributes with 2,000–4,000 unique values).
+LOW_CARDINALITY_GROUPS = 3_000
+
+
+@dataclass
+class Warehouse:
+    """A ready-to-query distributed warehouse plus its metadata."""
+
+    engine: SkallaEngine
+    info: DistributionInfo
+    num_rows: int
+    num_groups: int
+    group_attr: str
+    measure: str
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.engine.sites)
+
+
+def build_tpcr_warehouse(num_rows: int = 60_000, num_sites: int = 8,
+                         high_cardinality: bool = True, seed: int = 42,
+                         link: LinkModel | None = None,
+                         num_customers: int | None = None) -> Warehouse:
+    """The paper's experimental setup, scaled.
+
+    TPCR is partitioned on NationKey over ``num_sites`` sites; the
+    distribution knowledge records the nations per site plus the implied
+    CustKey and CustName ranges (both functionally determined by the
+    nation ranges), so Customer grouping attributes are recognized as
+    partition attributes.
+    """
+    if num_customers is None:
+        num_customers = (num_rows // HIGH_CARDINALITY_ROWS_PER_GROUP
+                         if high_cardinality else LOW_CARDINALITY_GROUPS)
+    config = TpcrConfig(num_rows=num_rows, num_customers=num_customers,
+                        seed=seed)
+    relation = generate_tpcr(config)
+    partitions, info = partition_by_values(
+        relation, "NationKey", nation_assignment(num_sites))
+    for site, (low, high) in custkey_ranges(num_sites,
+                                            num_customers).items():
+        info.add(site, "CustKey", RangeConstraint(low, high))
+        info.add(site, "CustName",
+                 RangeConstraint(customer_name(low), customer_name(high)))
+    engine = SkallaEngine(partitions, info, link=link)
+    return Warehouse(engine=engine, info=info, num_rows=num_rows,
+                     num_groups=num_customers, group_attr="CustName",
+                     measure="ExtendedPrice")
+
+
+def build_flow_warehouse(num_flows: int = 40_000, num_routers: int = 8,
+                         num_source_as: int = 64, seed: int = 7,
+                         link: LinkModel | None = None) -> Warehouse:
+    """The motivating IP-flow warehouse: one site per router, SourceAS
+    homed per router (so SourceAS is a partition attribute)."""
+    flows = generate_flows(num_flows=num_flows, num_routers=num_routers,
+                           num_source_as=num_source_as, seed=seed)
+    partitions, info = partition_by_values(
+        flows, "RouterId", {router: [router]
+                            for router in range(num_routers)})
+    for router, (low, high) in router_as_ranges(
+            num_routers, num_source_as).items():
+        info.add(router, "SourceAS", RangeConstraint(low, high))
+    engine = SkallaEngine(partitions, info, link=link)
+    return Warehouse(engine=engine, info=info, num_rows=num_flows,
+                     num_groups=num_source_as, group_attr="SourceAS",
+                     measure="NumBytes")
+
+
+# ---------------------------------------------------------------------------
+# Series runners
+# ---------------------------------------------------------------------------
+
+def run_once(warehouse: Warehouse, expression: GmdjExpression,
+             flags: OptimizationFlags,
+             sites: Sequence[int] | None = None,
+             label: str = "") -> dict[str, object]:
+    """One execution, summarized into a flat row."""
+    result = warehouse.engine.execute(expression, flags, sites=sites)
+    row: dict[str, object] = {"config": label or flags.describe()}
+    row.update(result.metrics.summary())
+    return row
+
+
+def speedup_series(warehouse: Warehouse, expression: GmdjExpression,
+                   settings: Mapping[str, OptimizationFlags],
+                   site_counts: Sequence[int]) -> list[dict[str, object]]:
+    """The Fig. 2–4 sweep: vary participating sites for each setting."""
+    rows = []
+    for label, flags in settings.items():
+        for count in site_counts:
+            sites = list(range(count))
+            row = run_once(warehouse, expression, flags, sites=sites,
+                           label=label)
+            rows.append(row)
+    return rows
+
+
+def scaleup_series(build: Callable[[int], Warehouse],
+                   make_expression: Callable[[Warehouse], GmdjExpression],
+                   settings: Mapping[str, OptimizationFlags],
+                   scales: Sequence[int]) -> list[dict[str, object]]:
+    """The Fig. 5 sweep: fixed sites, growing per-site data size."""
+    rows = []
+    for scale in scales:
+        warehouse = build(scale)
+        expression = make_expression(warehouse)
+        for label, flags in settings.items():
+            row = run_once(warehouse, expression, flags, label=label)
+            row["scale"] = scale
+            rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str]) -> str:
+    """Fixed-width table rendering of selected columns."""
+    header = list(columns)
+    body = [[_format_value(row.get(column, "")) for column in columns]
+            for row in rows]
+    widths = [len(name) for name in header]
+    for line in body:
+        for position, cell in enumerate(line):
+            widths[position] = max(widths[position], len(cell))
+    lines = [" | ".join(name.ljust(widths[i])
+                        for i, name in enumerate(header)),
+             "-+-".join("-" * width for width in widths)]
+    lines += [" | ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(line)) for line in body]
+    return "\n".join(lines)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    ~1 means linear growth, ~2 quadratic — the discriminator the paper's
+    speed-up plots are about.  Requires positive inputs.
+    """
+    import math
+    pairs = [(math.log(x), math.log(y)) for x, y in zip(xs, ys)
+             if x > 0 and y > 0]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive points")
+    n = len(pairs)
+    mean_x = sum(x for x, _ in pairs) / n
+    mean_y = sum(y for _, y in pairs) / n
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
+    denominator = sum((x - mean_x) ** 2 for x, _ in pairs)
+    if denominator == 0:
+        raise ValueError("degenerate x values")
+    return numerator / denominator

@@ -1,0 +1,97 @@
+"""The experiment queries of Sect. 5.
+
+The paper computes "a COUNT and an AVG aggregate on each GMDJ operator"
+and varies the grouping attribute between a high-cardinality one
+(Customer.Name) and low-cardinality ones.  Three query shapes cover the
+four experiments:
+
+* :func:`correlated_query` — two GMDJ rounds where the second condition
+  references the first round's AVG ("items above their group's
+  average"), so the rounds **cannot** be coalesced.  Used by the group
+  reduction experiment (Fig. 2) and the synchronization reduction
+  experiment (Fig. 4) — the two experiments differ in which
+  optimizations they enable, not in the query.
+* :func:`coalescible_query` — two rounds whose second condition is an
+  independent filter, so coalescing fuses them (Fig. 3).
+* :func:`combined_query` — three rounds: the first two coalescible, the
+  third correlated; every optimization has something to do (Fig. 5).
+
+All three are parameterized by grouping attributes, the measure column,
+and the second-round filter so the same shapes run against TPCR and the
+IP-flow data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import And, BaseAttr, DetailAttr, Expr
+from repro.core.expression_tree import GmdjExpression, ProjectionBase
+from repro.core.gmdj import Gmdj
+
+
+def _key_equality(group_attrs: Sequence[str]) -> Expr:
+    return And.of(*(DetailAttr(attr) == BaseAttr(attr)
+                    for attr in group_attrs))
+
+
+def _count_avg(measure: str, suffix: str) -> list[AggregateSpec]:
+    return [count_star(f"cnt{suffix}"),
+            AggregateSpec("avg", measure, f"avg{suffix}")]
+
+
+def correlated_query(group_attrs: Sequence[str],
+                     measure: str) -> GmdjExpression:
+    """COUNT+AVG per group, then COUNT+AVG of above-average items.
+
+    The second round's condition references ``avg1``, so coalescing does
+    not apply; with a partitioned grouping attribute, synchronization
+    reduction does.
+    """
+    group_attrs = tuple(group_attrs)
+    key_eq = _key_equality(group_attrs)
+    first = Gmdj.single(_count_avg(measure, "1"), key_eq)
+    second = Gmdj.single(
+        _count_avg(measure, "2"),
+        And.of(key_eq, DetailAttr(measure) >= BaseAttr("avg1")))
+    return GmdjExpression(ProjectionBase(group_attrs), (first, second),
+                          group_attrs)
+
+
+def coalescible_query(group_attrs: Sequence[str], measure: str,
+                      second_filter: Expr) -> GmdjExpression:
+    """COUNT+AVG per group, then COUNT+AVG of an independent sub-range.
+
+    ``second_filter`` must not reference first-round aggregates (it is a
+    detail-side predicate like ``r.Discount >= 0.05``), so the two
+    rounds coalesce into one GMDJ with two grouping variables.
+    """
+    group_attrs = tuple(group_attrs)
+    key_eq = _key_equality(group_attrs)
+    first = Gmdj.single(_count_avg(measure, "1"), key_eq)
+    second = Gmdj.single(_count_avg(measure, "2"),
+                         And.of(key_eq, second_filter))
+    return GmdjExpression(ProjectionBase(group_attrs), (first, second),
+                          group_attrs)
+
+
+def combined_query(group_attrs: Sequence[str], measure: str,
+                   second_filter: Expr) -> GmdjExpression:
+    """Three rounds exercising every optimization at once (Fig. 5).
+
+    Rounds 1+2 coalesce; round 3 references ``avg1`` (correlated) and —
+    with a partitioned grouping attribute — merges with the coalesced
+    step under synchronization reduction; group reductions shrink every
+    remaining transfer.
+    """
+    group_attrs = tuple(group_attrs)
+    key_eq = _key_equality(group_attrs)
+    first = Gmdj.single(_count_avg(measure, "1"), key_eq)
+    second = Gmdj.single(_count_avg(measure, "2"),
+                         And.of(key_eq, second_filter))
+    third = Gmdj.single(
+        _count_avg(measure, "3"),
+        And.of(key_eq, DetailAttr(measure) >= BaseAttr("avg1")))
+    return GmdjExpression(ProjectionBase(group_attrs),
+                          (first, second, third), group_attrs)

@@ -1,0 +1,223 @@
+"""Command-line interface: build, inspect, and query saved warehouses.
+
+Usage (also via ``python -m repro``)::
+
+    # create a distributed warehouse on disk
+    python -m repro generate tpcr  --rows 60000 --sites 8 --out wh/
+    python -m repro generate flows --flows 50000 --routers 4 --out fw/
+
+    # look at it
+    python -m repro info wh/
+    python -m repro stats wh/ --attrs CustName,NationKey
+
+    # run OLAP-SQL against it (Egil frontend + Skalla engine)
+    python -m repro query wh/ "SELECT NationKey, COUNT(*) AS n,
+        AVG(ExtendedPrice) AS avg_price FROM TPCR GROUP BY NationKey"
+
+    # see the distributed plan without running it
+    python -m repro explain wh/ "SELECT ..." --optimize all
+
+Exit codes: 0 on success, 1 on domain errors (bad SQL, bad warehouse),
+2 on usage errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import SkallaError
+from repro.bench.harness import build_flow_warehouse, build_tpcr_warehouse
+from repro.distributed.plan import OptimizationFlags
+from repro.distributed.storage import load_warehouse, save_warehouse
+from repro.optimizer.planner import build_plan
+from repro.relational.statistics import collect_stats, merge_stats
+from repro.sql.compiler import compile_query
+
+#: Named optimization levels accepted by --optimize.
+OPTIMIZE_LEVELS = {
+    "none": OptimizationFlags(),
+    "coalesce": OptimizationFlags(coalesce=True),
+    "group-reduction": OptimizationFlags(group_reduction_independent=True,
+                                         group_reduction_aware=True),
+    "sync-reduction": OptimizationFlags(sync_reduction=True),
+    "all": OptimizationFlags.all(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Skalla distributed OLAP warehouse (EDBT 2002 "
+                    "reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a warehouse and save it to disk")
+    kinds = generate.add_subparsers(dest="kind", required=True)
+
+    tpcr = kinds.add_parser("tpcr", help="TPC-R style denormalized data")
+    tpcr.add_argument("--rows", type=int, default=60_000)
+    tpcr.add_argument("--sites", type=int, default=8)
+    tpcr.add_argument("--customers", type=int, default=None)
+    tpcr.add_argument("--low-cardinality", action="store_true",
+                      help="use the 3k-customer setting")
+    tpcr.add_argument("--seed", type=int, default=42)
+    tpcr.add_argument("--out", required=True)
+
+    flows = kinds.add_parser("flows", help="synthetic IP-flow data")
+    flows.add_argument("--flows", type=int, default=50_000)
+    flows.add_argument("--routers", type=int, default=8)
+    flows.add_argument("--source-as", type=int, default=64)
+    flows.add_argument("--seed", type=int, default=7)
+    flows.add_argument("--out", required=True)
+
+    info = commands.add_parser("info", help="describe a saved warehouse")
+    info.add_argument("warehouse")
+
+    stats = commands.add_parser(
+        "stats", help="collect merged column statistics")
+    stats.add_argument("warehouse")
+    stats.add_argument("--attrs", required=True,
+                       help="comma-separated attribute names")
+
+    query = commands.add_parser("query", help="run OLAP-SQL")
+    query.add_argument("warehouse")
+    query.add_argument("sql")
+    query.add_argument("--optimize", choices=sorted(OPTIMIZE_LEVELS),
+                       default="all")
+    query.add_argument("--streaming", action="store_true",
+                       help="incremental synchronization")
+    query.add_argument("--limit", type=int, default=20,
+                       help="rows to print (default 20)")
+    query.add_argument("--explain", action="store_true",
+                       help="also print the plan")
+
+    explain = commands.add_parser(
+        "explain", help="show the distributed plan without executing")
+    explain.add_argument("warehouse")
+    explain.add_argument("sql")
+    explain.add_argument("--optimize", choices=sorted(OPTIMIZE_LEVELS),
+                         default="all")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_generate(args) -> int:
+    if args.kind == "tpcr":
+        warehouse = build_tpcr_warehouse(
+            num_rows=args.rows, num_sites=args.sites,
+            high_cardinality=not args.low_cardinality, seed=args.seed,
+            num_customers=args.customers)
+        engine = warehouse.engine
+        label = f"TPCR ({args.rows} rows, {args.sites} sites)"
+    else:
+        warehouse = build_flow_warehouse(
+            num_flows=args.flows, num_routers=args.routers,
+            num_source_as=args.source_as, seed=args.seed)
+        engine = warehouse.engine
+        label = f"flows ({args.flows} rows, {args.routers} routers)"
+    path = save_warehouse(engine, args.out)
+    print(f"saved {label} warehouse to {path}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    engine = load_warehouse(args.warehouse)
+    print(f"warehouse: {args.warehouse}")
+    print(f"sites: {len(engine.site_ids)}")
+    total = 0
+    for site in engine.site_ids:
+        rows = engine.fragment(site).num_rows
+        total += rows
+        print(f"  site {site}: {rows:,} rows")
+    print(f"total rows: {total:,}")
+    print(f"schema: {', '.join(engine.detail_schema.names)}")
+    if engine.info is not None:
+        attrs = sorted(engine.info.partition_attributes())
+        print(f"partition attributes: {attrs or '(none)'}")
+    else:
+        print("partition attributes: (no distribution knowledge)")
+    print(f"link: {engine.link.bandwidth:.0f} B/s, "
+          f"{engine.link.latency * 1000:.1f} ms latency")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    engine = load_warehouse(args.warehouse)
+    attrs = [name.strip() for name in args.attrs.split(",") if name.strip()]
+    per_site = [collect_stats(engine.fragment(site), attrs=attrs)
+                for site in engine.site_ids]
+    merged = merge_stats(per_site)
+    print(f"rows: {merged.row_count:,}")
+    for name in attrs:
+        column = merged.column(name)
+        marker = "" if column.exact else " (estimated)"
+        print(f"{name}: distinct≈{column.distinct:.0f}{marker}, "
+              f"min={column.minimum!r}, max={column.maximum!r}")
+    return 0
+
+
+def _resolve_flags(name: str) -> OptimizationFlags:
+    return OPTIMIZE_LEVELS[name]
+
+
+def _cmd_query(args) -> int:
+    engine = load_warehouse(args.warehouse)
+    compiled = compile_query(args.sql, engine.detail_schema)
+    expression = compiled.expression
+    flags = _resolve_flags(args.optimize)
+    result = engine.execute(expression, flags, streaming=args.streaming)
+    if args.explain:
+        from repro.distributed.explain import explain_analyze
+        print(explain_analyze(result))
+        print()
+    table = compiled.post_process(result.relation)
+    if not compiled.order_by:
+        table = table.sort(list(expression.key))
+    print(table.pretty(args.limit))
+    metrics = result.metrics
+    print(f"\n{table.num_rows} rows; "
+          f"{metrics.num_synchronizations} synchronization(s); "
+          f"{metrics.total_bytes:,} bytes moved; "
+          f"response {metrics.response_seconds:.3f}s")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    engine = load_warehouse(args.warehouse)
+    expression = compile_query(args.sql, engine.detail_schema).expression
+    flags = _resolve_flags(args.optimize)
+    plan = build_plan(expression, flags, engine.info,
+                      engine.detail_schema, sites=engine.site_ids)
+    print("expression:")
+    print("  " + expression.describe().replace("\n", "\n  "))
+    print("plan:")
+    print("  " + plan.explain().replace("\n", "\n  "))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "stats": _cmd_stats,
+        "query": _cmd_query,
+        "explain": _cmd_explain,
+    }
+    try:
+        return handlers[args.command](args)
+    except SkallaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Fluent construction of GMDJ expressions.
+
+The builder mirrors how the paper writes queries (Example 1): start from
+a base-values projection, then stack GMDJ rounds, each with a list of
+aggregates and a condition::
+
+    query = (QueryBuilder()
+             .base("SourceAS", "DestAS")
+             .gmdj([count_star("cnt1"), agg("sum", "NumBytes", "sum1")],
+                   (r.SourceAS == b.SourceAS) & (r.DestAS == b.DestAS))
+             .gmdj([count_star("cnt2")],
+                   (r.SourceAS == b.SourceAS) & (r.DestAS == b.DestAS)
+                   & (r.NumBytes >= b.sum1 / b.cnt1))
+             .build())
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.expressions import Expr
+from repro.relational.relation import Relation
+from repro.core.expression_tree import (
+    BaseQuery, GmdjExpression, ProjectionBase, RelationBase)
+from repro.core.gmdj import Gmdj, GroupingVariable
+
+
+def agg(func: str, column: str | None, alias: str) -> AggregateSpec:
+    """Shorthand constructor for an aggregate spec."""
+    return AggregateSpec(func, column, alias)
+
+
+class QueryBuilder:
+    """Accumulates a base query and GMDJ rounds into a GmdjExpression."""
+
+    def __init__(self):
+        self._base: BaseQuery | None = None
+        self._key: tuple[str, ...] | None = None
+        self._rounds: list[Gmdj] = []
+
+    # -- base-values relation ----------------------------------------------------
+
+    def base(self, *attrs: str, where: Expr | None = None) -> "QueryBuilder":
+        """``B_0 = π_attrs(σ_where(R))``; the attrs become the key."""
+        self._require_no_base()
+        self._base = ProjectionBase(tuple(attrs), where)
+        self._key = tuple(attrs)
+        return self
+
+    def base_relation(self, relation: Relation,
+                      key: Sequence[str]) -> "QueryBuilder":
+        """``B_0`` given explicitly, with its key attributes."""
+        self._require_no_base()
+        self._base = RelationBase(relation)
+        self._key = tuple(key)
+        return self
+
+    def key(self, *attrs: str) -> "QueryBuilder":
+        """Override the key attributes (defaults to the base projection)."""
+        if not attrs:
+            raise QueryError("key() requires at least one attribute")
+        self._key = tuple(attrs)
+        return self
+
+    def _require_no_base(self) -> None:
+        if self._base is not None:
+            raise QueryError("the base-values relation was already set")
+
+    # -- GMDJ rounds ----------------------------------------------------------------
+
+    def gmdj(self, aggregates: Sequence[AggregateSpec],
+             condition: Expr) -> "QueryBuilder":
+        """Append a GMDJ round with a single grouping variable."""
+        self._rounds.append(Gmdj.single(aggregates, condition))
+        return self
+
+    def gmdj_multi(self, *variables: tuple[Sequence[AggregateSpec], Expr],
+                   ) -> "QueryBuilder":
+        """Append a GMDJ round with several grouping variables.
+
+        Each argument is an ``(aggregates, condition)`` pair — the form a
+        coalesced GMDJ takes.
+        """
+        grouping_variables = tuple(
+            GroupingVariable(tuple(aggregates), condition)
+            for aggregates, condition in variables)
+        self._rounds.append(Gmdj(grouping_variables))
+        return self
+
+    # -- finish ------------------------------------------------------------------------
+
+    def build(self) -> GmdjExpression:
+        if self._base is None or self._key is None:
+            raise QueryError("set a base-values relation before build()")
+        if not self._rounds:
+            raise QueryError("add at least one GMDJ round before build()")
+        return GmdjExpression(self._base, tuple(self._rounds), self._key)

@@ -1,0 +1,351 @@
+"""Centralized GMDJ evaluation.
+
+This evaluator is used in two roles:
+
+* as the reference *centralized* evaluator (the whole detail relation in
+  one place — what a single-site data warehouse would do), and
+* as the *local* evaluator inside every Skalla site, where the detail
+  relation is the site's partition and the requested output is the
+  sub-aggregate **state** columns rather than finalized values.
+
+Strategy (cf. [2, 7] on efficient GMDJ evaluation): each condition θ is
+split into equi-join conjuncts and a residual.
+
+* pure equi-join θ — one fully vectorized pass: dense group codes over
+  the detail relation, per-group reductions via ``bincount``/``ufunc.at``,
+  then a vectorized gather from groups to base rows;
+* equi-join + residual — candidate detail blocks are located via the
+  group codes, and the residual is evaluated vectorized per base tuple
+  over its (small) candidate block;
+* no equi-join conjuncts — the residual is evaluated per base tuple over
+  the whole detail relation (the unavoidable O(|B|·|R|) case; vectorized
+  over R).
+
+The evaluator can also emit a ``match`` flag per base row — true iff
+``RNG(b, R, θ_1 ∨ … ∨ θ_m)`` is non-empty — which is exactly the
+side-information Proposition 1 (distribution-independent group reduction)
+needs, at no extra aggregation cost.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.relational.aggregates import (
+    AggregateSpec, primitive_empty, primitive_grouped, primitive_reduce)
+from repro.relational.conditions import ConditionAnalysis
+from repro.relational.expressions import evaluate_predicate
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType
+from repro.core.gmdj import Gmdj, profile_gmdj
+
+#: Requested output forms.
+FINALIZED = "finalized"
+STATES = "states"
+
+
+def finalize_states(gmdj: Gmdj, states: dict[str, np.ndarray],
+                    detail_schema: Schema) -> dict[str, np.ndarray]:
+    """Turn (merged) state arrays into finalized output columns.
+
+    ``states`` maps state-column names (``alias__primitive``) to arrays;
+    the result maps aggregate aliases to finalized arrays.  Used by the
+    coordinator after synchronization and by sites that chain GMDJ rounds
+    locally under synchronization reduction.
+    """
+    finalized = {}
+    for spec in gmdj.all_aggregates:
+        primitive_states = {
+            field.primitive: states[field.name]
+            for field in spec.state_fields(detail_schema)}
+        finalized[spec.alias] = np.asarray(
+            spec.function.finalize(primitive_states))
+    return finalized
+
+
+def evaluate_gmdj(gmdj: Gmdj, base: Relation, detail: Relation, *,
+                  output: str = FINALIZED,
+                  match_column: str | None = None) -> Relation:
+    """Evaluate ``MD(base, detail, …)`` per Definition 1.
+
+    Parameters
+    ----------
+    output:
+        ``"finalized"`` produces the user-visible aggregate columns;
+        ``"states"`` produces sub-aggregate state columns (used by sites).
+    match_column:
+        When given, append a BOOL column of this name that is true iff the
+        base tuple's range under *some* condition is non-empty.
+    """
+    if output not in (FINALIZED, STATES):
+        raise QueryError(f"unknown output mode {output!r}")
+    gmdj.validate(base.schema, detail.schema)
+    if output == STATES and not gmdj.is_decomposable():
+        # State output is only requested by distributed plans, where a
+        # holistic aggregate has no bounded sub-aggregate.
+        gmdj.state_fields(detail.schema)  # raises AggregateError
+
+    profile = profile_gmdj(gmdj)
+    num_base = base.num_rows
+    matched_any = np.zeros(num_base, dtype=bool)
+    state_arrays: dict[str, np.ndarray] = {}
+
+    # Grouping variables of a coalesced GMDJ usually share their
+    # equi-join key; computing the group coding once per distinct key is
+    # what makes coalescing save site computation, not just rounds.
+    codes_cache: dict[tuple, tuple] = {}
+    for variable, analysis in zip(gmdj.variables, profile.analyses):
+        variable_states, matched = _evaluate_variable(
+            variable.aggregates, analysis, base, detail, codes_cache)
+        state_arrays.update(variable_states)
+        matched_any |= matched
+
+    return _assemble_result(gmdj, base, detail, state_arrays, matched_any,
+                            output, match_column)
+
+
+def _assemble_result(gmdj: Gmdj, base: Relation, detail: Relation,
+                     state_arrays: dict[str, np.ndarray],
+                     matched_any: np.ndarray, output: str,
+                     match_column: str | None) -> Relation:
+    columns = base.columns()
+    attributes = list(base.schema.attributes)
+    if output == FINALIZED:
+        for spec in gmdj.all_aggregates:
+            if spec.function.decomposable:
+                states = {
+                    field.primitive: state_arrays[field.name]
+                    for field in spec.state_fields(detail.schema)}
+                columns[spec.alias] = np.asarray(spec.function.finalize(states))
+            else:
+                columns[spec.alias] = state_arrays[f"{spec.alias}__holistic"]
+            attributes.append(spec.output_attribute(detail.schema))
+    else:
+        for field in gmdj.state_fields(detail.schema):
+            columns[field.name] = state_arrays[field.name]
+            attributes.append(Attribute(field.name, field.dtype))
+    if match_column is not None:
+        columns[match_column] = matched_any
+        attributes.append(Attribute(match_column, DataType.BOOL))
+    return Relation.from_columns(Schema(attributes), columns)
+
+
+# ---------------------------------------------------------------------------
+# Per-grouping-variable evaluation
+# ---------------------------------------------------------------------------
+
+def _evaluate_variable(aggregates: Sequence[AggregateSpec],
+                       analysis: ConditionAnalysis, base: Relation,
+                       detail: Relation,
+                       codes_cache: dict[tuple, tuple] | None = None,
+                       ) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    """States (keyed by state-column name) + matched flags for one variable."""
+    if analysis.pairs and analysis.residual is None:
+        return _evaluate_grouped(aggregates, analysis, base, detail,
+                                 codes_cache)
+    return _evaluate_scan(aggregates, analysis, base, detail, codes_cache)
+
+
+def _cached_match_codes(base, base_key, detail, detail_key, codes_cache):
+    if codes_cache is None:
+        return match_codes(base, base_key, detail, detail_key)
+    cache_key = (tuple(base_key), tuple(detail_key))
+    if cache_key not in codes_cache:
+        codes_cache[cache_key] = match_codes(base, base_key, detail,
+                                             detail_key)
+    return codes_cache[cache_key]
+
+
+def _evaluate_grouped(aggregates, analysis, base, detail, codes_cache=None):
+    """Fully vectorized path for pure conjunctive equi-join conditions."""
+    num_base = base.num_rows
+    base_codes, detail_codes, num_groups = _cached_match_codes(
+        base, analysis.base_key, detail, analysis.detail_key, codes_cache)
+    matched = base_codes >= 0
+    gather = np.where(matched, base_codes, 0)
+
+    states: dict[str, np.ndarray] = {}
+    for spec in aggregates:
+        values = detail.column(spec.column) if spec.column is not None else None
+        if spec.function.decomposable:
+            for field in spec.state_fields(detail.schema):
+                grouped = primitive_grouped(field.primitive, detail_codes,
+                                            values, num_groups)
+                empty = primitive_empty(field.primitive)
+                if num_groups:
+                    result = np.where(matched, grouped[gather], empty)
+                else:
+                    result = np.full(num_base, empty)
+                states[field.name] = result.astype(field.dtype.numpy_dtype)
+        else:
+            states[f"{spec.alias}__holistic"] = _holistic_grouped(
+                spec, values, detail_codes, num_groups, matched, gather,
+                num_base)
+    return states, matched
+
+
+def _holistic_grouped(spec, values, detail_codes, num_groups, matched,
+                      gather, num_base):
+    """Per-group loop for holistic aggregates on the equi-join path."""
+    order = np.argsort(detail_codes, kind="stable")
+    sorted_codes = detail_codes[order]
+    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    groups = np.split(order, boundaries) if len(order) else []
+    per_group = np.full(num_groups, np.nan)
+    for group in groups:
+        group_values = values[group] if values is not None else None
+        per_group[detail_codes[group[0]]] = spec.function.compute(
+            group_values, len(group))
+    empty = spec.function.compute(
+        np.empty(0) if values is not None else None, 0)
+    if num_groups:
+        result = np.where(matched, per_group[gather], empty)
+    else:
+        result = np.full(num_base, empty, dtype=np.float64)
+    dtype = spec.function.output_dtype(
+        None if values is None else DataType.FLOAT64)
+    return result.astype(dtype.numpy_dtype)
+
+
+def _evaluate_scan(aggregates, analysis, base, detail, codes_cache=None):
+    """Per-base-tuple path: residual predicates (with or without equi-join).
+
+    With equi-join conjuncts the candidate block per base tuple is its
+    detail group; otherwise it is the whole detail relation.
+    """
+    num_base = base.num_rows
+    residual = analysis.residual
+    if analysis.pairs:
+        base_codes, detail_codes, num_groups = _cached_match_codes(
+            base, analysis.base_key, detail, analysis.detail_key,
+            codes_cache)
+        order = np.argsort(detail_codes, kind="stable") \
+            if len(detail_codes) else np.empty(0, dtype=np.int64)
+        sorted_codes = detail_codes[order]
+        starts = np.searchsorted(sorted_codes, np.arange(num_groups), "left")
+        ends = np.searchsorted(sorted_codes, np.arange(num_groups), "right")
+    else:
+        base_codes = np.zeros(num_base, dtype=np.int64)
+        order = np.arange(detail.num_rows)
+        starts = np.array([0])
+        ends = np.array([detail.num_rows])
+
+    needed_attrs = set()
+    if residual is not None:
+        needed_attrs |= residual.attrs("detail")
+    for spec in aggregates:
+        if spec.column is not None:
+            needed_attrs.add(spec.column)
+    detail_columns = {name: detail.column(name) for name in needed_attrs}
+    base_names = base.schema.names
+    base_columns = [base.column(name) for name in base_names]
+
+    matched = np.zeros(num_base, dtype=bool)
+    fields_by_spec = []
+    outputs: dict[str, np.ndarray] = {}
+    for spec in aggregates:
+        if spec.function.decomposable:
+            fields = spec.state_fields(detail.schema)
+            for field in fields:
+                outputs[field.name] = np.full(
+                    num_base, primitive_empty(field.primitive),
+                    dtype=field.dtype.numpy_dtype)
+            fields_by_spec.append((spec, fields))
+        else:
+            empty = spec.function.compute(None, 0)
+            outputs[f"{spec.alias}__holistic"] = np.full(
+                num_base, empty, dtype=np.float64)
+            fields_by_spec.append((spec, None))
+
+    for index in range(num_base):
+        code = base_codes[index]
+        if code < 0:
+            continue
+        candidates = order[starts[code]:ends[code]]
+        if len(candidates) == 0:
+            continue
+        if residual is not None:
+            env = {
+                "base": {name: column[index]
+                         for name, column in zip(base_names, base_columns)},
+                "detail": {name: column[candidates]
+                           for name, column in detail_columns.items()},
+            }
+            mask = evaluate_predicate(residual, env, len(candidates))
+            selected = candidates[mask]
+        else:
+            selected = candidates
+        if len(selected) == 0:
+            continue
+        matched[index] = True
+        for spec, fields in fields_by_spec:
+            values = (detail_columns[spec.column][selected]
+                      if spec.column is not None else None)
+            if fields is not None:
+                for field in fields:
+                    if field.primitive == "count":
+                        outputs[field.name][index] = len(selected)
+                    else:
+                        outputs[field.name][index] = primitive_reduce(
+                            field.primitive, values)
+            else:
+                outputs[f"{spec.alias}__holistic"][index] = \
+                    spec.function.compute(values, len(selected))
+    return outputs, matched
+
+
+# ---------------------------------------------------------------------------
+# Vectorized base-row → detail-group matching
+# ---------------------------------------------------------------------------
+
+def match_codes(base: Relation, base_key: Sequence[str], detail: Relation,
+                detail_key: Sequence[str],
+                ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Joint dense coding of detail groups and base lookups.
+
+    Returns ``(base_codes, detail_codes, num_groups)`` where
+    ``detail_codes[j]`` is the dense group id of detail row ``j`` and
+    ``base_codes[i]`` is the group id matching base row ``i`` on the key
+    columns, or ``-1`` when no detail row matches.
+    """
+    num_detail = detail.num_rows
+    num_base = base.num_rows
+    if num_detail == 0 or num_base == 0:
+        return (np.full(num_base, -1, dtype=np.int64),
+                np.empty(0, dtype=np.int64), 0)
+
+    combined: np.ndarray | None = None
+    for base_name, detail_name in zip(base_key, detail_key):
+        detail_col = detail.column(detail_name)
+        base_col = base.column(base_name)
+        if detail_col.dtype == object or base_col.dtype == object:
+            stacked = np.concatenate([detail_col.astype(str),
+                                      base_col.astype(str)])
+        else:
+            stacked = np.concatenate([detail_col.astype(np.float64),
+                                      base_col.astype(np.float64)])
+        __, codes = np.unique(stacked, return_inverse=True)
+        codes = codes.astype(np.int64)
+        if combined is None:
+            combined = codes
+        else:
+            cardinality = int(codes.max()) + 1
+            combined = combined * cardinality + codes
+            # Re-densify to keep the mixed-radix product from overflowing.
+            __, combined = np.unique(combined, return_inverse=True)
+            combined = combined.astype(np.int64)
+
+    assert combined is not None
+    joint_detail = combined[:num_detail]
+    joint_base = combined[num_detail:]
+
+    unique_detail, detail_codes = np.unique(joint_detail, return_inverse=True)
+    positions = np.searchsorted(unique_detail, joint_base)
+    positions_clipped = np.minimum(positions, len(unique_detail) - 1)
+    matched = unique_detail[positions_clipped] == joint_base
+    base_codes = np.where(matched, positions_clipped, -1).astype(np.int64)
+    return base_codes, detail_codes.astype(np.int64), len(unique_detail)

@@ -1,0 +1,174 @@
+"""The GMDJ operator (Definition 1 of the paper).
+
+``MD(B, R, (l_1 … l_m), (θ_1 … θ_m))`` extends each tuple ``b`` of the
+*base-values* relation ``B`` with aggregates, computed over the multiset
+``RNG(b, R, θ_i)`` of detail tuples satisfying ``θ_i`` w.r.t. ``b`` —
+one list of aggregates ``l_i`` per condition ``θ_i``.
+
+A ``(l_i, θ_i)`` pair is called a :class:`GroupingVariable` here (the
+terminology of the MD-join literature).  Unlike SQL GROUP BY, the ranges
+``RNG(b, R, θ_i)`` of different base tuples may *overlap*, which is what
+makes the operator strictly more expressive than grouping — and what the
+evaluator has to cope with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.relational.aggregates import (
+    AggregateSpec, StateField, validate_aggregate_list)
+from repro.relational.conditions import analyze_condition
+from repro.relational.expressions import Expr
+from repro.relational.schema import Attribute, Schema
+
+
+@dataclass(frozen=True)
+class GroupingVariable:
+    """One ``(l_i, θ_i)`` pair of a GMDJ: aggregates over ``RNG(b, R, θ_i)``."""
+
+    aggregates: tuple[AggregateSpec, ...]
+    condition: Expr
+
+    def __post_init__(self):
+        if not self.aggregates:
+            raise QueryError("a grouping variable needs at least one aggregate")
+
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        return tuple(spec.alias for spec in self.aggregates)
+
+
+@dataclass(frozen=True)
+class Gmdj:
+    """A single GMDJ operator: a tuple of grouping variables.
+
+    The base and detail relations are *not* part of the operator — they
+    are supplied at evaluation time (and differ between the centralized
+    evaluator and each Skalla site).
+    """
+
+    variables: tuple[GroupingVariable, ...]
+
+    def __post_init__(self):
+        if not self.variables:
+            raise QueryError("a GMDJ needs at least one grouping variable")
+        seen: set[str] = set()
+        for variable in self.variables:
+            for alias in variable.aliases:
+                if alias in seen:
+                    raise QueryError(f"duplicate aggregate alias {alias!r}")
+                seen.add(alias)
+
+    @staticmethod
+    def single(aggregates: Sequence[AggregateSpec], condition: Expr) -> "Gmdj":
+        """A GMDJ with one grouping variable."""
+        return Gmdj((GroupingVariable(tuple(aggregates), condition),))
+
+    @property
+    def conditions(self) -> tuple[Expr, ...]:
+        return tuple(variable.condition for variable in self.variables)
+
+    @property
+    def all_aggregates(self) -> tuple[AggregateSpec, ...]:
+        return tuple(spec for variable in self.variables
+                     for spec in variable.aggregates)
+
+    @property
+    def output_aliases(self) -> tuple[str, ...]:
+        return tuple(spec.alias for spec in self.all_aggregates)
+
+    # -- schema derivation ----------------------------------------------------
+
+    def validate(self, base_schema: Schema, detail_schema: Schema) -> None:
+        """Check attribute references and aggregate inputs resolve.
+
+        Raises :class:`~repro.errors.SchemaError` or
+        :class:`~repro.errors.ExpressionError` on failure.
+        """
+        validate_aggregate_list(self.all_aggregates, detail_schema,
+                                base_schema.names)
+        for variable in self.variables:
+            condition = variable.condition
+            for name in condition.attrs("base"):
+                base_schema[name]  # raises SchemaError when missing
+            for name in condition.attrs("detail"):
+                detail_schema[name]
+
+    def output_schema(self, base_schema: Schema,
+                      detail_schema: Schema) -> Schema:
+        """Schema of the GMDJ result: base attributes + finalized aliases."""
+        extra = [spec.output_attribute(detail_schema)
+                 for spec in self.all_aggregates]
+        return base_schema.extend(extra)
+
+    def state_fields(self, detail_schema: Schema) -> tuple[StateField, ...]:
+        """All sub-aggregate state columns, across grouping variables."""
+        fields: list[StateField] = []
+        for spec in self.all_aggregates:
+            fields.extend(spec.state_fields(detail_schema))
+        return tuple(fields)
+
+    def state_schema(self, base_schema: Schema,
+                     detail_schema: Schema) -> Schema:
+        """Schema of a site's sub-aggregate result: base attrs + states."""
+        extra = [Attribute(field.name, field.dtype)
+                 for field in self.state_fields(detail_schema)]
+        return base_schema.extend(extra)
+
+    def is_decomposable(self) -> bool:
+        """Whether all aggregates admit sub-/super-aggregate decomposition."""
+        return all(spec.function.decomposable for spec in self.all_aggregates)
+
+    def references_generated_attrs(self, generated: Sequence[str]) -> bool:
+        """Whether any condition references one of ``generated`` base attrs.
+
+        This is the side condition of coalescing (Sect. 4.3): MD_2 can be
+        fused into MD_1 only when MD_2's conditions do not use attributes
+        *generated by* MD_1.
+        """
+        generated_set = set(generated)
+        for condition in self.conditions:
+            if condition.attrs("base") & generated_set:
+                return True
+        return False
+
+    def describe(self) -> str:
+        """A compact human-readable rendering for plan explanations."""
+        parts = []
+        for variable in self.variables:
+            aggs = ", ".join(repr(spec) for spec in variable.aggregates)
+            parts.append(f"[{aggs} | {variable.condition!r}]")
+        return "MD" + "(" + "; ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class GmdjProfile:
+    """Static evaluation facts about a GMDJ, used by planner and evaluator."""
+
+    #: per-variable condition analysis (equi-join pairs + residual)
+    analyses: tuple
+    #: base attributes referenced by any condition
+    base_attrs: frozenset[str]
+    #: detail attributes referenced by any condition or aggregate input
+    detail_attrs: frozenset[str]
+    has_residuals: bool = field(default=False)
+
+
+def profile_gmdj(gmdj: Gmdj) -> GmdjProfile:
+    """Analyze every condition of ``gmdj`` once, for reuse."""
+    analyses = tuple(analyze_condition(condition)
+                     for condition in gmdj.conditions)
+    base_attrs: set[str] = set()
+    detail_attrs: set[str] = set()
+    for condition in gmdj.conditions:
+        base_attrs |= condition.attrs("base")
+        detail_attrs |= condition.attrs("detail")
+    for spec in gmdj.all_aggregates:
+        if spec.column is not None:
+            detail_attrs.add(spec.column)
+    has_residuals = any(analysis.residual is not None for analysis in analyses)
+    return GmdjProfile(analyses, frozenset(base_attrs),
+                       frozenset(detail_attrs), has_residuals)

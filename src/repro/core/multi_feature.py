@@ -1,0 +1,96 @@
+"""Multi-feature OLAP queries (Ross, Srivastava & Chatziantoniou [18]).
+
+A *multi-feature* query computes, per group, a chain of dependent
+features: e.g. "for each customer: the maximum price paid; the number
+of purchases **at** that maximum; the average quantity of **those**
+purchases".  Each feature ranges over a subset of the group's tuples
+defined relative to earlier features — exactly the dependent-grouping-
+variable structure GMDJ chains express (Sect. 2.2 cites [18] among the
+query classes GMDJs capture uniformly).
+
+:class:`MultiFeatureQuery` is a small builder for this idiom: each
+:meth:`feature` adds one GMDJ round whose condition is the group's key
+equality plus an optional predicate over detail attributes (``r.…``)
+and previously computed features (``b.…``).  The result is an ordinary
+:class:`~repro.core.expression_tree.GmdjExpression`, so multi-feature
+queries run distributed like everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.expressions import And, BaseAttr, DetailAttr, Expr
+from repro.core.expression_tree import GmdjExpression, ProjectionBase
+from repro.core.gmdj import Gmdj
+
+
+class MultiFeatureQuery:
+    """Builder for per-group feature chains.
+
+    >>> query = (MultiFeatureQuery("CustKey")
+    ...          .feature("max_price", "max", "ExtendedPrice")
+    ...          .feature("n_at_max", "count", None,
+    ...                   where=r.ExtendedPrice >= b.max_price)
+    ...          .build())
+    """
+
+    def __init__(self, *group_attrs: str):
+        if not group_attrs:
+            raise QueryError("a multi-feature query needs group attributes")
+        self._group_attrs = tuple(group_attrs)
+        self._features: list[tuple[AggregateSpec, Expr | None]] = []
+        self._known_aliases: set[str] = set()
+
+    def feature(self, alias: str, func: str, column: str | None,
+                where: Expr | None = None) -> "MultiFeatureQuery":
+        """Add one feature: ``alias = func(column) over matching tuples``.
+
+        ``where`` may reference detail attributes and *earlier* feature
+        aliases (as ``b.<alias>``); referencing a later alias is an
+        error caught here rather than at evaluation time.
+        """
+        if where is not None:
+            unknown = where.attrs("base") - self._known_aliases \
+                - set(self._group_attrs)
+            if unknown:
+                raise QueryError(
+                    f"feature {alias!r} references {sorted(unknown)} "
+                    f"which are not earlier features or group attributes")
+        self._features.append((AggregateSpec(func, column, alias), where))
+        self._known_aliases.add(alias)
+        return self
+
+    def build(self) -> GmdjExpression:
+        if not self._features:
+            raise QueryError("add at least one feature before build()")
+        key_equality = [DetailAttr(attr) == BaseAttr(attr)
+                        for attr in self._group_attrs]
+        rounds = []
+        for spec, where in self._features:
+            terms: list[Expr] = list(key_equality)
+            if where is not None:
+                terms.append(where)
+            rounds.append(Gmdj.single([spec], And.of(*terms)))
+        return GmdjExpression(ProjectionBase(self._group_attrs),
+                              tuple(rounds), self._group_attrs)
+
+
+def extremes_profile(group_attrs: Sequence[str],
+                     measure: str) -> GmdjExpression:
+    """A canonical multi-feature query: per group, the measure's min and
+    max, the tuple counts at each extreme, and the share of tuples in
+    the top half of the group's range."""
+    builder = MultiFeatureQuery(*group_attrs)
+    builder.feature("lo", "min", measure)
+    builder.feature("hi", "max", measure)
+    builder.feature("n_at_lo", "count", None,
+                    where=DetailAttr(measure) <= BaseAttr("lo"))
+    builder.feature("n_at_hi", "count", None,
+                    where=DetailAttr(measure) >= BaseAttr("hi"))
+    builder.feature("n_top_half", "count", None,
+                    where=DetailAttr(measure)
+                    >= (BaseAttr("lo") + BaseAttr("hi")) / 2)
+    return builder.build()

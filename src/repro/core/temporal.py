@@ -1,0 +1,98 @@
+"""Temporal OLAP helpers: time bucketing and moving-window aggregates.
+
+The motivating queries of Sect. 1 are all "on an hourly basis"; this
+module provides the two recurring temporal idioms:
+
+* :func:`add_time_bucket` — derive a bucket dimension (hour, day, …)
+  from a timestamp column, so bucketed grouping becomes ordinary
+  equi-join grouping (fast path, distributes perfectly);
+* :func:`moving_window_query` — per time bucket, aggregates over a
+  trailing window of buckets: a GMDJ whose condition is a *band*
+  (``b.t - w < r.t ≤ b.t``), i.e. genuinely overlapping ranges that SQL
+  GROUP BY cannot express but the MD-join evaluates directly — one of
+  the original motivations for the operator.  Band conditions take the
+  evaluator's scan path and are perfectly legal distributed (the
+  sub-aggregates of a band are decomposable like any other).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.expressions import And, BaseAttr, DetailAttr
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute
+from repro.relational.types import DataType
+from repro.core.expression_tree import GmdjExpression, ProjectionBase
+from repro.core.gmdj import Gmdj
+
+#: Common bucket widths in seconds.
+MINUTE = 60
+HOUR = 3_600
+DAY = 86_400
+
+
+def add_time_bucket(relation: Relation, time_attr: str,
+                    bucket_seconds: int,
+                    bucket_attr: str = "Bucket") -> Relation:
+    """Append an integer bucket column: ``time // bucket_seconds``.
+
+    Derive buckets *before* partitioning/loading the sites so the
+    bucket attribute is available everywhere.
+    """
+    if bucket_seconds <= 0:
+        raise QueryError("bucket width must be positive")
+    values = relation.column(time_attr) // bucket_seconds
+    return relation.append_columns(
+        [Attribute(bucket_attr, DataType.INT64)],
+        {bucket_attr: values.astype(np.int64)})
+
+
+def bucketed_query(bucket_attr: str,
+                   aggregates: Sequence[AggregateSpec]) -> GmdjExpression:
+    """Plain per-bucket aggregation (equi-join fast path)."""
+    condition = DetailAttr(bucket_attr) == BaseAttr(bucket_attr)
+    return GmdjExpression(ProjectionBase((bucket_attr,)),
+                          (Gmdj.single(aggregates, condition),),
+                          (bucket_attr,))
+
+
+def moving_window_query(bucket_attr: str, window_buckets: int,
+                        aggregates: Sequence[AggregateSpec],
+                        ) -> GmdjExpression:
+    """Per bucket, aggregates over the trailing ``window_buckets``.
+
+    The GMDJ condition is the band
+    ``b.bucket - window < r.bucket <= b.bucket``: each output row's
+    range covers several buckets, and consecutive rows' ranges overlap —
+    a moving aggregate in one declarative operator.
+    """
+    if window_buckets <= 0:
+        raise QueryError("the window must span at least one bucket")
+    bucket = DetailAttr(bucket_attr)
+    anchor = BaseAttr(bucket_attr)
+    condition = And.of(bucket <= anchor,
+                       bucket > anchor - window_buckets)
+    return GmdjExpression(ProjectionBase((bucket_attr,)),
+                          (Gmdj.single(aggregates, condition),),
+                          (bucket_attr,))
+
+
+def moving_window_reference(relation: Relation, bucket_attr: str,
+                            window_buckets: int, value_attr: str,
+                            ) -> dict[int, list[float]]:
+    """Brute-force reference: bucket → values in its trailing window.
+
+    For tests: small inputs only.
+    """
+    buckets = relation.column(bucket_attr)
+    values = relation.column(value_attr)
+    result: dict[int, list[float]] = {}
+    for anchor in np.unique(buckets):
+        mask = (buckets <= anchor) & (buckets > anchor - window_buckets)
+        result[int(anchor)] = [float(v) for v in values[mask]]
+    return result

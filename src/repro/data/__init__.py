@@ -1,0 +1,14 @@
+"""Workload generators: synthetic IP flows (the motivating application)
+and a TPC-R style denormalized fact table (the paper's evaluation data)."""
+
+from repro.data.flows import FLOW_SCHEMA, generate_flows, router_as_ranges
+from repro.data.tpch import (
+    NUM_NATIONS, TPCR_SCHEMA, TpcrConfig, custkey_ranges, customer_name,
+    generate_tpcr, nation_assignment, nation_of_custkey)
+
+__all__ = [
+    "FLOW_SCHEMA", "generate_flows", "router_as_ranges",
+    "NUM_NATIONS", "TPCR_SCHEMA", "TpcrConfig", "custkey_ranges",
+    "customer_name", "generate_tpcr", "nation_assignment",
+    "nation_of_custkey",
+]

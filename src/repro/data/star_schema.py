@@ -1,0 +1,148 @@
+"""A normalized star schema and its denormalization.
+
+Section 2.1 notes that Skalla's techniques "are oblivious to which of
+these data warehouse models [star or snowflake] are used" — the paper
+itself derives a *denormalized* TPCR fact table from the TPC(R)
+generator.  This module makes that derivation explicit: it produces the
+normalized dimension/fact tables (Customer, Orders, LineItem — the
+slice of TPC-H the experiments touch) and a :func:`denormalize` that
+joins them into exactly the wide TPCR relation
+:func:`repro.data.tpch.generate_tpcr` emits directly.
+
+Having both representations lets tests assert the equivalence (the
+joins are the proof that the denormalized generator is faithful) and
+gives examples a realistic ETL step to show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.relational.operators import equi_join
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+from repro.data.tpch import (
+    TPCR_SCHEMA, TpcrConfig, customer_name, nation_of_custkey)
+
+CUSTOMER_SCHEMA = Schema.of(
+    ("CustKey", DataType.INT64),
+    ("CustName", DataType.STRING),
+    ("NationKey", DataType.INT64),
+    ("MktSegment", DataType.STRING),
+)
+
+ORDERS_SCHEMA = Schema.of(
+    ("OrderKey", DataType.INT64),
+    ("OrderCustKey", DataType.INT64),
+    ("OrderDate", DataType.INT64),
+    ("OrderPriority", DataType.STRING),
+    ("Clerk", DataType.STRING),
+)
+
+LINEITEM_SCHEMA = Schema.of(
+    ("LineOrderKey", DataType.INT64),
+    ("PartKey", DataType.INT64),
+    ("SuppKey", DataType.INT64),
+    ("Quantity", DataType.INT64),
+    ("ExtendedPrice", DataType.FLOAT64),
+    ("Discount", DataType.FLOAT64),
+    ("ShipMode", DataType.STRING),
+    ("ReturnFlag", DataType.STRING),
+)
+
+
+@dataclass(frozen=True)
+class StarSchema:
+    """The normalized tables of the TPCR slice."""
+
+    customer: Relation
+    orders: Relation
+    lineitem: Relation
+
+
+def generate_star_schema(config: TpcrConfig | None = None,
+                         **overrides) -> StarSchema:
+    """Generate normalized Customer / Orders / LineItem tables.
+
+    Uses the same seeded derivations as
+    :func:`~repro.data.tpch.generate_tpcr`, so
+    ``denormalize(generate_star_schema(cfg))`` is multiset-equal to
+    ``generate_tpcr(cfg)`` (asserted in the test suite).
+    """
+    if config is None:
+        config = TpcrConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a TpcrConfig or keyword overrides")
+    rng = np.random.default_rng(config.seed)
+    num_rows = config.num_rows
+    num_customers = config.resolved_customers()
+    num_orders = config.resolved_orders()
+
+    # The draws below replay generate_tpcr()'s RNG stream exactly, in
+    # the same order — that identity is what makes the two generators
+    # provably consistent.
+    from repro.data.tpch import _PRIORITIES, _RETURN_FLAGS, _SEGMENTS, \
+        _SHIP_MODES
+
+    cust_keys = np.arange(1, num_customers + 1, dtype=np.int64)
+    cust_names = np.array([customer_name(key) for key in cust_keys],
+                          dtype=object)
+    cust_nations = nation_of_custkey(cust_keys, num_customers)
+    cust_segments = rng.choice(_SEGMENTS, size=num_customers)
+    customer = Relation(CUSTOMER_SCHEMA, {
+        "CustKey": cust_keys,
+        "CustName": cust_names,
+        "NationKey": np.asarray(cust_nations, dtype=np.int64),
+        "MktSegment": cust_segments,
+    })
+
+    order_custkey = rng.integers(1, num_customers + 1, size=num_orders)
+    order_date = rng.integers(0, 2557, size=num_orders)
+    order_priority = rng.choice(_PRIORITIES, size=num_orders)
+    clerk_ids = rng.integers(1, config.clerk_pool + 1, size=num_orders)
+    order_clerk = np.array([f"Clerk#{cid:09d}" for cid in clerk_ids],
+                           dtype=object)
+    orders = Relation(ORDERS_SCHEMA, {
+        "OrderKey": np.arange(1, num_orders + 1, dtype=np.int64),
+        "OrderCustKey": order_custkey.astype(np.int64),
+        "OrderDate": order_date.astype(np.int64),
+        "OrderPriority": order_priority,
+        "Clerk": order_clerk,
+    })
+
+    order_index = rng.integers(0, num_orders, size=num_rows)
+    quantity = rng.integers(1, 51, size=num_rows)
+    part_key = rng.integers(1, config.part_pool + 1, size=num_rows)
+    base_price = 900.0 + (part_key % 1000).astype(np.float64)
+    extended_price = quantity * base_price
+    discount = rng.integers(0, 11, size=num_rows) / 100.0
+    lineitem = Relation(LINEITEM_SCHEMA, {
+        "LineOrderKey": (order_index + 1).astype(np.int64),
+        "PartKey": part_key.astype(np.int64),
+        "SuppKey": rng.integers(1, config.supplier_pool + 1,
+                                size=num_rows),
+        "Quantity": quantity.astype(np.int64),
+        "ExtendedPrice": extended_price,
+        "Discount": discount,
+        "ShipMode": rng.choice(_SHIP_MODES, size=num_rows),
+        "ReturnFlag": rng.choice(_RETURN_FLAGS, size=num_rows),
+    })
+    return StarSchema(customer=customer, orders=orders, lineitem=lineitem)
+
+
+def denormalize(star: StarSchema) -> Relation:
+    """Join the star schema into the wide TPCR fact relation.
+
+    ``lineitem ⋈ orders ⋈ customer``, columns reordered to
+    :data:`~repro.data.tpch.TPCR_SCHEMA`.
+    """
+    with_orders = equi_join(star.lineitem, star.orders,
+                            [("LineOrderKey", "OrderKey")])
+    with_customer = equi_join(with_orders, star.customer,
+                              [("OrderCustKey", "CustKey")])
+    renamed = with_customer.rename({"LineOrderKey": "OrderKey",
+                                    "OrderCustKey": "CustKey"})
+    return renamed.project(TPCR_SCHEMA.names)

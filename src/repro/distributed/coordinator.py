@@ -1,0 +1,164 @@
+"""The Skalla coordinator: the base-result structure and synchronization.
+
+The coordinator owns the *base-result structure* ``X`` — the base-values
+relation extended, round by round, with the finalized aggregates of each
+GMDJ.  **Synchronization** (Theorem 1) merges the sub-aggregate relations
+``H_1 … H_n`` returned by the sites into ``X``: rows are matched on the
+key attributes ``K`` (the paper's ``θ_K``), state columns merge with the
+aggregate's super-aggregate (counts and sums add, mins/maxes take
+min/max), and the merged states are finalized into user-visible columns.
+
+The merge is O(|H|) — a dense group-coding pass plus vectorized
+scatter-reductions — matching the paper's remark that the structure is
+indexed on K and synchronization runs in time linear in |H|.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.relational.aggregates import merge_grouped, primitive_empty
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.core.evaluator import finalize_states, match_codes
+from repro.core.expression_tree import GmdjExpression
+from repro.distributed.plan import LocalStep
+
+
+class Coordinator:
+    """Maintains ``X`` across rounds and performs synchronization."""
+
+    def __init__(self, expression: GmdjExpression, detail_schema: Schema):
+        self.expression = expression
+        self.detail_schema = detail_schema
+        self.key = expression.key
+        self.base_schema = expression.base_schema(detail_schema)
+        self.result: Relation | None = None
+
+    # -- round 0 -----------------------------------------------------------------
+
+    def synchronize_base(self,
+                         fragments: Sequence[Relation]) -> tuple[Relation, float]:
+        """Merge the sites' ``B0_i`` into ``B0`` (duplicate elimination).
+
+        Returns the synchronized base structure and the elapsed seconds.
+        """
+        started = time.perf_counter()
+        if not fragments:
+            raise PlanError("no base fragments to synchronize")
+        combined = Relation.concat(list(fragments))
+        self.result = combined.distinct()
+        return self.result, time.perf_counter() - started
+
+    def set_base(self, relation: Relation) -> None:
+        """Install an explicit base-values relation (RelationBase case)."""
+        self.result = relation
+
+    # -- GMDJ rounds ----------------------------------------------------------------
+
+    def synchronize_step(self, step: LocalStep,
+                         sub_results: Sequence[Relation],
+                         ) -> tuple[Relation, float]:
+        """Merge the sites' sub-aggregates for one step into ``X``.
+
+        For an ``include_base`` step (Proposition 2) the base structure
+        itself is reconstructed as the distinct projection of the merged
+        sub-results onto the base attributes — no base round happened.
+        """
+        started = time.perf_counter()
+        sub_results = [h for h in sub_results]
+        combined = (Relation.concat(sub_results) if sub_results
+                    else None)
+
+        if step.include_base:
+            base_names = self.base_schema.names
+            if combined is None or combined.num_rows == 0:
+                base = Relation.empty(self.base_schema)
+            else:
+                base = combined.project(base_names).distinct()
+        else:
+            if self.result is None:
+                raise PlanError("synchronize_step before the base round")
+            base = self.result
+
+        if combined is not None and combined.num_rows > 0:
+            base_codes, h_codes, num_groups = match_codes(
+                base, self.key, combined, self.key)
+        else:
+            base_codes = np.full(base.num_rows, -1, dtype=np.int64)
+            h_codes = np.empty(0, dtype=np.int64)
+            num_groups = 0
+        matched = base_codes >= 0
+        gather = np.where(matched, base_codes, 0)
+
+        current = base
+        for gmdj in step.gmdjs:
+            merged_states: dict[str, np.ndarray] = {}
+            for field in gmdj.state_fields(self.detail_schema):
+                empty = primitive_empty(field.primitive)
+                if num_groups and combined is not None:
+                    per_group = merge_grouped(
+                        field.primitive, h_codes, combined.column(field.name),
+                        num_groups)
+                    merged = np.where(matched, per_group[gather], empty)
+                else:
+                    merged = np.full(base.num_rows, empty)
+                merged_states[field.name] = merged.astype(
+                    field.dtype.numpy_dtype)
+            finalized = finalize_states(gmdj, merged_states,
+                                        self.detail_schema)
+            current = current.append_columns(
+                [spec.output_attribute(self.detail_schema)
+                 for spec in gmdj.all_aggregates],
+                finalized)
+
+        self.result = current
+        return current, time.perf_counter() - started
+
+    def final_result(self) -> Relation:
+        if self.result is None:
+            raise PlanError("no result yet: the plan has not been executed")
+        return self.result
+
+
+class IncrementalSynchronizer:
+    """Streaming synchronization (Sect. 3.2's remark).
+
+    "Since the GMDJ can be horizontally partitioned, the coordinator can
+    synchronize H with those sub-results it has already received while
+    receiving blocks of H from slower sites, rather than having to wait
+    for all of H to be assembled."
+
+    Each arriving sub-result is merged into a running accumulator keyed
+    on K (partial super-aggregation — sound by Theorem 1's associative
+    multiset union); :meth:`finish` performs the final placement into
+    the base-result structure and finalization.  The per-absorb timings
+    let the engine overlap merging with transfers from slower sites.
+    """
+
+    def __init__(self, coordinator: Coordinator, step: LocalStep):
+        self.coordinator = coordinator
+        self.step = step
+        self._accumulator: Relation | None = None
+
+    def absorb(self, sub_result: Relation) -> float:
+        """Merge one site's sub-result; returns the merge seconds."""
+        from repro.distributed.hierarchy import combine_states_by_key
+        started = time.perf_counter()
+        if self._accumulator is None:
+            self._accumulator = sub_result
+        else:
+            self._accumulator = combine_states_by_key(
+                [self._accumulator, sub_result],
+                self.coordinator.key, self.step.gmdjs,
+                self.coordinator.detail_schema)
+        return time.perf_counter() - started
+
+    def finish(self) -> tuple[Relation, float]:
+        """Final placement + finalize; returns (new X, seconds)."""
+        pending = [] if self._accumulator is None else [self._accumulator]
+        return self.coordinator.synchronize_step(self.step, pending)

@@ -1,0 +1,411 @@
+"""The Skalla engine: Alg. GMDJDistribEval with plan execution.
+
+:class:`SkallaEngine` owns the simulated cluster (the site fragments and
+optional distribution knowledge) and executes distributed plans:
+
+* **round 0** (unless elided by Proposition 2): the base query is shipped
+  to the participating sites, each evaluates it on its fragment, and the
+  coordinator synchronizes the sub-results into ``B_0``;
+* **one round per plan step**: the coordinator ships the current
+  base-result structure ``X`` to the sites (optionally filtered per site
+  by distribution-aware group reduction), each site evaluates the step's
+  GMDJ(s) and returns sub-aggregates (optionally filtered by
+  distribution-independent group reduction), and the coordinator
+  synchronizes them into ``X``.
+
+Only the base-result structure and sub-aggregates ever travel — never
+detail tuples — so Theorem 2's traffic bound holds by construction (and
+is asserted in the test suite).
+
+Timing: site computations are measured (max across sites of a round,
+since sites run in parallel); transfers are modeled by the
+:class:`~repro.distributed.network.SimulatedNetwork`; coordinator work is
+measured.  See DESIGN.md §5 for why this preserves the paper's shapes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import PlanError, SchemaError, SiteFailure
+from repro.relational.expressions import Expr, evaluate_predicate
+from repro.relational.relation import Relation
+from repro.core.expression_tree import GmdjExpression, RelationBase
+from repro.distributed.coordinator import Coordinator
+from repro.distributed.messages import (
+    COORDINATOR, SiteId, control_message, relation_message)
+from repro.distributed.metrics import PhaseMetrics, QueryMetrics
+from repro.distributed.network import ComputeModel, LinkModel, SimulatedNetwork
+from repro.distributed.partition import DistributionInfo
+from repro.distributed.plan import (
+    DistributedPlan, NO_OPTIMIZATIONS, OptimizationFlags, unoptimized_plan)
+from repro.distributed.site import SkallaSite
+
+
+#: Serializes retry-counter updates when sites run on a thread pool.
+_RETRY_LOCK = threading.Lock()
+
+
+@dataclass
+class ExecutionResult:
+    """What one distributed execution produced."""
+
+    relation: Relation
+    metrics: QueryMetrics
+    plan: DistributedPlan
+
+
+class SkallaEngine:
+    """A distributed data warehouse: sites + coordinator + network model.
+
+    Parameters
+    ----------
+    partitions:
+        Fragment of the fact relation per site id.  All fragments must
+        share a schema.
+    info:
+        Optional distribution knowledge (φ_i constraints).  Required for
+        distribution-aware group reduction and Corollary-1 style
+        synchronization reduction; when ``verify_info`` is true it is
+        checked against the fragments at construction.
+    link:
+        Network cost-model parameters.
+    """
+
+    def __init__(self, partitions: Mapping[SiteId, Relation],
+                 info: DistributionInfo | None = None,
+                 link: LinkModel | None = None,
+                 verify_info: bool = True,
+                 site_slowdowns: Mapping[SiteId, float] | None = None,
+                 max_retries: int = 2,
+                 compute_model: ComputeModel | None = None,
+                 parallel_sites: bool = False):
+        if not partitions:
+            raise PlanError("a warehouse needs at least one site")
+        schemas = {fragment.schema for fragment in partitions.values()}
+        if len(schemas) != 1:
+            raise SchemaError("all site fragments must share one schema")
+        slowdowns = site_slowdowns or {}
+        self.sites = {site_id: SkallaSite(site_id, fragment,
+                                          slowdowns.get(site_id, 1.0))
+                      for site_id, fragment in partitions.items()}
+        self.detail_schema = next(iter(schemas))
+        self.info = info
+        self.link = link or LinkModel()
+        if max_retries < 0:
+            raise PlanError("max_retries must be non-negative")
+        self.max_retries = max_retries
+        #: deterministic compute-time model (None = measure wall clock)
+        self.compute_model = compute_model
+        #: evaluate sites on a thread pool (NumPy releases the GIL for
+        #: most of the heavy kernels, so this is real parallelism)
+        self.parallel_sites = parallel_sites
+        if info is not None and verify_info:
+            info.verify(partitions)
+
+    @property
+    def site_ids(self) -> list[SiteId]:
+        return sorted(self.sites)
+
+    def fragment(self, site_id: SiteId) -> Relation:
+        return self.sites[site_id].fragment
+
+    def append(self, site_id: SiteId, rows: Relation) -> None:
+        """Ingest new detail rows at one site (collection-point append).
+
+        The rows must match the warehouse schema, and — when
+        distribution knowledge is registered — the site's φ constraints,
+        which would otherwise silently become unsound (Theorem 4 /
+        Corollary 1 rewrites depend on them).
+        """
+        if site_id not in self.sites:
+            raise PlanError(f"unknown site {site_id}")
+        if rows.schema != self.detail_schema:
+            raise SchemaError(
+                "appended rows do not match the warehouse schema")
+        if self.info is not None:
+            for attr, constraint in self.info.constraints.get(
+                    site_id, {}).items():
+                mask = constraint.mask(rows.column(attr))
+                import numpy as np
+                if not bool(np.all(mask)):
+                    from repro.errors import PartitionError
+                    bad = rows.column(attr)[~mask][:3]
+                    raise PartitionError(
+                        f"appended rows violate site {site_id}'s "
+                        f"constraint on {attr!r}: {list(bad)}")
+        site = self.sites[site_id]
+        site.fragment = site.fragment.union_all(rows)
+
+    def total_detail_relation(self,
+                              sites: Sequence[SiteId] | None = None) -> Relation:
+        """The conceptual (union) fact relation over ``sites``.
+
+        Used by tests to compare against centralized evaluation — a real
+        deployment never materializes this.
+        """
+        chosen = self.site_ids if sites is None else list(sites)
+        return Relation.concat([self.sites[s].fragment for s in chosen])
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, expression: GmdjExpression,
+                flags: OptimizationFlags = NO_OPTIMIZATIONS,
+                sites: Sequence[SiteId] | None = None,
+                plan: DistributedPlan | None = None,
+                streaming: bool = False) -> ExecutionResult:
+        """Plan (unless given) and run ``expression`` over the warehouse.
+
+        ``streaming`` enables incremental synchronization (Sect. 3.2):
+        the coordinator merges each site's sub-result as it arrives,
+        overlapping merge work and transfers with slower sites' local
+        computation.  Results are identical; the time model changes.
+        """
+        if plan is None:
+            # Imported here: the optimizer builds plans *for* this engine,
+            # and importing it at module scope would be circular.
+            from repro.optimizer.planner import build_plan
+            plan = build_plan(expression, flags, self.info,
+                              self.detail_schema,
+                              sites=sites or self.site_ids)
+        return self.execute_plan(plan, sites=sites, streaming=streaming)
+
+    def execute_plan(self, plan: DistributedPlan,
+                     sites: Sequence[SiteId] | None = None,
+                     streaming: bool = False,
+                     step_sites: Mapping[int, Sequence[SiteId]] | None
+                     = None) -> ExecutionResult:
+        """Run a prepared plan over the participating ``sites``.
+
+        ``step_sites`` optionally restricts individual steps to a
+        subset of the participating sites (the paper's footnote 2:
+        ``S_MDk`` may be a strict subset of ``S_B``) — e.g. when a
+        round's detail data is known to live on a few sites only.
+        Restricting a step changes which fragments that round
+        aggregates over, which is the caller's intent to assert.
+        """
+        participating = self.site_ids if sites is None else sorted(sites)
+        for site_id in participating:
+            if site_id not in self.sites:
+                raise PlanError(f"unknown site {site_id}")
+        step_sites = dict(step_sites or {})
+        for step_index, chosen in step_sites.items():
+            extra = set(chosen) - set(participating)
+            if extra:
+                raise PlanError(
+                    f"step {step_index} site set {sorted(extra)} is not a "
+                    f"subset of the participating sites")
+        expression = plan.expression
+        expression.validate(self.detail_schema)
+
+        network = SimulatedNetwork(
+            num_sites=max(self.sites) + 1, link=self.link)
+        metrics = QueryMetrics(log=network.log,
+                               num_participating_sites=len(participating))
+        coordinator = Coordinator(expression, self.detail_schema)
+        round_index = 0
+
+        # ---- round 0: the base-values relation --------------------------------
+        first_step = plan.steps[0]
+        if isinstance(expression.base, RelationBase):
+            coordinator.set_base(expression.base.relation)
+        elif not first_step.include_base:
+            phase = PhaseMetrics("base round")
+            for site_id in participating:
+                network.send(control_message(
+                    COORDINATOR, site_id, round_index, "ship base query"))
+            phase.communication_seconds += network.end_phase()
+            outputs = self._run_on_sites(
+                metrics, participating,
+                lambda sid: self.sites[sid].evaluate_base(expression.base),
+                base_rows=0)
+            fragments = []
+            site_seconds = 0.0
+            for site_id in participating:
+                fragment, seconds = outputs[site_id]
+                site_seconds = max(site_seconds, seconds)
+                fragments.append(fragment)
+                network.send(relation_message(
+                    site_id, COORDINATOR, "base_result", fragment,
+                    round_index, "local base-values result"))
+            phase.site_seconds = site_seconds
+            phase.communication_seconds += network.end_phase()
+            __, coordinator_seconds = coordinator.synchronize_base(fragments)
+            if self.compute_model is not None:
+                coordinator_seconds = self.compute_model.seconds(
+                    sum(fragment.num_rows for fragment in fragments), 0)
+            phase.coordinator_seconds = coordinator_seconds
+            metrics.phases.append(phase)
+            metrics.num_synchronizations += 1
+            round_index += 1
+
+        # ---- one round per plan step -----------------------------------------------
+        for step_index, step in enumerate(plan.steps):
+            phase = PhaseMetrics(f"step {step_index + 1}")
+            shipped: dict[SiteId, Relation | None] = {}
+            step_participants = sorted(
+                step_sites.get(step_index, participating))
+
+            if step.include_base:
+                for site_id in step_participants:
+                    network.send(control_message(
+                        COORDINATOR, site_id, round_index,
+                        "ship plan step (local base)"))
+                    shipped[site_id] = None
+            else:
+                current = coordinator.final_result()
+                filters = plan.site_filters.get(step_index, {})
+                for site_id in step_participants:
+                    to_ship = self._filter_for_site(
+                        current, filters.get(site_id))
+                    shipped[site_id] = to_ship
+                    network.send(relation_message(
+                        COORDINATOR, site_id, "base_structure", to_ship,
+                        round_index, "base-result structure"))
+            phase.communication_seconds += network.end_phase()
+
+            ship_attrs = (expression.base_schema(self.detail_schema).names
+                          if step.include_base else expression.key)
+            base_rows = (0 if step.include_base else
+                         coordinator.final_result().num_rows)
+            outputs = self._run_on_sites(
+                metrics, step_participants,
+                lambda sid: self.sites[sid].execute_step(
+                    step, shipped[sid], ship_attrs, expression.base,
+                    plan.flags.group_reduction_independent),
+                base_rows=base_rows)
+            sub_results = []
+            site_seconds = []
+            for site_id in step_participants:
+                sub_result, seconds = outputs[site_id]
+                site_seconds.append(seconds)
+                sub_results.append(sub_result)
+                network.send(relation_message(
+                    site_id, COORDINATOR, "sub_aggregates", sub_result,
+                    round_index, "sub-aggregate results"))
+
+            if streaming:
+                network.end_phase()  # bytes are already logged; timing
+                # is replaced by the overlap model below.
+                self._streaming_synchronize(coordinator, step, sub_results,
+                                            site_seconds, phase)
+            else:
+                phase.site_seconds = max(site_seconds, default=0.0)
+                phase.communication_seconds += network.end_phase()
+                __, coordinator_seconds = coordinator.synchronize_step(
+                    step, sub_results)
+                if self.compute_model is not None:
+                    coordinator_seconds = self.compute_model.seconds(
+                        sum(h.num_rows for h in sub_results), 0)
+                phase.coordinator_seconds = coordinator_seconds
+            metrics.phases.append(phase)
+            metrics.num_synchronizations += 1
+            round_index += 1
+
+        result = coordinator.final_result()
+        return ExecutionResult(result, metrics, plan)
+
+    def _run_on_sites(self, metrics, participating, operation, base_rows):
+        """Run ``operation(site_id)`` on every participating site.
+
+        Runs on a thread pool when ``parallel_sites`` is set (site work
+        only reads the site's own fragment, so this is safe), otherwise
+        sequentially.  When a :class:`ComputeModel` is attached, each
+        site's reported seconds are replaced by the model's prediction,
+        scaled by the site's slowdown.
+        """
+        outputs: dict = {}
+        if self.parallel_sites and len(participating) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+            with ThreadPoolExecutor(
+                    max_workers=min(8, len(participating))) as pool:
+                futures = {
+                    site_id: pool.submit(self._call_site, metrics, site_id,
+                                         lambda sid=site_id: operation(sid))
+                    for site_id in participating}
+            for site_id, future in futures.items():
+                outputs[site_id] = future.result()
+        else:
+            for site_id in participating:
+                outputs[site_id] = self._call_site(
+                    metrics, site_id, lambda sid=site_id: operation(sid))
+        if self.compute_model is not None:
+            for site_id in participating:
+                result, __ = outputs[site_id]
+                site = self.sites[site_id]
+                modeled = self.compute_model.seconds(
+                    site.fragment.num_rows, base_rows) * site.slowdown
+                outputs[site_id] = (result, modeled)
+        return outputs
+
+    def _call_site(self, metrics, site_id, operation):
+        """Invoke a site operation, retrying transient failures.
+
+        Site work is idempotent (a pure function of fragment + shipped
+        structure), so a failed call is simply repeated; the retry count
+        is recorded in the metrics.  Exhausting the budget re-raises the
+        last :class:`SiteFailure`.
+        """
+        attempts = 0
+        while True:
+            try:
+                return operation()
+            except SiteFailure:
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise
+                with _RETRY_LOCK:  # sites may run on a thread pool
+                    metrics.retries += 1
+
+    def _streaming_synchronize(self, coordinator, step, sub_results,
+                               site_seconds, phase) -> None:
+        """Incremental synchronization with an overlap time model.
+
+        Sites finish at different times; their transfers serialize on
+        the coordinator link in completion order; the coordinator merges
+        each fragment as it lands (Sect. 3.2).  The phase's duration is
+        the pipeline's makespan, decomposed so that the PhaseMetrics
+        components still sum to the total:
+
+        * ``site_seconds``    — the slowest site's compute,
+        * ``communication``   — how much later the last transfer lands,
+        * ``coordinator``     — merge work extending past the last
+          arrival, plus the final placement/finalization.
+        """
+        from repro.distributed.coordinator import IncrementalSynchronizer
+        synchronizer = IncrementalSynchronizer(coordinator, step)
+        order = sorted(range(len(sub_results)),
+                       key=lambda position: site_seconds[position])
+        link_free = 0.0
+        merge_end = 0.0
+        last_arrival = 0.0
+        for position in order:
+            sub_result = sub_results[position]
+            occupancy = (sub_result.wire_bytes() + 64) / self.link.bandwidth
+            start = max(site_seconds[position], link_free)
+            # The link is held for the payload only; propagation latency
+            # overlaps with the next sender's transmission.
+            link_free = start + occupancy
+            arrival = link_free + self.link.latency
+            last_arrival = arrival
+            merge_seconds = synchronizer.absorb(sub_result)
+            merge_end = max(arrival, merge_end) + merge_seconds
+        __, finish_seconds = synchronizer.finish()
+        makespan = max(merge_end, last_arrival) + finish_seconds
+        slowest = max(site_seconds, default=0.0)
+        phase.site_seconds = slowest
+        phase.communication_seconds += max(0.0, last_arrival - slowest)
+        phase.coordinator_seconds = makespan - max(last_arrival, slowest)
+
+    @staticmethod
+    def _filter_for_site(structure: Relation,
+                         site_filter: Expr | None) -> Relation:
+        """Apply a distribution-aware group filter (¬ψ_i) before shipping."""
+        if site_filter is None:
+            return structure
+        mask = evaluate_predicate(
+            site_filter, {"base": structure.columns(), "detail": None},
+            structure.num_rows)
+        return structure.filter(mask)

@@ -1,0 +1,52 @@
+"""EXPLAIN ANALYZE: combined plan + measured-execution reports.
+
+``DistributedPlan.explain()`` says what the planner decided;
+:func:`explain_analyze` adds what actually happened — per-phase time
+breakdown, traffic by direction and kind, and the headline totals — in
+one human-readable block.  Used by the CLI and handy in notebooks and
+bug reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.distributed.engine import ExecutionResult
+
+
+def explain_analyze(result: ExecutionResult) -> str:
+    """Render plan + measured execution of one query run."""
+    lines = ["== plan =="]
+    lines.append(result.plan.explain())
+    metrics = result.metrics
+    lines.append("")
+    lines.append("== execution ==")
+    lines.append(f"result rows        : {result.relation.num_rows}")
+    lines.append(f"participating sites: {metrics.num_participating_sites}")
+    lines.append(f"synchronizations   : {metrics.num_synchronizations}")
+    if metrics.retries:
+        lines.append(f"site retries       : {metrics.retries}")
+    lines.append(f"response time      : {metrics.response_seconds:.4f}s")
+    lines.append("")
+    lines.append("phase breakdown (seconds):")
+    header = f"  {'phase':<14} {'sites':>8} {'coord':>8} " \
+             f"{'network':>8} {'total':>8}"
+    lines.append(header)
+    for phase in metrics.phases:
+        lines.append(
+            f"  {phase.name:<14} {phase.site_seconds:>8.4f} "
+            f"{phase.coordinator_seconds:>8.4f} "
+            f"{phase.communication_seconds:>8.4f} "
+            f"{phase.total_seconds:>8.4f}")
+    lines.append("")
+    lines.append("traffic:")
+    lines.append(f"  to coordinator : {metrics.bytes_to_coordinator:,} B")
+    lines.append(f"  to sites       : {metrics.bytes_to_sites:,} B")
+    lines.append(f"  total          : {metrics.total_bytes:,} B "
+                 f"({metrics.rows_shipped:,} rows shipped)")
+    by_kind = Counter()
+    for message in metrics.log.messages:
+        by_kind[message.kind] += message.total_bytes
+    for kind, total in sorted(by_kind.items(), key=lambda kv: -kv[1]):
+        lines.append(f"    {kind:<15}: {total:,} B")
+    return "\n".join(lines)

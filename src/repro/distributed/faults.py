@@ -1,0 +1,55 @@
+"""Fault injection: flaky sites for testing the engine's retry path.
+
+Skalla's round structure makes site work naturally *idempotent*: a site
+computes a pure function of (its fragment, the shipped structure, the
+plan step), so a crashed or timed-out site can simply be asked again —
+no distributed state to repair.  :class:`FlakySite` simulates a site
+that fails its first ``failures`` requests and then recovers; the
+engine's retry loop (``SkallaEngine(max_retries=…)``) exercises exactly
+the recovery path a production deployment needs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SiteFailure
+from repro.relational.relation import Relation
+from repro.distributed.messages import SiteId
+from repro.distributed.site import SkallaSite
+
+
+class FlakySite(SkallaSite):
+    """A site that fails its first ``failures`` requests, then recovers.
+
+    ``fail_on`` selects which operations fail: ``"base"``, ``"step"``,
+    or ``"both"`` (default).
+    """
+
+    def __init__(self, site_id: SiteId, fragment: Relation,
+                 failures: int = 1, fail_on: str = "both",
+                 slowdown: float = 1.0):
+        super().__init__(site_id, fragment, slowdown)
+        if fail_on not in ("base", "step", "both"):
+            raise ValueError(f"unknown fail_on mode {fail_on!r}")
+        self.remaining_failures = failures
+        self.fail_on = fail_on
+        self.attempts = 0
+
+    def _maybe_fail(self, operation: str) -> None:
+        self.attempts += 1
+        if self.fail_on not in (operation, "both"):
+            return
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            raise SiteFailure(self.site_id,
+                              f"injected failure at site {self.site_id} "
+                              f"({operation})")
+
+    def evaluate_base(self, base_query):
+        self._maybe_fail("base")
+        return super().evaluate_base(base_query)
+
+    def execute_step(self, step, base_relation, ship_attrs, base_query,
+                     independent_reduction):
+        self._maybe_fail("step")
+        return super().execute_step(step, base_relation, ship_attrs,
+                                    base_query, independent_reduction)

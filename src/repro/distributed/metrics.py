@@ -1,0 +1,100 @@
+"""Cost accounting for distributed query executions.
+
+The paper's experiments report: query evaluation time, bytes
+transferred, and (Fig. 5 right) the breakdown into site computation,
+coordinator computation, and communication overhead.  One
+:class:`QueryMetrics` carries all of that for a single execution.
+
+Time composition: sites of a round work in parallel, so a round's site
+time is the *maximum* across participating sites; coordinator work and
+communication phases are serial with respect to the rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distributed.messages import MessageLog
+
+
+@dataclass
+class PhaseMetrics:
+    """One local-compute / transfer / coordinator-compute segment."""
+
+    name: str
+    site_seconds: float = 0.0
+    coordinator_seconds: float = 0.0
+    communication_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.site_seconds + self.coordinator_seconds
+                + self.communication_seconds)
+
+
+@dataclass
+class QueryMetrics:
+    """Aggregate cost of one distributed query execution."""
+
+    log: MessageLog = field(default_factory=MessageLog)
+    phases: list[PhaseMetrics] = field(default_factory=list)
+    num_synchronizations: int = 0
+    num_participating_sites: int = 0
+    #: site-call retries performed after transient failures
+    retries: int = 0
+
+    # -- time -------------------------------------------------------------
+
+    @property
+    def site_seconds(self) -> float:
+        """Parallel site computation time (sum over rounds of per-round max)."""
+        return sum(phase.site_seconds for phase in self.phases)
+
+    @property
+    def coordinator_seconds(self) -> float:
+        return sum(phase.coordinator_seconds for phase in self.phases)
+
+    @property
+    def communication_seconds(self) -> float:
+        """Modeled transfer time on the shared coordinator link."""
+        return sum(phase.communication_seconds for phase in self.phases)
+
+    @property
+    def response_seconds(self) -> float:
+        """End-to-end query evaluation time (the paper's headline metric)."""
+        return sum(phase.total_seconds for phase in self.phases)
+
+    # -- traffic -----------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return self.log.total_bytes()
+
+    @property
+    def bytes_to_coordinator(self) -> int:
+        return self.log.bytes_to_coordinator()
+
+    @property
+    def bytes_to_sites(self) -> int:
+        return self.log.bytes_to_sites()
+
+    @property
+    def rows_shipped(self) -> int:
+        """Groups transferred in either direction (Fig. 2's unit)."""
+        return self.log.rows_shipped()
+
+    def summary(self) -> dict[str, object]:
+        """A flat dict of the headline numbers (handy for bench tables)."""
+        return {
+            "response_seconds": round(self.response_seconds, 6),
+            "site_seconds": round(self.site_seconds, 6),
+            "coordinator_seconds": round(self.coordinator_seconds, 6),
+            "communication_seconds": round(self.communication_seconds, 6),
+            "total_bytes": self.total_bytes,
+            "bytes_to_coordinator": self.bytes_to_coordinator,
+            "bytes_to_sites": self.bytes_to_sites,
+            "rows_shipped": self.rows_shipped,
+            "synchronizations": self.num_synchronizations,
+            "sites": self.num_participating_sites,
+            "retries": self.retries,
+        }

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the repro (Skalla) library.
+
+All library-raised errors derive from :class:`SkallaError` so that callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the failure category.
+"""
+
+from __future__ import annotations
+
+
+class SkallaError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(SkallaError):
+    """A schema is malformed or two schemas are incompatible.
+
+    Raised for duplicate attribute names, unknown attributes, type
+    mismatches between relations that are being combined, and similar
+    structural problems.
+    """
+
+
+class ExpressionError(SkallaError):
+    """An expression tree is malformed or cannot be evaluated.
+
+    Examples: referencing an attribute that does not exist on either the
+    base or the detail relation, applying an arithmetic operator to a
+    string column, or constructing a comparison with an unknown operator.
+    """
+
+
+class AggregateError(SkallaError):
+    """An aggregate specification is invalid or unsupported.
+
+    In particular, holistic aggregates (e.g. exact MEDIAN) cannot be
+    decomposed into sub- and super-aggregates and are rejected with this
+    error when used in a distributed plan.
+    """
+
+
+class QueryError(SkallaError):
+    """A GMDJ expression or query is structurally invalid."""
+
+
+class PlanError(SkallaError):
+    """A distributed evaluation plan is invalid or cannot be constructed."""
+
+
+class OptimizationError(SkallaError):
+    """An optimization was requested whose side conditions do not hold.
+
+    Each Skalla optimization (group reduction, synchronization reduction,
+    coalescing) is guarded by the side condition of the theorem that
+    justifies it; applying one where the condition fails raises this error
+    rather than silently producing wrong answers.
+    """
+
+
+class PartitionError(SkallaError):
+    """Partitioning metadata is inconsistent with the data it describes."""
+
+
+class NetworkError(SkallaError):
+    """The simulated network was used incorrectly (unknown site, etc.)."""
+
+
+class SiteFailure(SkallaError):
+    """A site failed while executing its part of a round.
+
+    Site work is stateless between rounds (each round recomputes from
+    the fragment and the shipped structure), so the engine retries the
+    failed site; exhausting the retry budget surfaces this error to the
+    caller.
+    """
+
+    def __init__(self, site_id: int, message: str = ""):
+        super().__init__(message or f"site {site_id} failed")
+        self.site_id = site_id
+
+
+class ParseError(SkallaError):
+    """The SQL frontend could not parse the query text.
+
+    Attributes
+    ----------
+    position:
+        Character offset into the source text where the error occurred,
+        or ``None`` when it is not known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position

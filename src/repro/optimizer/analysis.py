@@ -1,0 +1,321 @@
+"""Predicate analysis for distribution-aware group reduction (Theorem 4).
+
+Theorem 4: a site ``i`` whose tuples all satisfy ``φ_i`` only needs the
+base tuples ``b`` with ``¬ψ_i(b)``, where ``ψ_i(b)`` says that *no*
+tuple satisfying ``φ_i`` can satisfy any condition with ``b``.  This
+module derives a **sound over-approximation** of ``¬ψ_i`` — a necessary
+condition over the base attributes for *some* local detail tuple to
+match.  Over-approximation is the safe direction: shipping an extra
+group costs bytes, dropping a needed one costs correctness.
+
+Handled fragment (covering both of the paper's Sect. 4.1 examples):
+
+* equality atoms ``base_expr == detail_attr_expr`` — when the detail
+  side is a bare constrained attribute, the site's constraint transfers
+  directly (``b.SourceAS ∈ [1, 25]``); otherwise interval arithmetic
+  bounds it;
+* order atoms ``base_expr < detail_expr`` etc. — interval arithmetic on
+  the detail side yields bounds like
+  ``B.DestAS + B.SourceAS < 2·max(R.SourceAS) = 50``;
+* pure-base conjuncts transfer verbatim; pure-detail conjuncts are
+  checked for unsatisfiability under ``φ_i`` (a site that cannot satisfy
+  a conjunct needs *no* groups for that condition);
+* anything else contributes no restriction (``True``).
+
+For a disjunction of conditions (``θ_1 ∨ … ∨ θ_m``, as group reduction
+requires), the necessary conditions are OR-ed; a single unrestricted
+disjunct makes the whole filter useless (``None``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.relational.expressions import (
+    And, Arith, BaseAttr, Comparison, DetailAttr, Expr, Func, InSet,
+    Literal, Not, Or, conjuncts, disjuncts)
+from repro.distributed.partition import AttributeConstraint
+
+_INF = math.inf
+
+#: Monotone nondecreasing scalar functions: an interval maps to the
+#: interval of its endpoint images (with domain clamping for log/sqrt).
+_MONOTONE_FUNCTIONS = {
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "sqrt": lambda value: math.sqrt(max(value, 0.0)),
+    "log": lambda value: math.log(value) if value > 0 else -_INF,
+    "log2": lambda value: math.log2(value) if value > 0 else -_INF,
+    "exp": math.exp,
+}
+
+
+def _apply_monotone(name: str, value: float) -> float:
+    if value in (-_INF, _INF):
+        if name in ("log", "log2") and value == -_INF:
+            return -_INF
+        if name in ("sqrt",) and value == -_INF:
+            return 0.0
+        if name == "exp":
+            return 0.0 if value == -_INF else _INF
+        return value
+    return float(_MONOTONE_FUNCTIONS[name](value))
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed numeric interval (possibly unbounded)."""
+
+    low: float
+    high: float
+
+    @staticmethod
+    def unbounded() -> "Interval":
+        return Interval(-_INF, _INF)
+
+    @staticmethod
+    def point(value: float) -> "Interval":
+        return Interval(value, value)
+
+    @property
+    def is_unbounded(self) -> bool:
+        return self.low == -_INF and self.high == _INF
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.low + other.low, self.high + other.high)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(self.low - other.high, self.high - other.low)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        candidates = [a * b
+                      for a in (self.low, self.high)
+                      for b in (other.low, other.high)
+                      if not math.isnan(a * b)]
+        if not candidates:
+            return Interval.unbounded()
+        return Interval(min(candidates), max(candidates))
+
+    def divide(self, other: "Interval") -> "Interval":
+        if other.low <= 0.0 <= other.high:
+            # Denominator interval straddles zero: anything is possible.
+            return Interval.unbounded()
+        candidates = [a / b
+                      for a in (self.low, self.high)
+                      for b in (other.low, other.high)]
+        return Interval(min(candidates), max(candidates))
+
+
+def detail_interval(expr: Expr,
+                    constraints: Mapping[str, AttributeConstraint],
+                    ) -> Interval | None:
+    """Interval of a detail-side expression under the site's φ constraints.
+
+    Returns ``None`` when the expression cannot be bounded numerically
+    (string values, unconstrained attributes with no arithmetic meaning
+    are fine — they come back unbounded; ``None`` means "not numeric").
+    """
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, bool) or not isinstance(
+                expr.value, (int, float)):
+            return None
+        return Interval.point(float(expr.value))
+    if isinstance(expr, DetailAttr):
+        constraint = constraints.get(expr.name)
+        if constraint is None:
+            return Interval.unbounded()
+        bounds = constraint.bounds()
+        if bounds is None:
+            return Interval.unbounded()
+        return Interval(bounds[0], bounds[1])
+    if isinstance(expr, Arith):
+        left = detail_interval(expr.left, constraints)
+        right = detail_interval(expr.right, constraints)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left.divide(right)
+        return Interval.unbounded()  # e.g. modulo: give up soundly
+    if isinstance(expr, Func) and expr.name in _MONOTONE_FUNCTIONS:
+        inner = detail_interval(expr.operand, constraints)
+        if inner is None:
+            return None
+        return Interval(_apply_monotone(expr.name, inner.low),
+                        _apply_monotone(expr.name, inner.high))
+    return None
+
+
+def _sides(expr: Expr) -> str:
+    """Classify an expression as 'base', 'detail', 'mixed', or 'const'."""
+    has_base = bool(expr.attrs("base"))
+    has_detail = bool(expr.attrs("detail"))
+    if has_base and has_detail:
+        return "mixed"
+    if has_base:
+        return "base"
+    if has_detail:
+        return "detail"
+    return "const"
+
+
+def _order_atom_condition(op: str, base_expr: Expr,
+                          interval: Interval) -> Expr | None:
+    """Necessary base condition for ``base_expr op detail_expr`` to be
+    satisfiable, given the detail expression's interval."""
+    if op in ("<", "<="):
+        if interval.high == _INF:
+            return None
+        return Comparison(op, base_expr, Literal(interval.high))
+    if op in (">", ">="):
+        if interval.low == -_INF:
+            return None
+        return Comparison(op, base_expr, Literal(interval.low))
+    if op == "==":
+        terms = []
+        if interval.low != -_INF:
+            terms.append(Comparison(">=", base_expr, Literal(interval.low)))
+        if interval.high != _INF:
+            terms.append(Comparison("<=", base_expr, Literal(interval.high)))
+        if not terms:
+            return None
+        return And.of(*terms)
+    # != is satisfiable almost everywhere: no useful restriction.
+    return None
+
+
+def _detail_atom_satisfiable(atom: Expr,
+                             constraints: Mapping[str, AttributeConstraint],
+                             ) -> bool:
+    """Can a pure-detail atom hold for *some* tuple satisfying φ_i?
+
+    Conservative: returns True unless provably unsatisfiable.
+    """
+    if isinstance(atom, Comparison):
+        left = detail_interval(atom.left, constraints)
+        right = detail_interval(atom.right, constraints)
+        if left is None or right is None:
+            return True
+        if atom.op in ("<", "<="):
+            strict = atom.op == "<"
+            return left.low < right.high or (
+                not strict and left.low == right.high)
+        if atom.op in (">", ">="):
+            strict = atom.op == ">"
+            return left.high > right.low or (
+                not strict and left.high == right.low)
+        if atom.op == "==":
+            return left.low <= right.high and right.low <= left.high
+        return True
+    if isinstance(atom, InSet) and isinstance(atom.operand, DetailAttr):
+        constraint = constraints.get(atom.operand.name)
+        if constraint is None:
+            return True
+        return any(constraint.contains(value) for value in atom.values)
+    return True
+
+
+def necessary_base_condition(theta: Expr,
+                             constraints: Mapping[str, AttributeConstraint],
+                             ) -> Expr | None:
+    """A necessary condition over base attributes for ``∃r∈R_i: θ(b, r)``.
+
+    Returns ``None`` when no restriction could be derived (ship all
+    groups), or ``Literal(False)`` when θ is unsatisfiable at the site
+    (ship none).  The result is ``¬ψ_i`` restricted to this θ.
+    """
+    restrictions: list[Expr] = []
+    for disjunct in disjuncts(theta):
+        restriction = _conjunction_condition(disjunct, constraints)
+        if restriction is None:
+            return None  # one unrestricted disjunct defeats the filter
+        restrictions.append(restriction)
+    live = [term for term in restrictions
+            if not (isinstance(term, Literal) and term.value is False)]
+    if not live:
+        return Literal(False)
+    return Or.of(*live)
+
+
+def _conjunction_condition(conjunction: Expr,
+                           constraints: Mapping[str, AttributeConstraint],
+                           ) -> Expr | None:
+    terms: list[Expr] = []
+    for atom in conjuncts(conjunction):
+        side = _sides(atom)
+        if side == "base":
+            terms.append(atom)
+            continue
+        if side in ("detail", "const"):
+            if not _detail_atom_satisfiable(atom, constraints):
+                return Literal(False)
+            continue
+        term = _mixed_atom_condition(atom, constraints)
+        if term is not None:
+            if isinstance(term, Literal) and term.value is False:
+                return Literal(False)
+            terms.append(term)
+    if not terms:
+        return None
+    return And.of(*terms)
+
+
+def _mixed_atom_condition(atom: Expr,
+                          constraints: Mapping[str, AttributeConstraint],
+                          ) -> Expr | None:
+    """Restriction contributed by one atom mixing base and detail refs."""
+    if isinstance(atom, (And, Or, Not, InSet)):
+        return None  # nested boolean structure: give up on this atom
+    if not isinstance(atom, Comparison):
+        return None
+    left_side = _sides(atom.left)
+    right_side = _sides(atom.right)
+    if left_side in ("base", "const") and right_side == "detail":
+        base_expr, detail_expr, op = atom.left, atom.right, atom.op
+    elif left_side == "detail" and right_side in ("base", "const"):
+        flipped = atom.flipped()
+        base_expr, detail_expr, op = flipped.left, flipped.right, flipped.op
+    else:
+        return None
+
+    # Equality against a bare constrained attribute: transfer the
+    # constraint itself (works for value sets and string ranges, which
+    # interval arithmetic cannot express).
+    if op == "==" and isinstance(detail_expr, DetailAttr):
+        constraint = constraints.get(detail_expr.name)
+        if constraint is not None:
+            return constraint.to_expr(base_expr)
+
+    interval = detail_interval(detail_expr, constraints)
+    if interval is None or interval.is_unbounded:
+        return None
+    return _order_atom_condition(op, base_expr, interval)
+
+
+def derive_site_filter(thetas: Sequence[Expr],
+                       constraints: Mapping[str, AttributeConstraint],
+                       ) -> Expr | None:
+    """The full ¬ψ_i filter for a site, across all conditions of a round.
+
+    ψ_i quantifies over ``θ_1 ∨ … ∨ θ_m`` (Theorem 4), so the filter is
+    the disjunction of per-θ necessary conditions; one unrestricted θ
+    means no reduction at all (``None``).
+    """
+    per_theta: list[Expr] = []
+    for theta in thetas:
+        condition = necessary_base_condition(theta, constraints)
+        if condition is None:
+            return None
+        per_theta.append(condition)
+    live = [term for term in per_theta
+            if not (isinstance(term, Literal) and term.value is False)]
+    if not live:
+        return Literal(False)
+    return Or.of(*live)

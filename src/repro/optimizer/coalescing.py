@@ -1,0 +1,43 @@
+"""Coalescing as a plan-level concern.
+
+The algebraic transformation itself lives in :mod:`repro.core.coalesce`
+(it is a property of GMDJ expressions, not of distribution).  This
+module adds the distributed-cost view: how many synchronizations a
+query needs with and without coalescing, which the planner and the
+benchmarks use to report the Fig. 3 effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coalesce import coalesce_expression
+from repro.core.expression_tree import GmdjExpression
+
+
+@dataclass(frozen=True)
+class CoalescingReport:
+    """Outcome of applying coalescing to an expression."""
+
+    rounds_before: int
+    rounds_after: int
+
+    @property
+    def rounds_saved(self) -> int:
+        return self.rounds_before - self.rounds_after
+
+    @property
+    def synchronizations_before(self) -> int:
+        """Base round + one per GMDJ (Alg. GMDJDistribEval)."""
+        return self.rounds_before + 1
+
+    @property
+    def synchronizations_after(self) -> int:
+        return self.rounds_after + 1
+
+
+def coalescing_report(expression: GmdjExpression) -> CoalescingReport:
+    """How much coalescing would shrink this expression."""
+    after = coalesce_expression(expression)
+    return CoalescingReport(rounds_before=expression.num_rounds,
+                            rounds_after=after.num_rounds)

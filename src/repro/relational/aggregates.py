@@ -1,0 +1,435 @@
+"""Aggregate functions with sub-/super-aggregate decomposition.
+
+Skalla's synchronization step (Theorem 1 of the paper) relies on every
+aggregate being decomposable, in the sense of Gray et al. [12], into
+
+* **sub-aggregates** — distributive *state* columns computed per site over
+  a partition of the detail relation, and
+* **super-aggregates** — a merge of state columns at the coordinator,
+  followed by a *finalize* step producing the user-visible value.
+
+Every aggregate here is described by a list of :class:`StateField`
+primitives (``count``, ``sum``, ``min``, ``max``, ``sumsq``) plus a
+finalizer.  Distributive aggregates (COUNT, SUM, MIN, MAX) have a single
+state; algebraic ones (AVG, VAR, STDDEV) have several.  Holistic
+aggregates (MEDIAN, COUNT DISTINCT) cannot be decomposed — they evaluate
+centrally but raise :class:`~repro.errors.AggregateError` when a
+distributed plan asks for their state fields.
+
+Empty-group semantics (the engine has no NULLs):
+
+* ``count`` → 0;
+* ``sum``   → 0 (of the column type);
+* ``min``/``max``/``avg``/``var``/``stddev``/``median`` → NaN (these
+  always produce FLOAT64 output columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AggregateError, SchemaError
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType
+
+# ---------------------------------------------------------------------------
+# Distributive primitives
+# ---------------------------------------------------------------------------
+
+#: name -> (empty value, reduce over values, merge two states)
+_PRIMITIVES: dict[str, tuple[object, Callable, Callable]] = {
+    "count": (0, lambda v: len(v), np.add),
+    "sum": (0, lambda v: v.sum() if len(v) else 0, np.add),
+    "sumsq": (0.0, lambda v: float(np.square(v, dtype=np.float64).sum()),
+              np.add),
+    "min": (np.nan, lambda v: float(v.min()) if len(v) else np.nan, np.fmin),
+    "max": (np.nan, lambda v: float(v.max()) if len(v) else np.nan, np.fmax),
+}
+
+
+def primitive_empty(name: str) -> object:
+    """The state value of an empty multiset for primitive ``name``."""
+    return _PRIMITIVES[name][0]
+
+
+def primitive_reduce(name: str, values: np.ndarray) -> object:
+    """Reduce a vector of input values to a single state value."""
+    return _PRIMITIVES[name][1](values)
+
+
+def primitive_merge(name: str, left, right):
+    """Merge two state values (or state arrays, elementwise)."""
+    return _PRIMITIVES[name][2](left, right)
+
+
+def primitive_grouped(name: str, codes: np.ndarray, values: np.ndarray | None,
+                      num_groups: int) -> np.ndarray:
+    """Vectorized per-group reduction.
+
+    ``codes`` assigns each detail row to a group in ``[0, num_groups)``;
+    ``values`` is the input column (``None`` for ``count``).  Returns one
+    state value per group, including empty-group defaults.
+    """
+    if name == "count":
+        return np.bincount(codes, minlength=num_groups).astype(np.int64)
+    if values is None:
+        raise AggregateError(f"primitive {name!r} requires an input column")
+    if name == "sum":
+        result = np.bincount(codes, weights=values.astype(np.float64),
+                             minlength=num_groups)
+        if values.dtype.kind == "i":
+            return np.round(result).astype(np.int64)
+        return result
+    if name == "sumsq":
+        squares = np.square(values.astype(np.float64))
+        return np.bincount(codes, weights=squares, minlength=num_groups)
+    if name in ("min", "max"):
+        result = np.full(num_groups, np.nan)
+        ufunc = np.fmin if name == "min" else np.fmax
+        ufunc.at(result, codes, values.astype(np.float64))
+        return result
+    raise AggregateError(f"unknown primitive {name!r}")
+
+
+def merge_grouped(name: str, codes: np.ndarray, states: np.ndarray,
+                  num_groups: int) -> np.ndarray:
+    """Vectorized per-group *merge* of sub-aggregate state values.
+
+    This is the coordinator's super-aggregation (Theorem 1): ``states``
+    holds one sub-aggregate value per incoming row, ``codes`` maps each
+    row to its base group.  Counts/sums/sumsqs merge by addition;
+    mins/maxes by NaN-ignoring min/max.  Groups no row maps to receive
+    the primitive's empty value.
+    """
+    if name in ("count", "sum", "sumsq"):
+        merged = np.bincount(codes, weights=states.astype(np.float64),
+                             minlength=num_groups)
+        if states.dtype.kind == "i":
+            return np.round(merged).astype(np.int64)
+        return merged
+    if name in ("min", "max"):
+        merged = np.full(num_groups, np.nan)
+        ufunc = np.fmin if name == "min" else np.fmax
+        ufunc.at(merged, codes, states.astype(np.float64))
+        return merged
+    raise AggregateError(f"unknown primitive {name!r}")
+
+
+def primitive_dtype(name: str, input_dtype: DataType | None) -> DataType:
+    """Datatype of the state column for primitive ``name``."""
+    if name == "count":
+        return DataType.INT64
+    if name == "sum":
+        if input_dtype is None:
+            raise AggregateError("sum requires an input column")
+        return input_dtype
+    return DataType.FLOAT64
+
+
+# ---------------------------------------------------------------------------
+# Aggregate functions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StateField:
+    """One distributive state column of an aggregate.
+
+    ``name`` is the full column name in the sub-aggregate schema,
+    ``primitive`` selects merge/reduce behaviour, ``dtype`` is the state
+    column type.
+    """
+
+    name: str
+    primitive: str
+    dtype: DataType
+
+
+class AggregateFunction:
+    """Behaviour of one aggregate function (COUNT, SUM, AVG, ...)."""
+
+    #: registry key, e.g. ``"avg"``
+    name: str = ""
+    #: whether the aggregate admits sub-/super-aggregate decomposition
+    decomposable: bool = True
+    #: whether an input column is required (COUNT(*) has none)
+    requires_column: bool = True
+
+    def output_dtype(self, input_dtype: DataType | None) -> DataType:
+        raise NotImplementedError
+
+    def state_primitives(self) -> tuple[str, ...]:
+        """Primitives backing this aggregate, in a canonical order."""
+        raise NotImplementedError
+
+    def finalize(self, states: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Combine merged state arrays (keyed by primitive) into output."""
+        raise NotImplementedError
+
+    def compute(self, values: np.ndarray | None, count: int) -> object:
+        """Directly compute the aggregate of one multiset (centralized)."""
+        states = {}
+        for primitive in self.state_primitives():
+            if primitive == "count":
+                states[primitive] = np.array([count])
+            else:
+                assert values is not None
+                states[primitive] = np.array(
+                    [primitive_reduce(primitive, values)])
+        return self.finalize(states)[0]
+
+
+class CountFunction(AggregateFunction):
+    """COUNT(*) or COUNT(col) — the engine has no NULLs so both agree."""
+
+    name = "count"
+    requires_column = False
+
+    def output_dtype(self, input_dtype):
+        return DataType.INT64
+
+    def state_primitives(self):
+        return ("count",)
+
+    def finalize(self, states):
+        return states["count"].astype(np.int64)
+
+
+class SumFunction(AggregateFunction):
+    name = "sum"
+
+    def output_dtype(self, input_dtype):
+        if input_dtype is None or not input_dtype.is_numeric:
+            raise AggregateError("SUM requires a numeric input column")
+        return input_dtype
+
+    def state_primitives(self):
+        return ("sum",)
+
+    def finalize(self, states):
+        return states["sum"]
+
+
+class MinFunction(AggregateFunction):
+    name = "min"
+
+    def output_dtype(self, input_dtype):
+        if input_dtype is None or not input_dtype.is_numeric:
+            raise AggregateError("MIN requires a numeric input column")
+        return DataType.FLOAT64
+
+    def state_primitives(self):
+        return ("min",)
+
+    def finalize(self, states):
+        return states["min"]
+
+
+class MaxFunction(AggregateFunction):
+    name = "max"
+
+    def output_dtype(self, input_dtype):
+        if input_dtype is None or not input_dtype.is_numeric:
+            raise AggregateError("MAX requires a numeric input column")
+        return DataType.FLOAT64
+
+    def state_primitives(self):
+        return ("max",)
+
+    def finalize(self, states):
+        return states["max"]
+
+
+class AvgFunction(AggregateFunction):
+    """AVG = SUM / COUNT — the canonical algebraic aggregate."""
+
+    name = "avg"
+
+    def output_dtype(self, input_dtype):
+        if input_dtype is None or not input_dtype.is_numeric:
+            raise AggregateError("AVG requires a numeric input column")
+        return DataType.FLOAT64
+
+    def state_primitives(self):
+        return ("sum", "count")
+
+    def finalize(self, states):
+        counts = states["count"].astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(counts > 0,
+                            states["sum"].astype(np.float64) / counts, np.nan)
+
+
+class VarFunction(AggregateFunction):
+    """Population variance via (sum, sumsq, count) — algebraic."""
+
+    name = "var"
+
+    def output_dtype(self, input_dtype):
+        if input_dtype is None or not input_dtype.is_numeric:
+            raise AggregateError("VAR requires a numeric input column")
+        return DataType.FLOAT64
+
+    def state_primitives(self):
+        return ("sum", "sumsq", "count")
+
+    def finalize(self, states):
+        counts = states["count"].astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mean = states["sum"].astype(np.float64) / counts
+            mean_square = states["sumsq"].astype(np.float64) / counts
+            return np.where(counts > 0, mean_square - mean * mean, np.nan)
+
+
+class StdDevFunction(VarFunction):
+    """Population standard deviation — algebraic, sqrt of VAR."""
+
+    name = "stddev"
+
+    def finalize(self, states):
+        return np.sqrt(np.maximum(super().finalize(states), 0.0))
+
+
+class MedianFunction(AggregateFunction):
+    """Exact median — **holistic**: not distributable without raw data."""
+
+    name = "median"
+    decomposable = False
+
+    def output_dtype(self, input_dtype):
+        if input_dtype is None or not input_dtype.is_numeric:
+            raise AggregateError("MEDIAN requires a numeric input column")
+        return DataType.FLOAT64
+
+    def state_primitives(self):
+        raise AggregateError(
+            "MEDIAN is holistic: it has no bounded sub-aggregate and cannot "
+            "be evaluated by a Skalla distributed plan")
+
+    def compute(self, values, count):
+        if values is None or len(values) == 0:
+            return np.nan
+        return float(np.median(values))
+
+
+class CountDistinctFunction(AggregateFunction):
+    """Exact COUNT(DISTINCT col) — **holistic** in this engine."""
+
+    name = "count_distinct"
+    decomposable = False
+
+    def output_dtype(self, input_dtype):
+        return DataType.INT64
+
+    def state_primitives(self):
+        raise AggregateError(
+            "COUNT DISTINCT is holistic: its sub-aggregate (a value set) is "
+            "unbounded and would violate Skalla's partial-results-only rule")
+
+    def compute(self, values, count):
+        if values is None or len(values) == 0:
+            return 0
+        return int(len(np.unique(values)))
+
+
+_FUNCTIONS: dict[str, AggregateFunction] = {
+    function.name: function
+    for function in (CountFunction(), SumFunction(), MinFunction(),
+                     MaxFunction(), AvgFunction(), VarFunction(),
+                     StdDevFunction(), MedianFunction(),
+                     CountDistinctFunction())}
+
+
+def aggregate_function(name: str) -> AggregateFunction:
+    """Look up an aggregate function by its registry name."""
+    try:
+        return _FUNCTIONS[name.lower()]
+    except KeyError:
+        raise AggregateError(
+            f"unknown aggregate function {name!r}; "
+            f"available: {sorted(_FUNCTIONS)}") from None
+
+
+def register_function(function: AggregateFunction) -> None:
+    """Register a custom aggregate function (extension point)."""
+    if not function.name:
+        raise AggregateError("aggregate functions must declare a name")
+    _FUNCTIONS[function.name.lower()] = function
+
+
+# ---------------------------------------------------------------------------
+# Aggregate specifications
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One requested aggregate: function, input column, output alias.
+
+    ``column`` is ``None`` for COUNT(*).  ``alias`` names the output
+    attribute in the GMDJ result (the paper's ``f_ij R_c_ij`` columns,
+    which it renames to shorthands like ``cnt1``).
+    """
+
+    func: str
+    column: str | None
+    alias: str
+
+    def __post_init__(self):
+        aggregate_function(self.func)  # validate the name eagerly
+        function = aggregate_function(self.func)
+        if function.requires_column and self.column is None:
+            raise AggregateError(f"{self.func.upper()} requires an input column")
+
+    @property
+    def function(self) -> AggregateFunction:
+        return aggregate_function(self.func)
+
+    def output_attribute(self, detail_schema: Schema) -> Attribute:
+        """The finalized output attribute this spec contributes."""
+        input_dtype = (detail_schema.dtype(self.column)
+                       if self.column is not None else None)
+        return Attribute(self.alias, self.function.output_dtype(input_dtype))
+
+    def state_fields(self, detail_schema: Schema) -> tuple[StateField, ...]:
+        """Sub-aggregate state columns (``<alias>__<primitive>``).
+
+        Raises :class:`AggregateError` for holistic aggregates, which have
+        no bounded state.
+        """
+        input_dtype = (detail_schema.dtype(self.column)
+                       if self.column is not None else None)
+        fields = []
+        for primitive in self.function.state_primitives():
+            fields.append(StateField(name=f"{self.alias}__{primitive}",
+                                     primitive=primitive,
+                                     dtype=primitive_dtype(primitive,
+                                                           input_dtype)))
+        return tuple(fields)
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        target = "*" if self.column is None else self.column
+        return f"{self.func}({target}) -> {self.alias}"
+
+
+def count_star(alias: str) -> AggregateSpec:
+    """Convenience constructor for COUNT(*)."""
+    return AggregateSpec("count", None, alias)
+
+
+def validate_aggregate_list(aggregates: Sequence[AggregateSpec],
+                            detail_schema: Schema,
+                            existing_names: Sequence[str]) -> None:
+    """Check aliases are fresh and input columns exist on the detail schema."""
+    seen = set(existing_names)
+    for spec in aggregates:
+        if spec.alias in seen:
+            raise SchemaError(
+                f"aggregate alias {spec.alias!r} collides with an existing "
+                f"attribute")
+        seen.add(spec.alias)
+        if spec.column is not None and spec.column not in detail_schema:
+            raise SchemaError(
+                f"aggregate input column {spec.column!r} is not in the "
+                f"detail schema {detail_schema.names}")

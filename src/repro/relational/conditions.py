@@ -1,0 +1,145 @@
+"""Analysis of GMDJ conditions θ(b, r).
+
+The evaluator and the distributed optimizer both need structural facts
+about conditions:
+
+* the **equi-join conjuncts** ``B.a == R.c`` let the evaluator hash-group
+  the detail relation instead of scanning it per base tuple;
+* **entailment of key equality** (``θ_j ⊨ θ_K``) is the side condition of
+  Proposition 2 (skipping base-values synchronization);
+* **entailment of partition-attribute equality** is the side condition of
+  Corollary 1 (skipping inter-GMDJ synchronization).
+
+Entailment here is *syntactic*: a condition entails an atom when the atom
+appears among its top-level conjuncts (up to comparison flipping).  This
+is sound (never claims entailment that does not hold) but incomplete,
+which is the safe direction for an optimizer guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.relational.expressions import (
+    And, BaseAttr, Comparison, DetailAttr, Expr, Or, conjuncts)
+
+
+@dataclass(frozen=True)
+class EquiJoinPair:
+    """An equality conjunct ``B.base_attr == R.detail_attr``."""
+
+    base_attr: str
+    detail_attr: str
+
+
+@dataclass(frozen=True)
+class ConditionAnalysis:
+    """Decomposition of a condition into equi-join pairs and a residual.
+
+    ``theta == AND(pairs as equalities, residual)``; ``residual`` is
+    ``None`` when the condition is a pure conjunctive equi-join.
+    """
+
+    pairs: tuple[EquiJoinPair, ...]
+    residual: Expr | None
+
+    @property
+    def base_key(self) -> tuple[str, ...]:
+        return tuple(pair.base_attr for pair in self.pairs)
+
+    @property
+    def detail_key(self) -> tuple[str, ...]:
+        return tuple(pair.detail_attr for pair in self.pairs)
+
+
+def _as_equijoin(atom: Expr) -> EquiJoinPair | None:
+    """Recognize ``B.a == R.c`` (either side order), else ``None``."""
+    if not isinstance(atom, Comparison) or atom.op != "==":
+        return None
+    left, right = atom.left, atom.right
+    if isinstance(left, BaseAttr) and isinstance(right, DetailAttr):
+        return EquiJoinPair(left.name, right.name)
+    if isinstance(left, DetailAttr) and isinstance(right, BaseAttr):
+        return EquiJoinPair(right.name, left.name)
+    return None
+
+
+def analyze_condition(theta: Expr) -> ConditionAnalysis:
+    """Split ``theta`` into equi-join pairs and a residual condition.
+
+    Only *top-level* conjuncts are considered; anything under an OR stays
+    in the residual.  Duplicate pairs are collapsed.
+    """
+    pairs: list[EquiJoinPair] = []
+    residual_terms: list[Expr] = []
+    for conjunct in conjuncts(theta):
+        pair = _as_equijoin(conjunct)
+        if pair is not None and pair not in pairs:
+            pairs.append(pair)
+        elif pair is not None:
+            pass  # duplicate equality conjunct adds nothing
+        else:
+            residual_terms.append(conjunct)
+    residual = And.of(*residual_terms) if residual_terms else None
+    return ConditionAnalysis(tuple(pairs), residual)
+
+
+def entails_equality_on(theta: Expr, base_attrs: Sequence[str],
+                        ) -> dict[str, str] | None:
+    """Check ``θ ⊨ (B.k == R.a_k for every k in base_attrs)``.
+
+    Returns the mapping ``{base_attr: detail_attr}`` realized by θ's
+    equi-join conjuncts when every listed base attribute is covered,
+    otherwise ``None``.  This is the Proposition 2 guard (``θ_j`` entails
+    ``θ_K``) specialized to syntactic conjunct matching.
+    """
+    analysis = analyze_condition(theta)
+    mapping = {}
+    for pair in analysis.pairs:
+        mapping.setdefault(pair.base_attr, pair.detail_attr)
+    if all(attr in mapping for attr in base_attrs):
+        return {attr: mapping[attr] for attr in base_attrs}
+    return None
+
+
+def entails_partition_equality(theta: Expr, partition_attrs: Sequence[str],
+                               ) -> str | None:
+    """Check ``θ ⊨ R.A == B.A`` for some partition attribute ``A``.
+
+    This is the Corollary 1 guard with ``f`` = identity (the bijection the
+    corollary permits; we only detect the identity case, which is the one
+    exercised by the paper's experiments).  Returns the matched attribute
+    name or ``None``.
+    """
+    analysis = analyze_condition(theta)
+    for pair in analysis.pairs:
+        if pair.base_attr == pair.detail_attr and \
+                pair.base_attr in partition_attrs:
+            return pair.base_attr
+    return None
+
+
+def disjunction_of(thetas: Sequence[Expr]) -> Expr:
+    """``θ_1 ∨ … ∨ θ_m`` — the condition used to detect ``|RNG| > 0``.
+
+    Proposition 1 filters local result tuples to those matching at least
+    one of the GMDJ's conditions; this builds that combined condition.
+    """
+    return Or.of(*thetas)
+
+
+def referenced_base_attrs(thetas: Sequence[Expr]) -> set[str]:
+    """All base-relation attributes referenced by any condition."""
+    attrs: set[str] = set()
+    for theta in thetas:
+        attrs |= theta.attrs("base")
+    return attrs
+
+
+def referenced_detail_attrs(thetas: Sequence[Expr]) -> set[str]:
+    """All detail-relation attributes referenced by any condition."""
+    attrs: set[str] = set()
+    for theta in thetas:
+        attrs |= theta.attrs("detail")
+    return attrs

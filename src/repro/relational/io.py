@@ -1,0 +1,67 @@
+"""CSV import/export for relations.
+
+A tiny, dependency-free interchange format so examples can persist data
+sets and users can inspect results.  The header row stores ``name:type``
+pairs so a round trip preserves the schema exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType
+
+_PARSERS = {
+    DataType.INT64: int,
+    DataType.FLOAT64: float,
+    DataType.STRING: str,
+    DataType.BOOL: lambda text: text == "True",
+}
+
+
+def write_csv(relation: Relation, path: str | Path) -> None:
+    """Write ``relation`` to ``path`` with a typed header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(f"{attribute.name}:{attribute.dtype.value}"
+                        for attribute in relation.schema)
+        for row in relation.iter_rows():
+            writer.writerow(row)
+
+
+def read_csv(path: str | Path) -> Relation:
+    """Read a relation previously written by :func:`write_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty; expected a header row") from None
+        attributes = []
+        for cell in header:
+            name, _, type_name = cell.rpartition(":")
+            if not name:
+                raise SchemaError(
+                    f"malformed header cell {cell!r}; expected 'name:type'")
+            try:
+                dtype = DataType(type_name)
+            except ValueError:
+                raise SchemaError(f"unknown datatype {type_name!r} "
+                                  f"in header cell {cell!r}") from None
+            attributes.append(Attribute(name, dtype))
+        schema = Schema(attributes)
+        parsers = [_PARSERS[attribute.dtype] for attribute in attributes]
+        rows = []
+        for row in reader:
+            if len(row) != len(attributes):
+                raise SchemaError(
+                    f"row {reader.line_num} has {len(row)} cells, "
+                    f"expected {len(attributes)}")
+            rows.append([parse(cell) for parse, cell in zip(parsers, row)])
+    return Relation.from_rows(schema, rows)

@@ -1,0 +1,148 @@
+"""Schemas: ordered, typed attribute lists for relations.
+
+A :class:`Schema` is an immutable ordered collection of :class:`Attribute`
+objects.  Attribute order matters for display and for the wire format used
+by the simulated network, but lookup by name is O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.types import DataType
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single named, typed column of a relation."""
+
+    name: str
+    dtype: DataType
+
+    def renamed(self, name: str) -> "Attribute":
+        """Return a copy of this attribute under a new name."""
+        return Attribute(name, self.dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}:{self.dtype.value}"
+
+
+class Schema:
+    """An immutable ordered list of attributes with O(1) lookup by name.
+
+    Parameters
+    ----------
+    attributes:
+        The attributes, in column order.  Names must be unique.
+    """
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        index: dict[str, int] = {}
+        for position, attribute in enumerate(attrs):
+            if attribute.name in index:
+                raise SchemaError(f"duplicate attribute name {attribute.name!r}")
+            index[attribute.name] = position
+        self._attributes = attrs
+        self._index = index
+
+    @classmethod
+    def of(cls, *pairs: tuple[str, DataType]) -> "Schema":
+        """Build a schema from ``(name, dtype)`` pairs.
+
+        >>> Schema.of(("a", DataType.INT64), ("b", DataType.STRING))
+        """
+        return cls(Attribute(name, dtype) for name, dtype in pairs)
+
+    # -- collection protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, key: int | str) -> Attribute:
+        if isinstance(key, str):
+            try:
+                return self._attributes[self._index[key]]
+            except KeyError:
+                raise SchemaError(
+                    f"unknown attribute {key!r}; schema has {self.names}") from None
+        return self._attributes[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(a) for a in self._attributes)
+        return f"Schema({inner})"
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names in column order."""
+        return tuple(attribute.name for attribute in self._attributes)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    def position(self, name: str) -> int:
+        """Column position of the named attribute."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {self.names}") from None
+
+    def dtype(self, name: str) -> DataType:
+        """Datatype of the named attribute."""
+        return self[name].dtype
+
+    def row_wire_width(self) -> int:
+        """Bytes per row under the network cost model's wire format."""
+        return sum(attribute.dtype.wire_width for attribute in self._attributes)
+
+    # -- derivation ----------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted (and reordered) to ``names``."""
+        return Schema(self[name] for name in names)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Schema with attributes renamed per ``mapping`` (others kept)."""
+        return Schema(
+            attribute.renamed(mapping.get(attribute.name, attribute.name))
+            for attribute in self._attributes)
+
+    def extend(self, extra: Iterable[Attribute]) -> "Schema":
+        """Schema with ``extra`` attributes appended."""
+        return Schema((*self._attributes, *extra))
+
+    def union_compatible(self, other: "Schema") -> bool:
+        """True when the two schemas have identical names and types in order."""
+        return self._attributes == other._attributes
+
+    def require_union_compatible(self, other: "Schema") -> None:
+        """Raise :class:`SchemaError` unless union-compatible with ``other``."""
+        if not self.union_compatible(other):
+            raise SchemaError(
+                f"schemas are not union-compatible: {self!r} vs {other!r}")
+
+    def disjoint_names(self, other: "Schema") -> bool:
+        """True when no attribute name appears in both schemas."""
+        return not set(self.names) & set(other.names)

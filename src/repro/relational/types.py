@@ -1,0 +1,113 @@
+"""Column datatypes for the columnar relational engine.
+
+Every attribute in a :class:`~repro.relational.schema.Schema` carries a
+:class:`DataType`.  The datatype determines
+
+* the NumPy dtype used for the column's backing array,
+* the *wire width* in bytes used by the simulated network cost model
+  (:mod:`repro.distributed.network`) when a relation is shipped between a
+  Skalla site and the coordinator, and
+* which operations (arithmetic, comparison) are legal on the column.
+
+The wire widths mirror a simple fixed-width binary encoding, close to what
+a system like Daytona would ship for these types.  They only need to be
+*consistent*, not exact, for the paper's traffic-shape results to hold.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Logical column datatypes supported by the engine."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+    BOOL = "bool"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """NumPy dtype backing a column of this type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def wire_width(self) -> int:
+        """Bytes shipped per value by the network cost model.
+
+        Strings are modelled with a fixed 24-byte width (close to the
+        average padded width of TPC-H name/comment prefixes used here).
+        """
+        return _WIRE_WIDTHS[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether arithmetic is legal on columns of this type."""
+        return self in (DataType.INT64, DataType.FLOAT64)
+
+
+_NUMPY_DTYPES = {
+    DataType.INT64: np.dtype(np.int64),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.STRING: np.dtype(object),
+    DataType.BOOL: np.dtype(np.bool_),
+}
+
+_WIRE_WIDTHS = {
+    DataType.INT64: 8,
+    DataType.FLOAT64: 8,
+    DataType.STRING: 24,
+    DataType.BOOL: 1,
+}
+
+
+def infer_type(value: object) -> DataType:
+    """Infer the :class:`DataType` of a single Python value.
+
+    Used when building relations from rows of Python objects.  Booleans are
+    checked before integers because ``bool`` is a subclass of ``int``.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return DataType.BOOL
+    if isinstance(value, (int, np.integer)):
+        return DataType.INT64
+    if isinstance(value, (float, np.floating)):
+        return DataType.FLOAT64
+    if isinstance(value, str):
+        return DataType.STRING
+    raise SchemaError(f"cannot infer a column datatype for value {value!r} "
+                      f"of type {type(value).__name__}")
+
+
+def common_type(left: DataType, right: DataType) -> DataType:
+    """Return the datatype of an arithmetic result over two inputs.
+
+    INT64 combined with FLOAT64 widens to FLOAT64, mirroring SQL numeric
+    type promotion.  Non-numeric operands raise :class:`SchemaError`.
+    """
+    if not left.is_numeric or not right.is_numeric:
+        raise SchemaError(
+            f"arithmetic requires numeric types, got {left.value} and {right.value}")
+    if DataType.FLOAT64 in (left, right):
+        return DataType.FLOAT64
+    return DataType.INT64
+
+
+def coerce_array(values: object, dtype: DataType) -> np.ndarray:
+    """Coerce ``values`` into a 1-D NumPy array backing a column.
+
+    Accepts lists, tuples, NumPy arrays, and scalars (broadcast is *not*
+    performed here — scalars become length-1 arrays).  The result always
+    owns dtype ``dtype.numpy_dtype``.
+    """
+    array = np.asarray(values, dtype=dtype.numpy_dtype)
+    if array.ndim == 0:
+        array = array.reshape(1)
+    if array.ndim != 1:
+        raise SchemaError(f"columns must be 1-D, got shape {array.shape}")
+    return array

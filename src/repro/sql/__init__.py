@@ -1,0 +1,26 @@
+"""Egil, the OLAP query frontend: an SQL subset with ``THEN COMPUTE``
+rounds for correlated aggregates, compiled into GMDJ expressions."""
+
+from repro.sql.ast import (
+    AggCall, AggregateItem, Binary, ComputedItem, ComputeRound, Constant,
+    Logical, Membership, Name, Negation, OrderItem, SelectStatement,
+    SqlExpr, names_in, walk)
+from repro.sql.compiler import (
+    CompiledQuery, compile_query, compile_sql, compile_statement)
+from repro.sql.cube_support import (
+    CompiledCube, compile_cube, compile_cube_statement,
+    grand_total_expression)
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse
+
+__all__ = [
+    "AggCall", "AggregateItem", "Binary", "ComputedItem", "ComputeRound",
+    "Constant", "Logical",
+    "Membership", "Name", "Negation", "OrderItem", "SelectStatement", "SqlExpr",
+    "names_in", "walk",
+    "CompiledQuery", "compile_query", "compile_sql", "compile_statement",
+    "CompiledCube", "compile_cube", "compile_cube_statement",
+    "grand_total_expression",
+    "Token", "tokenize",
+    "parse",
+]

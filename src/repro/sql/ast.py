@@ -1,0 +1,177 @@
+"""Abstract syntax for the Egil OLAP-SQL subset.
+
+The surface language covers the query class the paper targets: grouping
+with aggregates, plus *correlated aggregate rounds* chained with
+``THEN COMPUTE`` (each becomes a further GMDJ over the same detail
+relation, whose condition may reference the aggregates of earlier
+rounds — exactly Example 1's shape)::
+
+    SELECT SourceAS, DestAS, COUNT(*) AS cnt1, SUM(NumBytes) AS sum1
+    FROM Flow
+    GROUP BY SourceAS, DestAS
+    THEN COMPUTE COUNT(*) AS cnt2 WHERE NumBytes >= sum1 / cnt1
+
+Scalar expressions here are *unresolved*: identifiers become
+:class:`Name` nodes, and the compiler decides per clause whether a name
+refers to a detail attribute, a grouping attribute, or an aggregate
+alias from an earlier round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class SqlExpr:
+    """Base class of unresolved scalar/boolean expressions."""
+
+
+@dataclass(frozen=True)
+class Name(SqlExpr):
+    """An identifier whose binding the compiler resolves."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class Constant(SqlExpr):
+    """A literal number, string, or boolean."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Binary(SqlExpr):
+    """Arithmetic or comparison operator application."""
+
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class Logical(SqlExpr):
+    """AND / OR over two or more operands."""
+
+    op: str  # "and" | "or"
+    operands: tuple[SqlExpr, ...]
+
+
+@dataclass(frozen=True)
+class Negation(SqlExpr):
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class Membership(SqlExpr):
+    """``expr [NOT] IN (v1, v2, …)``"""
+
+    operand: SqlExpr
+    values: tuple[object, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class AggCall(SqlExpr):
+    """An aggregate call appearing *inside* a select expression,
+    e.g. the ``SUM(x)`` in ``SUM(x) / COUNT(*) AS avg_x``."""
+
+    func: str
+    column: str | None  # None for COUNT(*)
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """``FUNC(column|*) AS alias`` in a select or compute list."""
+
+    func: str
+    column: str | None  # None for COUNT(*)
+    alias: str
+
+
+@dataclass(frozen=True)
+class ComputedItem:
+    """``<expression over aggregate calls and group attrs> AS alias``.
+
+    Compiled into hidden aggregates plus a derived output column
+    computed at the coordinator after the final synchronization.
+    """
+
+    expr: SqlExpr
+    alias: str
+
+
+@dataclass(frozen=True)
+class ComputeRound:
+    """One ``THEN COMPUTE <aggregates> [WHERE <condition>]`` clause."""
+
+    aggregates: tuple[AggregateItem, ...]
+    condition: SqlExpr | None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` key: an output column and its direction."""
+
+    column: str
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """The full parsed query.
+
+    ``having``, ``order_by``, and ``limit`` are *presentation* clauses:
+    they apply to the final (already aggregated) result at the
+    coordinator and never affect the distributed rounds.  ``computed``
+    holds derived select items (arithmetic over aggregate calls).
+    """
+
+    group_attrs: tuple[str, ...]
+    aggregates: tuple[AggregateItem, ...]
+    table: str
+    where: SqlExpr | None
+    compute_rounds: tuple[ComputeRound, ...]
+    having: SqlExpr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    computed: tuple[ComputedItem, ...] = ()
+    #: True for GROUP BY CUBE(...): aggregate at every granularity
+    cube: bool = False
+
+    def round_count(self) -> int:
+        """GMDJ rounds this statement compiles to."""
+        return 1 + len(self.compute_rounds)
+
+
+def names_in(expr: SqlExpr) -> set[str]:
+    """All identifiers referenced by an unresolved expression."""
+    if isinstance(expr, Name):
+        return {expr.value}
+    if isinstance(expr, Binary):
+        return names_in(expr.left) | names_in(expr.right)
+    if isinstance(expr, Logical):
+        result: set[str] = set()
+        for operand in expr.operands:
+            result |= names_in(operand)
+        return result
+    if isinstance(expr, Negation):
+        return names_in(expr.operand)
+    if isinstance(expr, Membership):
+        return names_in(expr.operand)
+    return set()
+
+
+def walk(expr: SqlExpr) -> Sequence[SqlExpr]:
+    """Pre-order traversal of an expression tree (for analyses/tests)."""
+    nodes = [expr]
+    if isinstance(expr, Binary):
+        nodes += list(walk(expr.left)) + list(walk(expr.right))
+    elif isinstance(expr, Logical):
+        for operand in expr.operands:
+            nodes += list(walk(operand))
+    elif isinstance(expr, (Negation, Membership)):
+        inner = expr.operand
+        nodes += list(walk(inner))
+    return nodes

@@ -1,0 +1,148 @@
+"""``GROUP BY CUBE(...)``: compiling and running cube statements.
+
+A cube statement aggregates at *every* granularity of its grouping
+attributes (Gray et al. [12]); Egil compiles it into one ordinary GMDJ
+expression per granularity plus a grand-total expression, so every
+piece runs through the distributed engine unchanged.  The grand total
+is itself a (degenerate) GMDJ — a single-row base relation with an
+always-true condition — so even it ships only sub-aggregates.
+
+Restrictions (each rejected with a clear error): cube statements take
+plain aggregate select items only — no ``WHERE``, ``THEN COMPUTE``,
+computed expressions, or presentation clauses.  Those compose poorly
+with granularity enumeration and are better expressed per granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParseError
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.expressions import Literal
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType
+from repro.core.cube import ALL, cube_expressions
+from repro.core.expression_tree import GmdjExpression, RelationBase
+from repro.core.gmdj import Gmdj
+from repro.sql.ast import SelectStatement
+from repro.sql.parser import parse
+
+
+def grand_total_expression(aggregates: Sequence[AggregateSpec],
+                           ) -> GmdjExpression:
+    """The () granularity as a distributable GMDJ.
+
+    A one-row base relation and an always-true condition make every
+    detail tuple contribute to the single output row; the usual
+    sub-/super-aggregation then computes the grand total without ever
+    centralizing detail data.
+    """
+    spine = Relation.from_columns(
+        Schema([Attribute("__one", DataType.INT64)]),
+        {"__one": np.array([1], dtype=np.int64)})
+    gmdj = Gmdj.single(list(aggregates), Literal(True))
+    return GmdjExpression(RelationBase(spine), (gmdj,), ("__one",))
+
+
+@dataclass(frozen=True)
+class CompiledCube:
+    """A compiled cube statement: one expression per granularity."""
+
+    attrs: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+    granularities: tuple[tuple[tuple[str, ...], GmdjExpression], ...]
+    grand_total: GmdjExpression
+
+    def stitch(self, pieces: Sequence[tuple[tuple[str, ...], Relation]],
+               total: Relation) -> Relation:
+        """Combine per-granularity results into one ALL-marked table."""
+        alias_attributes = [total.schema[spec.alias]
+                            for spec in self.aggregates]
+        schema = Schema([*(Attribute(attr, DataType.STRING)
+                           for attr in self.attrs), *alias_attributes])
+        parts = []
+        for subset, relation in pieces:
+            columns: dict[str, np.ndarray] = {}
+            for attr in self.attrs:
+                if attr in subset:
+                    columns[attr] = relation.column(attr).astype(
+                        str).astype(object)
+                else:
+                    columns[attr] = np.full(relation.num_rows, ALL,
+                                            dtype=object)
+            for spec in self.aggregates:
+                columns[spec.alias] = relation.column(spec.alias)
+            parts.append(Relation(schema, columns))
+        total_columns: dict[str, np.ndarray] = {
+            attr: np.full(1, ALL, dtype=object) for attr in self.attrs}
+        for spec in self.aggregates:
+            total_columns[spec.alias] = total.column(spec.alias)
+        parts.append(Relation(schema, total_columns))
+        return Relation.concat(parts)
+
+    def run_centralized(self, detail: Relation) -> Relation:
+        pieces = [(subset, expression.evaluate_centralized(detail))
+                  for subset, expression in self.granularities]
+        total = self.grand_total.evaluate_centralized(detail)
+        return self.stitch(pieces, total.project(
+            [spec.alias for spec in self.aggregates]))
+
+    def execute(self, engine, flags) -> tuple[Relation, list]:
+        """Run every granularity on a distributed engine.
+
+        Returns the stitched relation and the list of per-granularity
+        :class:`~repro.distributed.engine.ExecutionResult` objects.
+        """
+        runs = []
+        pieces = []
+        for subset, expression in self.granularities:
+            result = engine.execute(expression, flags)
+            runs.append(result)
+            pieces.append((subset, result.relation))
+        total_run = engine.execute(self.grand_total, flags)
+        runs.append(total_run)
+        total = total_run.relation.project(
+            [spec.alias for spec in self.aggregates])
+        return self.stitch(pieces, total), runs
+
+
+def compile_cube_statement(statement: SelectStatement,
+                           detail_schema: Schema) -> CompiledCube:
+    """Compile a parsed ``GROUP BY CUBE`` statement."""
+    if not statement.cube:
+        raise ParseError("not a CUBE statement; use compile_query")
+    unsupported = [
+        ("WHERE", statement.where is not None),
+        ("THEN COMPUTE", bool(statement.compute_rounds)),
+        ("computed select expressions", bool(statement.computed)),
+        ("HAVING", statement.having is not None),
+        ("ORDER BY", bool(statement.order_by)),
+        ("LIMIT", statement.limit is not None),
+    ]
+    for clause, present in unsupported:
+        if present:
+            raise ParseError(
+                f"{clause} is not supported with GROUP BY CUBE; run the "
+                f"granularities you need as separate statements")
+    for attr in statement.group_attrs:
+        if attr not in detail_schema:
+            raise ParseError(
+                f"CUBE attribute {attr!r} is not in the detail schema")
+    aggregates = tuple(AggregateSpec(item.func, item.column, item.alias)
+                       for item in statement.aggregates)
+    granularities = tuple(
+        (subset, expression)
+        for subset, expression in cube_expressions(statement.group_attrs,
+                                                   aggregates))
+    return CompiledCube(statement.group_attrs, aggregates, granularities,
+                        grand_total_expression(aggregates))
+
+
+def compile_cube(source: str, detail_schema: Schema) -> CompiledCube:
+    """Parse and compile a cube statement in one step."""
+    return compile_cube_statement(parse(source), detail_schema)

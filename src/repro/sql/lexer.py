@@ -1,0 +1,120 @@
+"""Tokenizer for the Egil OLAP-SQL subset.
+
+Produces a flat token stream for the recursive-descent parser.  The
+language is case-insensitive for keywords; identifiers keep their case
+(attribute names are case-sensitive, matching the relational layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT",
+    "IN", "THEN", "COMPUTE", "TRUE", "FALSE", "HAVING", "ORDER", "ASC",
+    "DESC", "LIMIT", "CUBE",
+}
+
+#: token kinds
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "==", "=", "<", ">", "+", "-", "*",
+              "/", "%")
+_PUNCTUATION = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == KEYWORD and self.text == word.upper()
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.text!r}@{self.position})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char == "-" and source[position:position + 2] == "--":
+            # line comment
+            newline = source.find("\n", position)
+            position = length if newline < 0 else newline + 1
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (source[position].isalnum()
+                                         or source[position] == "_"):
+                position += 1
+            text = source[start:position]
+            if text.upper() in KEYWORDS:
+                tokens.append(Token(KEYWORD, text.upper(), start))
+            else:
+                tokens.append(Token(IDENT, text, start))
+            continue
+        if char.isdigit() or (char == "." and position + 1 < length
+                              and source[position + 1].isdigit()):
+            start = position
+            seen_dot = False
+            while position < length and (source[position].isdigit()
+                                         or (source[position] == "."
+                                             and not seen_dot)):
+                if source[position] == ".":
+                    seen_dot = True
+                position += 1
+            tokens.append(Token(NUMBER, source[start:position], start))
+            continue
+        if char == "'":
+            start = position
+            position += 1
+            parts: list[str] = []
+            while True:
+                if position >= length:
+                    raise ParseError("unterminated string literal", start)
+                if source[position] == "'":
+                    if source[position:position + 2] == "''":
+                        parts.append("'")
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                parts.append(source[position])
+                position += 1
+            tokens.append(Token(STRING, "".join(parts), start))
+            continue
+        matched_operator = None
+        for operator in _OPERATORS:
+            if source.startswith(operator, position):
+                matched_operator = operator
+                break
+        if matched_operator is not None:
+            tokens.append(Token(OP, matched_operator, position))
+            position += len(matched_operator)
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(PUNCT, char, position))
+            position += 1
+            continue
+        raise ParseError(f"unexpected character {char!r}", position)
+    tokens.append(Token(EOF, "", length))
+    return tokens

@@ -1,0 +1,354 @@
+"""Recursive-descent parser for the Egil OLAP-SQL subset.
+
+Grammar (informal)::
+
+    statement     := SELECT select_list FROM ident [WHERE condition]
+                     GROUP BY ident ("," ident)*
+                     (THEN COMPUTE agg_list [WHERE condition])*
+                     [HAVING condition]
+                     [ORDER BY ident [ASC|DESC] ("," ...)*]
+                     [LIMIT integer] [";"]
+    select_list   := select_item ("," select_item)*
+    select_item   := ident                      -- grouping attribute
+                   | agg_call AS ident          -- plain aggregate
+                   | sum AS ident               -- computed expression
+    agg_list      := aggregate ("," aggregate)*
+    aggregate     := ident "(" ("*" | ident) ")" AS ident
+    agg_call      := ident "(" ("*" | ident) ")"   -- inside select exprs
+    condition     := disjunction
+    disjunction   := conjunction (OR conjunction)*
+    conjunction   := unary (AND unary)*
+    unary         := NOT unary | predicate
+    predicate     := sum ((cmp) sum | [NOT] IN "(" literal,* ")")?
+    sum           := term (("+"|"-") term)*
+    term          := factor (("*"|"/"|"%") factor)*
+    factor        := literal | ident | "(" condition ")" | "-" factor
+
+The grouping attributes must appear in the select list (mirroring SQL's
+GROUP BY validity rule); aggregates require an ``AS`` alias because the
+alias names the output attribute and may be referenced by later
+``THEN COMPUTE`` rounds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    AggCall, AggregateItem, Binary, ComputedItem, ComputeRound, Constant,
+    Logical, Membership, Name, Negation, OrderItem, SelectStatement,
+    SqlExpr)
+from repro.sql.lexer import (
+    EOF, IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING, Token, tokenize)
+
+_COMPARISONS = {"=": "==", "==": "==", "<>": "!=", "!=": "!=",
+                "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+        self._in_select_expr = False
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != EOF:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise ParseError(f"expected {word}, found {token.text!r}",
+                             token.position)
+        return self._advance()
+
+    def _expect_punct(self, char: str) -> Token:
+        token = self._peek()
+        if token.kind != PUNCT or token.text != char:
+            raise ParseError(f"expected {char!r}, found {token.text!r}",
+                             token.position)
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind != IDENT:
+            raise ParseError(f"expected an identifier, found {token.text!r}",
+                             token.position)
+        return self._advance()
+
+    def _match_punct(self, char: str) -> bool:
+        token = self._peek()
+        if token.kind == PUNCT and token.text == char:
+            self._advance()
+            return True
+        return False
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # -- statement --------------------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        group_attrs, aggregates, computed = self._select_list()
+        self._expect_keyword("FROM")
+        table = self._expect_ident().text
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self._condition()
+        self._expect_keyword("GROUP")
+        self._expect_keyword("BY")
+        cube = self._match_keyword("CUBE")
+        if cube:
+            self._expect_punct("(")
+        group_by = [self._expect_ident().text]
+        while self._match_punct(","):
+            group_by.append(self._expect_ident().text)
+        if cube:
+            self._expect_punct(")")
+
+        if set(group_by) != set(group_attrs):
+            raise ParseError(
+                f"GROUP BY attributes {group_by} must match the plain "
+                f"select-list attributes {list(group_attrs)}")
+
+        rounds: list[ComputeRound] = []
+        while self._match_keyword("THEN"):
+            self._expect_keyword("COMPUTE")
+            round_aggs = [self._aggregate()]
+            while self._match_punct(","):
+                round_aggs.append(self._aggregate())
+            condition = None
+            if self._match_keyword("WHERE"):
+                condition = self._condition()
+            rounds.append(ComputeRound(tuple(round_aggs), condition))
+
+        having = None
+        if self._match_keyword("HAVING"):
+            having = self._condition()
+        order_by = self._order_by_clause()
+        limit = self._limit_clause()
+
+        self._match_punct(";")
+        token = self._peek()
+        if token.kind != EOF:
+            raise ParseError(f"unexpected trailing input {token.text!r}",
+                             token.position)
+        return SelectStatement(tuple(group_by), tuple(aggregates), table,
+                               where, tuple(rounds), having, order_by,
+                               limit, computed, cube)
+
+    def _order_by_clause(self) -> tuple[OrderItem, ...]:
+        if not self._match_keyword("ORDER"):
+            return ()
+        self._expect_keyword("BY")
+        items = [self._order_item()]
+        while self._match_punct(","):
+            items.append(self._order_item())
+        return tuple(items)
+
+    def _order_item(self) -> OrderItem:
+        column = self._expect_ident().text
+        ascending = True
+        if self._match_keyword("ASC"):
+            ascending = True
+        elif self._match_keyword("DESC"):
+            ascending = False
+        return OrderItem(column, ascending)
+
+    def _limit_clause(self) -> int | None:
+        if not self._match_keyword("LIMIT"):
+            return None
+        token = self._advance()
+        if token.kind != NUMBER or "." in token.text:
+            raise ParseError("LIMIT expects an integer", token.position)
+        value = int(token.text)
+        if value < 0:
+            raise ParseError("LIMIT must be non-negative", token.position)
+        return value
+
+    def _select_list(self) -> tuple[tuple[str, ...],
+                                    tuple[AggregateItem, ...],
+                                    tuple[ComputedItem, ...]]:
+        group_attrs: list[str] = []
+        aggregates: list[AggregateItem] = []
+        computed: list[ComputedItem] = []
+        while True:
+            self._in_select_expr = True
+            try:
+                expr = self._sum()
+            finally:
+                self._in_select_expr = False
+            if self._match_keyword("AS"):
+                alias = self._expect_ident().text
+                if isinstance(expr, AggCall):
+                    aggregates.append(AggregateItem(expr.func, expr.column,
+                                                    alias))
+                else:
+                    computed.append(ComputedItem(expr, alias))
+            elif isinstance(expr, Name):
+                group_attrs.append(expr.value)
+            else:
+                token = self._peek()
+                raise ParseError(
+                    "select expressions need an AS alias",
+                    token.position)
+            if not self._match_punct(","):
+                break
+        if not aggregates and not computed:
+            raise ParseError("the select list needs at least one aggregate")
+        if not group_attrs:
+            raise ParseError("the select list needs grouping attributes")
+        return tuple(group_attrs), tuple(aggregates), tuple(computed)
+
+    def _agg_call(self) -> AggCall:
+        func = self._expect_ident().text.lower()
+        self._expect_punct("(")
+        token = self._peek()
+        if token.kind == OP and token.text == "*":
+            self._advance()
+            column = None
+        else:
+            column = self._expect_ident().text
+        self._expect_punct(")")
+        return AggCall(func, column)
+
+    def _aggregate(self) -> AggregateItem:
+        func = self._expect_ident().text.lower()
+        self._expect_punct("(")
+        token = self._peek()
+        if token.kind == OP and token.text == "*":
+            self._advance()
+            column = None
+        else:
+            column = self._expect_ident().text
+        self._expect_punct(")")
+        self._expect_keyword("AS")
+        alias = self._expect_ident().text
+        return AggregateItem(func, column, alias)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _condition(self) -> SqlExpr:
+        return self._disjunction()
+
+    def _disjunction(self) -> SqlExpr:
+        operands = [self._conjunction()]
+        while self._match_keyword("OR"):
+            operands.append(self._conjunction())
+        if len(operands) == 1:
+            return operands[0]
+        return Logical("or", tuple(operands))
+
+    def _conjunction(self) -> SqlExpr:
+        operands = [self._unary()]
+        while self._match_keyword("AND"):
+            operands.append(self._unary())
+        if len(operands) == 1:
+            return operands[0]
+        return Logical("and", tuple(operands))
+
+    def _unary(self) -> SqlExpr:
+        if self._match_keyword("NOT"):
+            return Negation(self._unary())
+        return self._predicate()
+
+    def _predicate(self) -> SqlExpr:
+        left = self._sum()
+        token = self._peek()
+        if token.kind == OP and token.text in _COMPARISONS:
+            self._advance()
+            right = self._sum()
+            return Binary(_COMPARISONS[token.text], left, right)
+        negated = False
+        if token.is_keyword("NOT"):
+            nxt = self._tokens[self._index + 1]
+            if nxt.is_keyword("IN"):
+                self._advance()
+                negated = True
+                token = self._peek()
+        if token.is_keyword("IN"):
+            self._advance()
+            self._expect_punct("(")
+            values = [self._literal_value()]
+            while self._match_punct(","):
+                values.append(self._literal_value())
+            self._expect_punct(")")
+            return Membership(left, tuple(values), negated)
+        return left
+
+    def _literal_value(self) -> object:
+        token = self._advance()
+        if token.kind == NUMBER:
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == STRING:
+            return token.text
+        raise ParseError(f"expected a literal, found {token.text!r}",
+                         token.position)
+
+    def _sum(self) -> SqlExpr:
+        left = self._term()
+        while True:
+            token = self._peek()
+            if token.kind == OP and token.text in ("+", "-"):
+                self._advance()
+                left = Binary(token.text, left, self._term())
+            else:
+                return left
+
+    def _term(self) -> SqlExpr:
+        left = self._factor()
+        while True:
+            token = self._peek()
+            if token.kind == OP and token.text in ("*", "/", "%"):
+                self._advance()
+                left = Binary(token.text, left, self._factor())
+            else:
+                return left
+
+    def _factor(self) -> SqlExpr:
+        token = self._peek()
+        if token.kind == NUMBER:
+            self._advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Constant(value)
+        if token.kind == STRING:
+            self._advance()
+            return Constant(token.text)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return Constant(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return Constant(False)
+        if token.kind == IDENT:
+            following = self._tokens[self._index + 1]
+            if self._in_select_expr and following.kind == PUNCT \
+                    and following.text == "(":
+                return self._agg_call()
+            self._advance()
+            return Name(token.text)
+        if token.kind == PUNCT and token.text == "(":
+            self._advance()
+            inner = self._condition()
+            self._expect_punct(")")
+            return inner
+        if token.kind == OP and token.text == "-":
+            self._advance()
+            return Binary("-", Constant(0), self._factor())
+        raise ParseError(f"unexpected token {token.text!r} in expression",
+                         token.position)
+
+
+def parse(source: str) -> SelectStatement:
+    """Parse one Egil statement; raises :class:`ParseError` on failure."""
+    return _Parser(tokenize(source)).parse_statement()

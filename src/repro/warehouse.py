@@ -1,0 +1,204 @@
+"""The high-level facade: one object from SQL text to results.
+
+:class:`Warehouse` wires the whole stack together for the common case:
+
+>>> warehouse = Warehouse.from_partitions(partitions, info)
+>>> result = warehouse.sql('''
+...     SELECT SourceAS, COUNT(*) AS n, AVG(NumBytes) AS m
+...     FROM Flow GROUP BY SourceAS
+...     HAVING n > 100 ORDER BY m DESC LIMIT 10''')
+>>> print(result.relation.pretty())
+>>> print(result.report())          # plan + measured execution
+
+Under the hood each ``sql()`` call parses and compiles the statement
+(Egil), picks optimization flags with the statistics-driven cost model
+(unless given explicitly), executes distributed, and applies the
+presentation clauses.  Column statistics are collected lazily per
+attribute set and cached — repeated queries over the same grouping
+attributes pay for statistics once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.relational.relation import Relation
+from repro.relational.statistics import (
+    TableStats, collect_stats, merge_stats)
+from repro.core.expression_tree import GmdjExpression
+from repro.distributed.engine import ExecutionResult, SkallaEngine
+from repro.distributed.explain import explain_analyze
+from repro.distributed.messages import SiteId
+from repro.distributed.metrics import QueryMetrics
+from repro.distributed.partition import DistributionInfo
+from repro.distributed.plan import DistributedPlan, OptimizationFlags
+from repro.optimizer.cost import choose_flags
+from repro.optimizer.planner import build_plan
+from repro.sql.compiler import CompiledQuery, compile_query
+
+
+@dataclass
+class QueryResult:
+    """What one ``Warehouse.sql()`` call produced."""
+
+    relation: Relation
+    metrics: QueryMetrics
+    plan: DistributedPlan
+    flags: OptimizationFlags
+    compiled: CompiledQuery
+
+    def report(self) -> str:
+        """Plan + measured execution, human-readable."""
+        return explain_analyze(
+            ExecutionResult(self.relation, self.metrics, self.plan))
+
+
+class Warehouse:
+    """A distributed data warehouse with a SQL front door.
+
+    Parameters
+    ----------
+    engine:
+        The underlying Skalla engine.
+    auto_optimize:
+        When true (default), ``sql()``/``execute()`` pick optimization
+        flags with the cost model; when false they run unoptimized
+        unless flags are passed explicitly.
+    """
+
+    def __init__(self, engine: SkallaEngine, auto_optimize: bool = True):
+        self.engine = engine
+        self.auto_optimize = auto_optimize
+        self._stats_cache: dict[tuple[str, ...], TableStats] = {}
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_partitions(cls, partitions: Mapping[SiteId, Relation],
+                        info: DistributionInfo | None = None,
+                        auto_optimize: bool = True,
+                        **engine_kwargs) -> "Warehouse":
+        """Build from per-site fragments (see :class:`SkallaEngine`)."""
+        return cls(SkallaEngine(partitions, info, **engine_kwargs),
+                   auto_optimize=auto_optimize)
+
+    @classmethod
+    def load(cls, directory: str | Path,
+             auto_optimize: bool = True) -> "Warehouse":
+        """Open a warehouse saved with :meth:`save`."""
+        from repro.distributed.storage import load_warehouse
+        return cls(load_warehouse(directory), auto_optimize=auto_optimize)
+
+    def save(self, directory: str | Path) -> Path:
+        """Persist fragments + distribution knowledge to ``directory``."""
+        from repro.distributed.storage import save_warehouse
+        return save_warehouse(self.engine, directory)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def stats(self, attrs: Sequence[str]) -> TableStats:
+        """Merged per-site statistics for ``attrs`` (cached)."""
+        key = tuple(sorted(attrs))
+        if key not in self._stats_cache:
+            per_site = [collect_stats(self.engine.fragment(site),
+                                      attrs=list(key))
+                        for site in self.engine.site_ids]
+            self._stats_cache[key] = merge_stats(per_site)
+        return self._stats_cache[key]
+
+    def pick_flags(self, expression: GmdjExpression) -> OptimizationFlags:
+        """Cost-model flag choice for ``expression``."""
+        stats = self.stats(expression.key)
+        flags, __ = choose_flags(
+            expression, stats, len(self.engine.site_ids),
+            self.engine.detail_schema, info=self.engine.info,
+            link=self.engine.link)
+        return flags
+
+    # -- querying --------------------------------------------------------------------
+
+    def sql(self, text: str, flags: OptimizationFlags | None = None,
+            streaming: bool = False) -> QueryResult:
+        """Compile, optimize, execute, and post-process one statement.
+
+        ``GROUP BY CUBE`` statements are dispatched to the cube
+        pipeline: every granularity (plus the grand total) runs as its
+        own distributed query and the results are stitched into one
+        ALL-marked relation; the returned metrics aggregate all runs.
+        """
+        from repro.sql.parser import parse
+        statement = parse(text)
+        if statement.cube:
+            return self._run_cube(statement, flags)
+        compiled = compile_query(text, self.engine.detail_schema)
+        return self.execute(compiled, flags=flags, streaming=streaming)
+
+    def _run_cube(self, statement,
+                  flags: OptimizationFlags | None) -> QueryResult:
+        from repro.sql.cube_support import compile_cube_statement
+        compiled = compile_cube_statement(statement,
+                                          self.engine.detail_schema)
+        finest = compiled.granularities[0][1]
+        if flags is None:
+            flags = (self.pick_flags(finest) if self.auto_optimize
+                     else OptimizationFlags())
+        stitched, runs = compiled.execute(self.engine, flags)
+        combined = QueryMetrics(
+            num_participating_sites=len(self.engine.site_ids))
+        for run in runs:
+            combined.phases.extend(run.metrics.phases)
+            combined.num_synchronizations += \
+                run.metrics.num_synchronizations
+            combined.retries += run.metrics.retries
+            combined.log.messages.extend(run.metrics.log.messages)
+        return QueryResult(relation=stitched, metrics=combined,
+                           plan=runs[0].plan, flags=flags,
+                           compiled=CompiledQuery(finest))
+
+    def execute(self, query: CompiledQuery | GmdjExpression,
+                flags: OptimizationFlags | None = None,
+                streaming: bool = False) -> QueryResult:
+        """Run a compiled query or bare expression."""
+        if isinstance(query, GmdjExpression):
+            compiled = CompiledQuery(query)
+        else:
+            compiled = query
+        expression = compiled.expression
+        if flags is None:
+            flags = (self.pick_flags(expression) if self.auto_optimize
+                     else OptimizationFlags())
+        result = self.engine.execute(expression, flags,
+                                     streaming=streaming)
+        final = compiled.post_process(result.relation)
+        return QueryResult(relation=final, metrics=result.metrics,
+                           plan=result.plan, flags=flags,
+                           compiled=compiled)
+
+    def explain(self, text: str,
+                flags: OptimizationFlags | None = None) -> str:
+        """The distributed plan for a statement, without executing it."""
+        compiled = compile_query(text, self.engine.detail_schema)
+        if flags is None:
+            flags = (self.pick_flags(compiled.expression)
+                     if self.auto_optimize else OptimizationFlags())
+        plan = build_plan(compiled.expression, flags, self.engine.info,
+                          self.engine.detail_schema,
+                          sites=self.engine.site_ids)
+        return plan.explain()
+
+    # -- introspection -------------------------------------------------------------
+
+    def describe(self) -> str:
+        """A short summary of the warehouse's layout."""
+        engine = self.engine
+        lines = [f"{len(engine.site_ids)} sites, "
+                 f"{sum(engine.fragment(s).num_rows for s in engine.site_ids):,} rows"]
+        lines.append("schema: " + ", ".join(engine.detail_schema.names))
+        if engine.info is not None:
+            attrs = sorted(engine.info.partition_attributes())
+            lines.append(f"partition attributes: {attrs or '(none)'}")
+        else:
+            lines.append("partition attributes: (no knowledge)")
+        return "\n".join(lines)

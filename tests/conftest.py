@@ -1,0 +1,58 @@
+"""Shared fixtures: small deterministic data sets and warehouses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.flows import generate_flows, router_as_ranges
+from repro.data.tpch import generate_tpcr
+from repro.distributed.partition import (
+    RangeConstraint, partition_by_values)
+from repro.distributed.engine import SkallaEngine
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+
+@pytest.fixture(scope="session")
+def small_flows() -> Relation:
+    """4k flows over 4 routers / 16 source ASes (fast, deterministic)."""
+    return generate_flows(num_flows=4_000, num_routers=4, num_source_as=16,
+                          num_dest_as=8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_flows() -> Relation:
+    """300 flows — small enough for brute-force reference checks."""
+    return generate_flows(num_flows=300, num_routers=3, num_source_as=6,
+                          num_dest_as=4, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_tpcr() -> Relation:
+    """8k TPCR rows with 400 customers."""
+    return generate_tpcr(num_rows=8_000, num_customers=400, seed=13)
+
+
+@pytest.fixture(scope="session")
+def flow_warehouse(small_flows):
+    """4-site warehouse partitioned by router, with SourceAS knowledge."""
+    partitions, info = partition_by_values(
+        small_flows, "RouterId", {site: [site] for site in range(4)})
+    for site, (low, high) in router_as_ranges(4, 16).items():
+        info.add(site, "SourceAS", RangeConstraint(low, high))
+    return SkallaEngine(partitions, info)
+
+
+@pytest.fixture()
+def simple_schema() -> Schema:
+    return Schema.of(("k", DataType.INT64), ("v", DataType.FLOAT64),
+                     ("name", DataType.STRING))
+
+
+@pytest.fixture()
+def simple_relation(simple_schema) -> Relation:
+    return Relation.from_rows(simple_schema, [
+        (1, 1.5, "a"), (1, 2.5, "b"), (2, 10.0, "c"),
+        (3, -1.0, "a"), (2, 4.0, "a"), (1, 0.0, "c"),
+    ])

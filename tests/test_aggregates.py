@@ -1,0 +1,184 @@
+"""Unit tests for the decomposable aggregate framework."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AggregateError, SchemaError
+from repro.relational.aggregates import (
+    AggregateSpec, aggregate_function, count_star, merge_grouped,
+    primitive_empty, primitive_grouped, primitive_merge, primitive_reduce,
+    register_function, validate_aggregate_list)
+from repro.relational.aggregates import AggregateFunction
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+DETAIL = Schema.of(("x", DataType.INT64), ("y", DataType.FLOAT64),
+                   ("s", DataType.STRING))
+
+
+class TestPrimitives:
+    def test_reduce(self):
+        values = np.array([3, 1, 2])
+        assert primitive_reduce("count", values) == 3
+        assert primitive_reduce("sum", values) == 6
+        assert primitive_reduce("min", values) == 1.0
+        assert primitive_reduce("max", values) == 3.0
+        assert primitive_reduce("sumsq", values) == 14.0
+
+    def test_empty_values(self):
+        empty = np.empty(0)
+        assert primitive_reduce("sum", empty) == 0
+        assert np.isnan(primitive_reduce("min", empty))
+        assert primitive_empty("count") == 0
+
+    def test_merge(self):
+        assert primitive_merge("sum", 3, 4) == 7
+        assert primitive_merge("min", 3.0, np.nan) == 3.0
+        assert primitive_merge("max", np.nan, 5.0) == 5.0
+
+    def test_grouped_count(self):
+        codes = np.array([0, 1, 0, 2, 0])
+        assert primitive_grouped("count", codes, None, 4).tolist() == \
+            [3, 1, 1, 0]
+
+    def test_grouped_sum_int_stays_int(self):
+        codes = np.array([0, 0, 1])
+        values = np.array([1, 2, 3], dtype=np.int64)
+        result = primitive_grouped("sum", codes, values, 2)
+        assert result.dtype == np.int64
+        assert result.tolist() == [3, 3]
+
+    def test_grouped_min_max_with_empty_group(self):
+        codes = np.array([0, 0, 2])
+        values = np.array([5.0, 3.0, 7.0])
+        mins = primitive_grouped("min", codes, values, 3)
+        assert mins[0] == 3.0 and np.isnan(mins[1]) and mins[2] == 7.0
+
+    def test_grouped_requires_values(self):
+        with pytest.raises(AggregateError):
+            primitive_grouped("sum", np.array([0]), None, 1)
+
+    def test_merge_grouped_counts(self):
+        codes = np.array([0, 0, 1])
+        states = np.array([2, 3, 4], dtype=np.int64)
+        merged = merge_grouped("count", codes, states, 3)
+        assert merged.tolist() == [5, 4, 0]
+        assert merged.dtype == np.int64
+
+    def test_merge_grouped_min_ignores_nan(self):
+        codes = np.array([0, 0])
+        states = np.array([np.nan, 2.0])
+        merged = merge_grouped("min", codes, states, 1)
+        assert merged[0] == 2.0
+
+
+class TestFunctions:
+    def test_lookup_case_insensitive(self):
+        assert aggregate_function("AVG").name == "avg"
+
+    def test_unknown_function(self):
+        with pytest.raises(AggregateError, match="unknown aggregate"):
+            aggregate_function("mode")
+
+    @pytest.mark.parametrize("func,expected", [
+        ("count", 4), ("sum", 10), ("min", 1.0), ("max", 4.0),
+        ("avg", 2.5), ("var", 1.25),
+    ])
+    def test_compute_matches_numpy(self, func, expected):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        result = aggregate_function(func).compute(values, len(values))
+        assert result == pytest.approx(expected)
+
+    def test_stddev(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        result = aggregate_function("stddev").compute(values, 4)
+        assert result == pytest.approx(np.sqrt(1.25))
+
+    def test_median_holistic_compute(self):
+        values = np.array([1.0, 9.0, 5.0])
+        assert aggregate_function("median").compute(values, 3) == 5.0
+        assert np.isnan(aggregate_function("median").compute(None, 0))
+
+    def test_count_distinct(self):
+        values = np.array([1, 1, 2, 3, 3])
+        assert aggregate_function("count_distinct").compute(values, 5) == 3
+
+    def test_holistic_state_primitives_raise(self):
+        with pytest.raises(AggregateError, match="holistic"):
+            aggregate_function("median").state_primitives()
+        with pytest.raises(AggregateError, match="holistic"):
+            aggregate_function("count_distinct").state_primitives()
+
+    def test_avg_finalize_empty_group_is_nan(self):
+        function = aggregate_function("avg")
+        result = function.finalize({"sum": np.array([0.0]),
+                                    "count": np.array([0])})
+        assert np.isnan(result[0])
+
+    def test_register_custom_function(self):
+        class First(AggregateFunction):
+            name = "test_first"
+
+            def output_dtype(self, input_dtype):
+                return DataType.FLOAT64
+
+            def state_primitives(self):
+                return ("min",)
+
+            def finalize(self, states):
+                return states["min"]
+
+        register_function(First())
+        assert aggregate_function("test_first").name == "test_first"
+
+    def test_register_unnamed_rejected(self):
+        class Nameless(AggregateFunction):
+            name = ""
+        with pytest.raises(AggregateError):
+            register_function(Nameless())
+
+
+class TestSpecs:
+    def test_count_star(self):
+        spec = count_star("n")
+        assert spec.column is None
+        assert spec.output_attribute(DETAIL).dtype is DataType.INT64
+
+    def test_column_required(self):
+        with pytest.raises(AggregateError):
+            AggregateSpec("sum", None, "s")
+
+    def test_sum_preserves_input_dtype(self):
+        int_spec = AggregateSpec("sum", "x", "sx")
+        float_spec = AggregateSpec("sum", "y", "sy")
+        assert int_spec.output_attribute(DETAIL).dtype is DataType.INT64
+        assert float_spec.output_attribute(DETAIL).dtype is DataType.FLOAT64
+
+    def test_sum_on_string_rejected(self):
+        spec = AggregateSpec("sum", "s", "bad")
+        with pytest.raises(AggregateError):
+            spec.output_attribute(DETAIL)
+
+    def test_state_fields_naming(self):
+        spec = AggregateSpec("avg", "x", "a1")
+        names = [field.name for field in spec.state_fields(DETAIL)]
+        assert names == ["a1__sum", "a1__count"]
+
+    def test_var_has_three_states(self):
+        spec = AggregateSpec("var", "y", "v1")
+        assert len(spec.state_fields(DETAIL)) == 3
+
+    def test_validate_alias_collision(self):
+        with pytest.raises(SchemaError, match="collides"):
+            validate_aggregate_list(
+                [count_star("x")], DETAIL, existing_names=["x"])
+
+    def test_validate_duplicate_alias(self):
+        with pytest.raises(SchemaError):
+            validate_aggregate_list(
+                [count_star("n"), count_star("n")], DETAIL, [])
+
+    def test_validate_missing_column(self):
+        with pytest.raises(SchemaError, match="not in the detail"):
+            validate_aggregate_list(
+                [AggregateSpec("sum", "zz", "s")], DETAIL, [])

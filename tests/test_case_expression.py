@@ -1,0 +1,92 @@
+"""Tests for the CASE expression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.expressions import Case, Literal, b, r
+from repro.relational.relation import Relation
+from repro.relational.types import DataType
+
+
+@pytest.fixture()
+def env():
+    return {"detail": {"p": np.array([80, 53, 22, 80]),
+                       "v": np.array([1.0, 2.0, 3.0, 4.0])},
+            "base": {"cut": 2.5}}
+
+
+class TestEvaluation:
+    def test_string_categorization(self, env):
+        expr = Case([(r.p == 80, Literal("web")),
+                     (r.p == 53, Literal("dns"))], Literal("other"))
+        assert expr.eval(env).tolist() == ["web", "dns", "other", "web"]
+
+    def test_first_matching_branch_wins(self, env):
+        expr = Case([(r.p >= 50, Literal(1)),
+                     (r.p >= 80, Literal(2))], Literal(0))
+        assert expr.eval(env).tolist() == [1, 1, 0, 1]
+
+    def test_value_expressions(self, env):
+        expr = Case([(r.v >= b.cut, r.v * 10)], r.v)
+        assert expr.eval(env).tolist() == [1.0, 2.0, 30.0, 40.0]
+
+    def test_scalar_evaluation(self):
+        expr = Case([(Literal(False), Literal("a")),
+                     (Literal(True), Literal("b"))], Literal("c"))
+        assert expr.eval({"base": None, "detail": None}) == "b"
+
+    def test_scalar_default(self):
+        expr = Case([(Literal(False), Literal("a"))], Literal("c"))
+        assert expr.eval({"base": None, "detail": None}) == "c"
+
+    def test_in_extend_operator(self, env):
+        from repro.relational.operators import extend
+        relation = Relation.from_dicts([
+            {"p": 80}, {"p": 53}, {"p": 21}])
+        result = extend(relation, {
+            "kind": Case([(r.p == 80, Literal("web"))], Literal("other"))})
+        assert result.column("kind").tolist() == ["web", "other", "other"]
+
+
+class TestStructure:
+    def test_requires_branches(self):
+        with pytest.raises(ExpressionError):
+            Case([], Literal(0))
+
+    def test_attrs_collects_everything(self):
+        expr = Case([(r.p == b.q, r.v)], b.z)
+        assert expr.attrs("detail") == {"p", "v"}
+        assert expr.attrs("base") == {"q", "z"}
+
+    def test_substitute(self, env):
+        expr = Case([(r.p == 80, Literal(1))], Literal(0))
+        replaced = expr.substitute({("detail", "p"): Literal(80)})
+        assert replaced.eval({"base": None, "detail": None}) == 1
+
+    def test_result_dtype_uniform(self):
+        schema = Relation.from_dicts([{"p": 1}]).schema
+        expr = Case([(r.p == 1, Literal("a"))], Literal("b"))
+        assert expr.result_dtype(None, schema) is DataType.STRING
+
+    def test_result_dtype_numeric_widening(self):
+        schema = Relation.from_dicts([{"p": 1}]).schema
+        expr = Case([(r.p == 1, Literal(1))], Literal(0.5))
+        assert expr.result_dtype(None, schema) is DataType.FLOAT64
+
+    def test_result_dtype_conflict(self):
+        schema = Relation.from_dicts([{"p": 1}]).schema
+        expr = Case([(r.p == 1, Literal("a"))], Literal(0))
+        with pytest.raises(ExpressionError, match="disagree"):
+            expr.result_dtype(None, schema)
+
+    def test_repr(self):
+        expr = Case([(r.p == 1, Literal("a"))], Literal("b"))
+        assert "CASE" in repr(expr) and "ELSE" in repr(expr)
+
+    def test_key_structural_identity(self):
+        first = Case([(r.p == 1, Literal("a"))], Literal("b"))
+        second = Case([(r.p == 1, Literal("a"))], Literal("b"))
+        third = Case([(r.p == 2, Literal("a"))], Literal("b"))
+        assert first.equivalent(second)
+        assert not first.equivalent(third)

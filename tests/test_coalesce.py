@@ -1,0 +1,108 @@
+"""Tests for GMDJ coalescing (Sect. 4.3 side condition + equivalence)."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.core.coalesce import (
+    can_coalesce, coalesce_adjacent, coalesce_expression,
+    coalesced_round_count)
+from repro.core.expression_tree import GmdjExpression, ProjectionBase
+from repro.core.gmdj import Gmdj
+
+
+@pytest.fixture()
+def detail():
+    return Relation.from_dicts([
+        {"g": 1, "v": 10.0}, {"g": 1, "v": 30.0}, {"g": 2, "v": 5.0},
+        {"g": 2, "v": 15.0}, {"g": 2, "v": 25.0}])
+
+
+def independent_rounds():
+    first = Gmdj.single([count_star("n1"), AggregateSpec("avg", "v", "m1")],
+                        r.g == b.g)
+    second = Gmdj.single([count_star("n2")],
+                         (r.g == b.g) & (r.v > 10.0))
+    return first, second
+
+
+def dependent_rounds():
+    first = Gmdj.single([count_star("n1"), AggregateSpec("avg", "v", "m1")],
+                        r.g == b.g)
+    second = Gmdj.single([count_star("n2")],
+                         (r.g == b.g) & (r.v >= b.m1))
+    return first, second
+
+
+class TestSideCondition:
+    def test_independent_rounds_coalesce(self):
+        first, second = independent_rounds()
+        assert can_coalesce(first, second)
+
+    def test_dependent_rounds_do_not(self):
+        first, second = dependent_rounds()
+        assert not can_coalesce(first, second)
+
+    def test_coalesce_adjacent_raises_when_blocked(self):
+        first, second = dependent_rounds()
+        with pytest.raises(OptimizationError, match="m1"):
+            coalesce_adjacent(first, second)
+
+    def test_fused_has_all_variables(self):
+        first, second = independent_rounds()
+        fused = coalesce_adjacent(first, second)
+        assert len(fused.variables) == 2
+        assert fused.output_aliases == ("n1", "m1", "n2")
+
+
+class TestExpressionRewrite:
+    def test_equivalence_after_coalescing(self, detail):
+        first, second = independent_rounds()
+        expr = GmdjExpression(ProjectionBase(("g",)), (first, second), ("g",))
+        rewritten = coalesce_expression(expr)
+        assert rewritten.num_rounds == 1
+        assert expr.evaluate_centralized(detail).multiset_equals(
+            rewritten.evaluate_centralized(detail))
+
+    def test_dependent_chain_untouched(self, detail):
+        first, second = dependent_rounds()
+        expr = GmdjExpression(ProjectionBase(("g",)), (first, second), ("g",))
+        rewritten = coalesce_expression(expr)
+        assert rewritten.num_rounds == 2
+        assert expr.evaluate_centralized(detail).multiset_equals(
+            rewritten.evaluate_centralized(detail))
+
+    def test_three_rounds_partial_fusion(self, detail):
+        first, second = independent_rounds()
+        third = Gmdj.single([count_star("n3")],
+                            (r.g == b.g) & (r.v >= b.m1))
+        expr = GmdjExpression(ProjectionBase(("g",)),
+                              (first, second, third), ("g",))
+        rewritten = coalesce_expression(expr)
+        assert rewritten.num_rounds == 2  # 1+2 fuse, 3 depends on m1
+        assert expr.evaluate_centralized(detail).multiset_equals(
+            rewritten.evaluate_centralized(detail))
+
+    def test_greedy_chains_three_independent(self, detail):
+        rounds = tuple(
+            Gmdj.single([count_star(f"n{i}")],
+                        (r.g == b.g) & (r.v > float(i)))
+            for i in range(3))
+        expr = GmdjExpression(ProjectionBase(("g",)), rounds, ("g",))
+        rewritten = coalesce_expression(expr)
+        assert rewritten.num_rounds == 1
+        assert expr.evaluate_centralized(detail).multiset_equals(
+            rewritten.evaluate_centralized(detail))
+
+    def test_round_count_helper(self):
+        first, second = independent_rounds()
+        expr = GmdjExpression(ProjectionBase(("g",)), (first, second), ("g",))
+        assert coalesced_round_count(expr) == 1
+
+    def test_input_not_mutated(self):
+        first, second = independent_rounds()
+        expr = GmdjExpression(ProjectionBase(("g",)), (first, second), ("g",))
+        coalesce_expression(expr)
+        assert expr.num_rounds == 2

@@ -1,0 +1,39 @@
+"""Tests for the coalescing report helper."""
+
+from repro.relational.aggregates import count_star
+from repro.relational.expressions import b, r
+from repro.core.builder import QueryBuilder
+from repro.optimizer.coalescing import CoalescingReport, coalescing_report
+
+
+def coalescible():
+    return (QueryBuilder().base("g")
+            .gmdj([count_star("n1")], r.g == b.g)
+            .gmdj([count_star("n2")], (r.g == b.g) & (r.v > 1))
+            .gmdj([count_star("n3")], (r.g == b.g) & (r.v > 2))
+            .build())
+
+
+def dependent():
+    return (QueryBuilder().base("g")
+            .gmdj([count_star("n1")], r.g == b.g)
+            .gmdj([count_star("n2")], (r.g == b.g) & (r.v >= b.n1))
+            .build())
+
+
+def test_report_counts_fusions():
+    report = coalescing_report(coalescible())
+    assert report.rounds_before == 3
+    assert report.rounds_after == 1
+    assert report.rounds_saved == 2
+
+
+def test_report_no_fusion():
+    report = coalescing_report(dependent())
+    assert report.rounds_saved == 0
+
+
+def test_synchronization_counts():
+    report = CoalescingReport(rounds_before=3, rounds_after=1)
+    assert report.synchronizations_before == 4
+    assert report.synchronizations_after == 2

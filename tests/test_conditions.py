@@ -1,0 +1,103 @@
+"""Unit tests for condition analysis (equi-join split, entailment)."""
+
+from repro.relational.conditions import (
+    analyze_condition, disjunction_of, entails_equality_on,
+    entails_partition_equality, referenced_base_attrs,
+    referenced_detail_attrs)
+from repro.relational.expressions import And, Or, b, r
+
+
+class TestAnalyzeCondition:
+    def test_pure_equijoin(self):
+        analysis = analyze_condition((r.a == b.a) & (r.c == b.d))
+        assert analysis.base_key == ("a", "d")
+        assert analysis.detail_key == ("a", "c")
+        assert analysis.residual is None
+
+    def test_flipped_equality_recognized(self):
+        analysis = analyze_condition(b.a == r.a)
+        assert analysis.pairs[0].base_attr == "a"
+        assert analysis.pairs[0].detail_attr == "a"
+
+    def test_residual_extracted(self):
+        condition = (r.a == b.a) & (r.v >= b.avg)
+        analysis = analyze_condition(condition)
+        assert analysis.base_key == ("a",)
+        assert analysis.residual is not None
+        assert analysis.residual.attrs("detail") == {"v"}
+
+    def test_duplicate_pairs_collapsed(self):
+        analysis = analyze_condition((r.a == b.a) & (r.a == b.a))
+        assert len(analysis.pairs) == 1
+
+    def test_or_not_split(self):
+        condition = (r.a == b.a) | (r.c == b.c)
+        analysis = analyze_condition(condition)
+        assert analysis.pairs == ()
+        assert analysis.residual is not None
+
+    def test_equality_under_or_stays_residual(self):
+        condition = (r.a == b.a) & ((r.v > 1) | (r.c == b.c))
+        analysis = analyze_condition(condition)
+        assert analysis.base_key == ("a",)
+
+    def test_non_attr_equality_is_residual(self):
+        condition = (r.a + 1 == b.a) & (r.c == b.c)
+        analysis = analyze_condition(condition)
+        assert analysis.base_key == ("c",)
+        assert analysis.residual is not None
+
+    def test_detail_only_atom_is_residual(self):
+        analysis = analyze_condition((r.a == b.a) & (r.port == 80))
+        assert analysis.base_key == ("a",)
+        assert analysis.residual is not None
+
+
+class TestEntailment:
+    def test_entails_key_equality(self):
+        condition = (r.SAS == b.SAS) & (r.DAS == b.DAS) & (r.v > 1)
+        mapping = entails_equality_on(condition, ["SAS", "DAS"])
+        assert mapping == {"SAS": "SAS", "DAS": "DAS"}
+
+    def test_partial_key_not_entailed(self):
+        condition = (r.SAS == b.SAS) & (r.v > 1)
+        assert entails_equality_on(condition, ["SAS", "DAS"]) is None
+
+    def test_renamed_detail_attr_recorded(self):
+        condition = r.FlowSAS == b.SAS
+        assert entails_equality_on(condition, ["SAS"]) == {"SAS": "FlowSAS"}
+
+    def test_partition_equality_same_name(self):
+        condition = (r.SAS == b.SAS) & (r.v > 1)
+        assert entails_partition_equality(condition, ["SAS"]) == "SAS"
+
+    def test_partition_equality_requires_same_name(self):
+        condition = r.OtherAS == b.SAS
+        assert entails_partition_equality(condition, ["SAS"]) is None
+
+    def test_partition_equality_none_when_missing(self):
+        condition = r.v > b.w
+        assert entails_partition_equality(condition, ["SAS"]) is None
+
+    def test_disjunction_not_entailing(self):
+        condition = (r.SAS == b.SAS) | (r.v > 1)
+        assert entails_equality_on(condition, ["SAS"]) is None
+
+
+class TestHelpers:
+    def test_disjunction_of_single(self):
+        condition = r.a == b.a
+        assert disjunction_of([condition]) is condition
+
+    def test_disjunction_of_many(self):
+        combined = disjunction_of([r.a == b.a, r.v > 1])
+        assert isinstance(combined, Or)
+
+    def test_referenced_attrs(self):
+        thetas = [(r.a == b.a), (r.v >= b.avg) & (r.w < 2)]
+        assert referenced_base_attrs(thetas) == {"a", "avg"}
+        assert referenced_detail_attrs(thetas) == {"a", "v", "w"}
+
+    def test_and_of_merges(self):
+        merged = And.of(r.a == b.a, And.of(r.b == b.b, r.v > 1))
+        assert len(merged.terms) == 3

@@ -1,0 +1,78 @@
+"""Tests for cube/rollup helpers built on GMDJ expressions."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.operators import group_by
+from repro.relational.relation import Relation
+from repro.core.cube import (
+    ALL, cube, cube_expressions, groupby_expression, rollup,
+    rollup_expressions)
+
+
+@pytest.fixture()
+def sales():
+    return Relation.from_dicts([
+        {"region": "east", "product": "a", "amount": 10.0},
+        {"region": "east", "product": "b", "amount": 20.0},
+        {"region": "west", "product": "a", "amount": 30.0},
+        {"region": "west", "product": "a", "amount": 40.0},
+    ])
+
+
+AGGS = [count_star("n"), AggregateSpec("sum", "amount", "total")]
+
+
+class TestGroupbyExpression:
+    def test_matches_sql_group_by(self, sales):
+        expr = groupby_expression(["region"], AGGS)
+        via_gmdj = expr.evaluate_centralized(sales)
+        via_groupby = group_by(sales, ["region"], AGGS)
+        assert via_gmdj.multiset_equals(via_groupby)
+
+    def test_requires_attrs(self):
+        with pytest.raises(QueryError):
+            groupby_expression([], AGGS)
+
+
+class TestCube:
+    def test_granularity_count(self):
+        expressions = cube_expressions(["a", "b", "c"], AGGS)
+        assert len(expressions) == 7  # 2^3 - 1 non-empty subsets
+
+    def test_cube_values(self, sales):
+        result = cube(sales, ["region", "product"], AGGS)
+        rows = {(row["region"], row["product"]): row
+                for row in result.to_dicts()}
+        assert rows[("east", "a")]["total"] == pytest.approx(10.0)
+        assert rows[("east", ALL)]["total"] == pytest.approx(30.0)
+        assert rows[(ALL, "a")]["total"] == pytest.approx(80.0)
+        assert rows[(ALL, ALL)]["total"] == pytest.approx(100.0)
+        assert rows[(ALL, ALL)]["n"] == 4
+
+    def test_cube_row_count(self, sales):
+        result = cube(sales, ["region", "product"], AGGS)
+        # finest: 3 groups; by region: 2; by product: 2; grand total: 1
+        assert result.num_rows == 8
+
+    def test_every_granularity_is_distributable(self, sales):
+        for __, expr in cube_expressions(["region", "product"], AGGS):
+            assert expr.is_decomposable()
+            expr.validate(sales.schema)
+
+
+class TestRollup:
+    def test_prefixes_only(self):
+        expressions = rollup_expressions(["a", "b", "c"], AGGS)
+        subsets = [subset for subset, __ in expressions]
+        assert subsets == [("a", "b", "c"), ("a", "b"), ("a",)]
+
+    def test_rollup_values(self, sales):
+        result = rollup(sales, ["region", "product"], AGGS)
+        rows = {(row["region"], row["product"]): row["total"]
+                for row in result.to_dicts()}
+        assert rows[("west", "a")] == pytest.approx(70.0)
+        assert rows[("west", ALL)] == pytest.approx(70.0)
+        assert rows[(ALL, ALL)] == pytest.approx(100.0)
+        assert (ALL, "a") not in rows  # not a rollup granularity

@@ -1,0 +1,52 @@
+"""Distributed evaluation of cube/rollup granularities."""
+
+import pytest
+
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.core.cube import cube, cube_expressions, rollup_expressions
+from repro.data.tpch import generate_tpcr
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.partition import partition_round_robin
+from repro.distributed.plan import ALL_OPTIMIZATIONS, NO_OPTIMIZATIONS
+
+AGGS = [count_star("n"), AggregateSpec("sum", "ExtendedPrice", "total")]
+DIMS = ["MktSegment", "OrderPriority"]
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_tpcr(num_rows=5_000, num_customers=250, seed=17)
+
+
+@pytest.fixture(scope="module")
+def engine(relation):
+    return SkallaEngine(partition_round_robin(relation, 4))
+
+
+class TestDistributedCube:
+    def test_every_granularity_matches_centralized(self, relation, engine):
+        for subset, expression in cube_expressions(DIMS, AGGS):
+            reference = expression.evaluate_centralized(relation)
+            for flags in (NO_OPTIMIZATIONS, ALL_OPTIMIZATIONS):
+                result = engine.execute(expression, flags)
+                assert result.relation.multiset_equals(reference), subset
+
+    def test_rollup_granularities(self, relation, engine):
+        for prefix, expression in rollup_expressions(DIMS, AGGS):
+            reference = expression.evaluate_centralized(relation)
+            result = engine.execute(expression, ALL_OPTIMIZATIONS)
+            assert result.relation.multiset_equals(reference), prefix
+
+    def test_cube_consistency_across_granularities(self, relation):
+        """Row-up invariants: coarse cells equal sums of finer cells."""
+        full = cube(relation, DIMS, AGGS)
+        rows = {(row["MktSegment"], row["OrderPriority"]): row
+                for row in full.to_dicts()}
+        segments = {key[0] for key in rows if key[0] != "ALL"}
+        for segment in segments:
+            fine_total = sum(row["total"] for key, row in rows.items()
+                             if key[0] == segment and key[1] != "ALL")
+            assert rows[(segment, "ALL")]["total"] == \
+                pytest.approx(fine_total)
+        grand = rows[("ALL", "ALL")]
+        assert grand["n"] == relation.num_rows

@@ -1,0 +1,268 @@
+"""Tests for centralized GMDJ evaluation, including a brute-force oracle.
+
+The oracle evaluates Definition 1 literally: for every base tuple, scan
+the whole detail relation, apply θ per row, aggregate in Python.  The
+vectorized evaluator must agree on every path (grouped, grouped+residual,
+full scan, empty inputs, holistic aggregates).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import AggregateError, QueryError
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+from repro.core.evaluator import (
+    STATES, evaluate_gmdj, finalize_states, match_codes)
+from repro.core.gmdj import Gmdj, GroupingVariable
+
+
+def brute_force(gmdj: Gmdj, base: Relation, detail: Relation) -> list[dict]:
+    """Literal Definition 1 evaluation in pure Python."""
+    detail_rows = detail.to_dicts()
+    output = []
+    for base_row in base.to_dicts():
+        result = dict(base_row)
+        for variable in gmdj.variables:
+            matching = []
+            for detail_row in detail_rows:
+                env = {"base": base_row, "detail": {
+                    key: np.array([value]) if not isinstance(value, str)
+                    else np.array([value], dtype=object)
+                    for key, value in detail_row.items()}}
+                if bool(variable.condition.eval(env)[0]):
+                    matching.append(detail_row)
+            for spec in variable.aggregates:
+                values = None
+                if spec.column is not None:
+                    values = np.array([row[spec.column] for row in matching])
+                result[spec.alias] = spec.function.compute(
+                    values, len(matching))
+        output.append(result)
+    return output
+
+
+def assert_matches_oracle(gmdj, base, detail):
+    result = evaluate_gmdj(gmdj, base, detail)
+    expected = brute_force(gmdj, base, detail)
+    actual = result.to_dicts()
+    assert len(actual) == len(expected)
+    for got, want in zip(actual, expected):
+        for key, value in want.items():
+            if isinstance(value, float) and math.isnan(value):
+                assert math.isnan(got[key]), (key, got)
+            else:
+                assert got[key] == pytest.approx(value), (key, got, want)
+
+
+@pytest.fixture()
+def detail():
+    return Relation.from_dicts([
+        {"g": 1, "h": "x", "v": 10.0},
+        {"g": 1, "h": "y", "v": 20.0},
+        {"g": 2, "h": "x", "v": 30.0},
+        {"g": 2, "h": "x", "v": 40.0},
+        {"g": 3, "h": "z", "v": 50.0},
+        {"g": 1, "h": "x", "v": 60.0},
+    ])
+
+
+@pytest.fixture()
+def base(detail):
+    return detail.distinct(["g"])
+
+
+class TestGroupedPath:
+    def test_count_sum_avg(self, base, detail):
+        gmdj = Gmdj.single(
+            [count_star("n"), AggregateSpec("sum", "v", "s"),
+             AggregateSpec("avg", "v", "m")],
+            r.g == b.g)
+        assert_matches_oracle(gmdj, base, detail)
+
+    def test_min_max_var(self, base, detail):
+        gmdj = Gmdj.single(
+            [AggregateSpec("min", "v", "lo"), AggregateSpec("max", "v", "hi"),
+             AggregateSpec("var", "v", "vv")],
+            r.g == b.g)
+        assert_matches_oracle(gmdj, base, detail)
+
+    def test_multi_attribute_key(self, detail):
+        base = detail.distinct(["g", "h"])
+        gmdj = Gmdj.single([count_star("n")],
+                           (r.g == b.g) & (r.h == b.h))
+        assert_matches_oracle(gmdj, base, detail)
+
+    def test_string_key(self, detail):
+        base = detail.distinct(["h"])
+        gmdj = Gmdj.single([AggregateSpec("sum", "v", "s")], r.h == b.h)
+        assert_matches_oracle(gmdj, base, detail)
+
+    def test_unmatched_base_tuple_gets_empty_aggregates(self, detail):
+        base = Relation.from_dicts([{"g": 1}, {"g": 99}])
+        gmdj = Gmdj.single(
+            [count_star("n"), AggregateSpec("avg", "v", "m")], r.g == b.g)
+        result = evaluate_gmdj(gmdj, base, detail)
+        rows = {row["g"]: row for row in result.to_dicts()}
+        assert rows[99]["n"] == 0
+        assert math.isnan(rows[99]["m"])
+
+    def test_holistic_median_grouped(self, base, detail):
+        gmdj = Gmdj.single([AggregateSpec("median", "v", "med")], r.g == b.g)
+        assert_matches_oracle(gmdj, base, detail)
+
+
+class TestResidualPath:
+    def test_equijoin_plus_threshold(self, base, detail):
+        gmdj = Gmdj.single([count_star("n"), AggregateSpec("avg", "v", "m")],
+                           (r.g == b.g) & (r.v >= 25.0))
+        assert_matches_oracle(gmdj, base, detail)
+
+    def test_residual_referencing_base(self, detail):
+        base = Relation.from_dicts([{"g": 1, "cut": 15.0},
+                                    {"g": 2, "cut": 35.0}])
+        gmdj = Gmdj.single([count_star("n")],
+                           (r.g == b.g) & (r.v >= b.cut))
+        assert_matches_oracle(gmdj, base, detail)
+
+    def test_disjunctive_condition(self, base, detail):
+        gmdj = Gmdj.single([count_star("n")],
+                           (r.g == b.g) | (r.v > 45.0))
+        assert_matches_oracle(gmdj, base, detail)
+
+    def test_pure_inequality_no_equijoin(self, detail):
+        base = Relation.from_dicts([{"cut": 25.0}, {"cut": 45.0}])
+        gmdj = Gmdj.single([count_star("n"), AggregateSpec("sum", "v", "s")],
+                           r.v >= b.cut)
+        assert_matches_oracle(gmdj, base, detail)
+
+    def test_holistic_on_scan_path(self, detail):
+        base = Relation.from_dicts([{"cut": 25.0}])
+        gmdj = Gmdj.single([AggregateSpec("median", "v", "med")],
+                           r.v >= b.cut)
+        assert_matches_oracle(gmdj, base, detail)
+
+    def test_overlapping_ranges(self, detail):
+        # RNG sets of different base tuples overlap: the defining feature
+        # that separates GMDJ from SQL GROUP BY.
+        base = Relation.from_dicts([{"cut": 10.0}, {"cut": 30.0}])
+        gmdj = Gmdj.single([count_star("n")], r.v >= b.cut)
+        result = {row["cut"]: row["n"]
+                  for row in evaluate_gmdj(gmdj, base, detail).to_dicts()}
+        assert result[10.0] == 6 and result[30.0] == 4
+
+
+class TestMultipleVariables:
+    def test_two_grouping_variables(self, base, detail):
+        gmdj = Gmdj((
+            GroupingVariable((count_star("n_all"),), r.g == b.g),
+            GroupingVariable((count_star("n_big"),),
+                             (r.g == b.g) & (r.v > 25.0))))
+        assert_matches_oracle(gmdj, base, detail)
+
+
+class TestEdgeCases:
+    def test_empty_detail(self, base):
+        empty = Relation.empty(Schema.of(("g", DataType.INT64),
+                                         ("h", DataType.STRING),
+                                         ("v", DataType.FLOAT64)))
+        gmdj = Gmdj.single([count_star("n"), AggregateSpec("avg", "v", "m")],
+                           r.g == b.g)
+        result = evaluate_gmdj(gmdj, base, empty)
+        assert result.num_rows == base.num_rows
+        assert all(value == 0 for value in result.column("n"))
+
+    def test_empty_base(self, detail):
+        base = Relation.empty(Schema.of(("g", DataType.INT64)))
+        gmdj = Gmdj.single([count_star("n")], r.g == b.g)
+        result = evaluate_gmdj(gmdj, base, detail)
+        assert result.num_rows == 0
+        assert result.schema.names == ("g", "n")
+
+    def test_bad_output_mode(self, base, detail):
+        gmdj = Gmdj.single([count_star("n")], r.g == b.g)
+        with pytest.raises(QueryError):
+            evaluate_gmdj(gmdj, base, detail, output="bogus")
+
+    def test_states_mode_rejects_holistic(self, base, detail):
+        gmdj = Gmdj.single([AggregateSpec("median", "v", "med")], r.g == b.g)
+        with pytest.raises(AggregateError, match="holistic"):
+            evaluate_gmdj(gmdj, base, detail, output=STATES)
+
+
+class TestStatesAndMatch:
+    def test_states_output_columns(self, base, detail):
+        gmdj = Gmdj.single([AggregateSpec("avg", "v", "m")], r.g == b.g)
+        states = evaluate_gmdj(gmdj, base, detail, output=STATES)
+        assert states.schema.names == ("g", "m__sum", "m__count")
+
+    def test_states_finalize_round_trip(self, base, detail):
+        gmdj = Gmdj.single(
+            [AggregateSpec("avg", "v", "m"), count_star("n")], r.g == b.g)
+        states = evaluate_gmdj(gmdj, base, detail, output=STATES)
+        finalized = finalize_states(
+            gmdj, {name: states.column(name)
+                   for name in states.schema.names if "__" in name},
+            detail.schema)
+        direct = evaluate_gmdj(gmdj, base, detail)
+        assert np.allclose(finalized["m"], direct.column("m"))
+        assert finalized["n"].tolist() == direct.column("n").tolist()
+
+    def test_match_column_grouped(self, detail):
+        base = Relation.from_dicts([{"g": 1}, {"g": 99}])
+        gmdj = Gmdj.single([count_star("n")], r.g == b.g)
+        result = evaluate_gmdj(gmdj, base, detail, match_column="hit")
+        rows = {row["g"]: row["hit"] for row in result.to_dicts()}
+        assert rows[1] is True and rows[99] is False
+
+    def test_match_column_is_disjunction_over_variables(self, detail):
+        base = Relation.from_dicts([{"g": 3}])
+        gmdj = Gmdj((
+            GroupingVariable((count_star("n1"),),
+                             (r.g == b.g) & (r.v > 1000)),
+            GroupingVariable((count_star("n2"),), r.g == b.g)))
+        result = evaluate_gmdj(gmdj, base, detail, match_column="hit")
+        assert result.to_dicts()[0]["hit"] is True
+
+    def test_match_column_residual_path(self, detail):
+        base = Relation.from_dicts([{"g": 1, "cut": 100.0},
+                                    {"g": 1, "cut": 5.0}])
+        gmdj = Gmdj.single([count_star("n")],
+                           (r.g == b.g) & (r.v >= b.cut))
+        result = evaluate_gmdj(gmdj, base, detail, match_column="hit")
+        assert result.column("hit").tolist() == [False, True]
+
+
+class TestMatchCodes:
+    def test_basic(self, detail):
+        base = Relation.from_dicts([{"g": 2}, {"g": 7}, {"g": 1}])
+        base_codes, detail_codes, groups = match_codes(
+            base, ["g"], detail, ["g"])
+        assert groups == 3
+        assert base_codes[1] == -1
+        assert base_codes[0] != base_codes[2]
+        assert len(detail_codes) == detail.num_rows
+
+    def test_empty_detail(self, detail):
+        base = Relation.from_dicts([{"g": 1}])
+        empty = detail.filter(np.zeros(detail.num_rows, dtype=bool))
+        base_codes, detail_codes, groups = match_codes(
+            base, ["g"], empty, ["g"])
+        assert groups == 0
+        assert base_codes.tolist() == [-1]
+
+    def test_mixed_type_key_columns(self):
+        detail = Relation.from_dicts([{"g": 1, "h": "a"},
+                                      {"g": 1, "h": "b"}])
+        base = Relation.from_dicts([{"g": 1, "h": "b"},
+                                    {"g": 2, "h": "a"}])
+        base_codes, __, groups = match_codes(base, ["g", "h"],
+                                             detail, ["g", "h"])
+        assert groups == 2
+        assert base_codes[0] >= 0
+        assert base_codes[1] == -1

@@ -1,0 +1,83 @@
+"""Tests for explain_analyze and terminal chart rendering."""
+
+import pytest
+
+from repro.bench.charts import bar_chart, chart_from_rows, series_chart
+from repro.distributed.explain import explain_analyze
+from repro.distributed.plan import ALL_OPTIMIZATIONS, NO_OPTIMIZATIONS
+
+
+class TestExplainAnalyze:
+    @pytest.fixture()
+    def result(self, flow_warehouse):
+        from repro.bench.queries import correlated_query
+        query = correlated_query(["SourceAS"], "NumBytes")
+        return flow_warehouse.execute(query, ALL_OPTIMIZATIONS)
+
+    def test_contains_plan_and_execution(self, result):
+        text = explain_analyze(result)
+        assert "== plan ==" in text
+        assert "== execution ==" in text
+        assert "synchronizations   : 1" in text
+
+    def test_phase_table(self, result):
+        text = explain_analyze(result)
+        assert "phase breakdown" in text
+        assert "step 1" in text
+
+    def test_traffic_by_kind(self, result):
+        text = explain_analyze(result)
+        assert "sub_aggregates" in text
+        assert "to coordinator" in text
+
+    def test_retries_shown_when_present(self, flow_warehouse):
+        from repro.bench.queries import correlated_query
+        query = correlated_query(["SourceAS"], "NumBytes")
+        result = flow_warehouse.execute(query, NO_OPTIMIZATIONS)
+        result.metrics.retries = 3
+        assert "site retries       : 3" in explain_analyze(result)
+
+
+class TestCharts:
+    def test_bar_chart_scales_to_max(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_bar_chart_labels_and_values(self):
+        text = bar_chart({"flat": 14.0, "tree": 4.8}, unit="s")
+        assert "flat" in text and "14s" in text
+
+    def test_bar_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_series_chart_groups_by_x(self):
+        text = series_chart({
+            "none": [(2, 4.0), (4, 16.0)],
+            "opt": [(2, 2.0), (4, 4.0)],
+        }, x_label="sites", width=16)
+        assert "sites = 2" in text and "sites = 4" in text
+        assert text.index("sites = 2") < text.index("sites = 4")
+
+    def test_series_shared_scale(self):
+        text = series_chart({"a": [(1, 100.0)], "b": [(1, 50.0)]},
+                            width=10)
+        lines = [line for line in text.splitlines() if "█" in line]
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_chart_from_rows(self):
+        rows = [
+            {"config": "none", "sites": 2, "bytes": 100},
+            {"config": "none", "sites": 4, "bytes": 400},
+            {"config": "all", "sites": 2, "bytes": 50},
+            {"config": "all", "sites": 4, "bytes": 90},
+        ]
+        text = chart_from_rows(rows, "config", "sites", "bytes")
+        assert "none" in text and "all" in text
+
+    def test_zero_maximum(self):
+        text = bar_chart({"a": 0.0})
+        assert "a" in text

@@ -1,0 +1,163 @@
+"""Unit tests for GMDJ expression chains and the fluent builder."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.core.builder import QueryBuilder, agg
+from repro.core.expression_tree import (
+    GmdjExpression, ProjectionBase, RelationBase, expression)
+from repro.core.gmdj import Gmdj
+
+
+@pytest.fixture()
+def detail():
+    return Relation.from_dicts([
+        {"g": 1, "v": 10.0}, {"g": 1, "v": 30.0},
+        {"g": 2, "v": 100.0}, {"g": 2, "v": 100.0}, {"g": 2, "v": 10.0}])
+
+
+def two_round_expression() -> GmdjExpression:
+    first = Gmdj.single([count_star("n"), AggregateSpec("avg", "v", "m")],
+                        r.g == b.g)
+    second = Gmdj.single([count_star("n_above")],
+                         (r.g == b.g) & (r.v >= b.m))
+    return GmdjExpression(ProjectionBase(("g",)), (first, second), ("g",))
+
+
+class TestBases:
+    def test_projection_base_evaluates_distinct(self, detail):
+        base = ProjectionBase(("g",))
+        result = base.evaluate(detail)
+        assert sorted(result.column("g").tolist()) == [1, 2]
+        assert base.computed_from_detail
+
+    def test_projection_base_with_filter(self, detail):
+        base = ProjectionBase(("g",), r.v > 50.0)
+        assert base.evaluate(detail).column("g").tolist() == [2]
+
+    def test_projection_base_needs_attrs(self):
+        with pytest.raises(QueryError):
+            ProjectionBase(())
+
+    def test_relation_base(self, detail):
+        spine = Relation.from_dicts([{"g": 1}, {"g": 7}])
+        base = RelationBase(spine)
+        assert base.evaluate(detail) is spine
+        assert not base.computed_from_detail
+
+    def test_describe(self, detail):
+        assert "π" in ProjectionBase(("g",)).describe()
+        assert "σ" in ProjectionBase(("g",), r.v > 1).describe()
+
+
+class TestExpressionChain:
+    def test_schemas_along_chain(self, detail):
+        expr = two_round_expression()
+        schemas = expr.intermediate_schemas(detail.schema)
+        assert schemas[0].names == ("g",)
+        assert schemas[1].names == ("g", "n", "m")
+        assert schemas[2].names == ("g", "n", "m", "n_above")
+        assert expr.output_schema(detail.schema) == schemas[-1]
+
+    def test_validate_rejects_bad_key(self, detail):
+        first = Gmdj.single([count_star("n")], r.g == b.g)
+        expr = GmdjExpression(ProjectionBase(("g",)), (first,), ("missing",))
+        with pytest.raises(SchemaError, match="key attribute"):
+            expr.validate(detail.schema)
+
+    def test_needs_rounds_and_key(self):
+        with pytest.raises(QueryError):
+            GmdjExpression(ProjectionBase(("g",)), (), ("g",))
+        first = Gmdj.single([count_star("n")], r.g == b.g)
+        with pytest.raises(QueryError):
+            GmdjExpression(ProjectionBase(("g",)), (first,), ())
+
+    def test_centralized_evaluation(self, detail):
+        result = two_round_expression().evaluate_centralized(detail)
+        rows = {row["g"]: row for row in result.to_dicts()}
+        assert rows[1]["n"] == 2
+        assert rows[1]["m"] == pytest.approx(20.0)
+        assert rows[1]["n_above"] == 1  # only v=30 >= avg 20
+        assert rows[2]["n_above"] == 2  # the two 100s >= avg 70
+
+    def test_relation_base_chain(self, detail):
+        spine = Relation.from_dicts([{"g": 1}, {"g": 7}])
+        first = Gmdj.single([count_star("n")], r.g == b.g)
+        expr = GmdjExpression(RelationBase(spine), (first,), ("g",))
+        result = expr.evaluate_centralized(detail)
+        rows = {row["g"]: row["n"] for row in result.to_dicts()}
+        assert rows == {1: 2, 7: 0}
+
+    def test_expression_helper_defaults_key(self):
+        first = Gmdj.single([count_star("n")], r.g == b.g)
+        expr = expression(ProjectionBase(("g",)), [first])
+        assert expr.key == ("g",)
+
+    def test_expression_helper_requires_key_for_relation_base(self, detail):
+        first = Gmdj.single([count_star("n")], r.g == b.g)
+        with pytest.raises(QueryError):
+            expression(RelationBase(detail), [first])
+
+    def test_describe_lists_rounds(self):
+        text = two_round_expression().describe()
+        assert "B0" in text and "B1" in text and "B2" in text
+
+
+class TestBuilder:
+    def test_builder_matches_manual(self, detail):
+        built = (QueryBuilder()
+                 .base("g")
+                 .gmdj([count_star("n"), agg("avg", "v", "m")], r.g == b.g)
+                 .gmdj([count_star("n_above")],
+                       (r.g == b.g) & (r.v >= b.m))
+                 .build())
+        manual = two_round_expression()
+        left = built.evaluate_centralized(detail)
+        right = manual.evaluate_centralized(detail)
+        assert left.multiset_equals(right)
+
+    def test_builder_base_where(self, detail):
+        built = (QueryBuilder()
+                 .base("g", where=r.v > 50.0)
+                 .gmdj([count_star("n")], r.g == b.g)
+                 .build())
+        result = built.evaluate_centralized(detail)
+        assert result.column("g").tolist() == [2]
+
+    def test_builder_multi_variable_round(self, detail):
+        built = (QueryBuilder()
+                 .base("g")
+                 .gmdj_multi(([count_star("n1")], r.g == b.g),
+                             ([count_star("n2")], (r.g == b.g) & (r.v > 50)))
+                 .build())
+        assert built.num_rounds == 1
+        result = built.evaluate_centralized(detail)
+        rows = {row["g"]: row for row in result.to_dicts()}
+        assert rows[2]["n1"] == 3 and rows[2]["n2"] == 2
+
+    def test_builder_key_override(self):
+        builder = (QueryBuilder().base("g").key("g")
+                   .gmdj([count_star("n")], r.g == b.g))
+        assert builder.build().key == ("g",)
+
+    def test_builder_base_relation(self, detail):
+        spine = Relation.from_dicts([{"g": 2}])
+        built = (QueryBuilder()
+                 .base_relation(spine, key=["g"])
+                 .gmdj([count_star("n")], r.g == b.g)
+                 .build())
+        result = built.evaluate_centralized(detail)
+        assert result.to_dicts() == [{"g": 2, "n": 3}]
+
+    def test_builder_errors(self):
+        with pytest.raises(QueryError):
+            QueryBuilder().build()
+        with pytest.raises(QueryError):
+            QueryBuilder().base("g").build()
+        with pytest.raises(QueryError):
+            QueryBuilder().base("g").base("h")
+        with pytest.raises(QueryError):
+            QueryBuilder().base("g").key()

@@ -1,0 +1,183 @@
+"""Unit tests for the expression AST and its vectorized evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.expressions import (
+    And, Arith, BaseAttr, Comparison, DetailAttr, InSet, Literal, Not, Or,
+    b, conjuncts, disjuncts, evaluate_predicate, r, wrap)
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+
+@pytest.fixture()
+def env():
+    return {
+        "base": {"x": 10, "label": "web"},
+        "detail": {"v": np.array([5, 10, 15]),
+                   "w": np.array([1.0, 2.0, 3.0]),
+                   "tag": np.array(["web", "dns", "web"], dtype=object)},
+    }
+
+
+class TestNamespaces:
+    def test_b_and_r_build_sided_refs(self):
+        assert isinstance(b.x, BaseAttr)
+        assert isinstance(r.v, DetailAttr)
+        assert b.x.name == "x"
+
+    def test_item_access(self):
+        assert b["odd name"].name == "odd name"
+
+    def test_private_names_raise_attribute_error(self):
+        with pytest.raises(AttributeError):
+            b._secret
+
+
+class TestEvaluation:
+    def test_attr_lookup(self, env):
+        assert b.x.eval(env) == 10
+        assert r.v.eval(env).tolist() == [5, 10, 15]
+
+    def test_unknown_attr(self, env):
+        with pytest.raises(ExpressionError, match="unknown"):
+            b.missing.eval(env)
+
+    def test_missing_side(self):
+        with pytest.raises(ExpressionError, match="no detail"):
+            r.v.eval({"base": {}, "detail": None})
+
+    def test_arithmetic_broadcasts(self, env):
+        result = (r.v + b.x).eval(env)
+        assert result.tolist() == [15, 20, 25]
+
+    def test_division_is_true_division(self, env):
+        result = (r.v / 2).eval(env)
+        assert result.tolist() == [2.5, 5.0, 7.5]
+
+    def test_division_by_zero_is_silent(self, env):
+        result = (r.v / 0).eval(env)
+        assert np.all(np.isinf(result))
+
+    def test_comparison(self, env):
+        result = (r.v >= b.x).eval(env)
+        assert result.tolist() == [False, True, True]
+
+    def test_nan_comparisons_are_false_and_silent(self):
+        env = {"base": {"a": np.nan}, "detail": {"v": np.array([1.0, 2.0])}}
+        assert (r.v >= b.a).eval(env).tolist() == [False, False]
+
+    def test_and_or_not(self, env):
+        condition = ((r.v > 5) & (r.tag == "web")) | ~(r.w < 3.0)
+        assert condition.eval(env).tolist() == [False, False, True]
+
+    def test_in_set_array(self, env):
+        assert r.tag.isin(["web"]).eval(env).tolist() == [True, False, True]
+
+    def test_in_set_scalar(self, env):
+        assert b.label.isin(["web", "ssh"]).eval(env) is True
+
+    def test_string_equality(self, env):
+        assert (r.tag == b.label).eval(env).tolist() == [True, False, True]
+
+    def test_evaluate_predicate_broadcasts_scalar(self, env):
+        mask = evaluate_predicate(b.x > 5, env, 3)
+        assert mask.tolist() == [True, True, True]
+
+    def test_evaluate_predicate_rejects_non_bool(self, env):
+        with pytest.raises(ExpressionError):
+            evaluate_predicate(r.v + 1, env, 3)
+
+    def test_modulo(self, env):
+        assert (r.v % 4).eval(env).tolist() == [1, 2, 3]
+
+
+class TestStructure:
+    def test_wrap_literal(self):
+        assert isinstance(wrap(5), Literal)
+        expr = b.x
+        assert wrap(expr) is expr
+
+    def test_wrap_rejects_junk(self):
+        with pytest.raises(ExpressionError):
+            wrap(object())
+
+    def test_bool_conversion_is_an_error(self):
+        with pytest.raises(ExpressionError, match="not truthy"):
+            bool(b.x == 1)
+
+    def test_and_flattens(self):
+        condition = (b.x == 1) & (b.y == 2) & (b.z == 3)
+        assert isinstance(condition, And)
+        assert len(condition.terms) == 3
+
+    def test_or_flattens(self):
+        condition = (b.x == 1) | (b.y == 2) | (b.z == 3)
+        assert isinstance(condition, Or)
+        assert len(condition.terms) == 3
+
+    def test_conjuncts_of_non_and(self):
+        atom = b.x == 1
+        assert conjuncts(atom) == (atom,)
+
+    def test_disjuncts(self):
+        condition = (b.x == 1) | (b.y == 2)
+        assert len(disjuncts(condition)) == 2
+
+    def test_attrs_by_side(self):
+        condition = (r.v >= b.x / b.y) & (r.w == 2)
+        assert condition.attrs("base") == {"x", "y"}
+        assert condition.attrs("detail") == {"v", "w"}
+
+    def test_equivalent_structural(self):
+        first = (r.v == b.x) & (r.w > 2)
+        second = (r.v == b.x) & (r.w > 2)
+        third = (r.v == b.x) & (r.w > 3)
+        assert first.equivalent(second)
+        assert not first.equivalent(third)
+
+    def test_comparison_negated_and_flipped(self):
+        comparison = Comparison("<", b.x, r.v)
+        assert comparison.negated().op == ">="
+        flipped = comparison.flipped()
+        assert flipped.op == ">"
+        assert isinstance(flipped.left, DetailAttr)
+
+    def test_unknown_operators_rejected(self):
+        with pytest.raises(ExpressionError):
+            Arith("**", Literal(1), Literal(2))
+        with pytest.raises(ExpressionError):
+            Comparison("~=", Literal(1), Literal(2))
+
+    def test_empty_and_or_rejected(self):
+        with pytest.raises(ExpressionError):
+            And([])
+        with pytest.raises(ExpressionError):
+            Or([])
+
+    def test_substitute(self):
+        condition = (r.v >= b.x) & (b.x > 0)
+        replaced = condition.substitute({("base", "x"): Literal(7)})
+        env = {"base": {}, "detail": {"v": np.array([5, 10])}}
+        assert replaced.eval(env).tolist() == [False, True]
+
+
+class TestTyping:
+    def test_result_dtypes(self):
+        base = Schema.of(("x", DataType.INT64))
+        detail = Schema.of(("v", DataType.INT64), ("w", DataType.FLOAT64))
+        assert (r.v + b.x).result_dtype(base, detail) is DataType.INT64
+        assert (r.v + r.w).result_dtype(base, detail) is DataType.FLOAT64
+        assert (r.v / 2).result_dtype(base, detail) is DataType.FLOAT64
+        assert (r.v > 1).result_dtype(base, detail) is DataType.BOOL
+
+    def test_literal_dtypes(self):
+        assert Literal(True).result_dtype(None, None) is DataType.BOOL
+        assert Literal(1).result_dtype(None, None) is DataType.INT64
+        assert Literal(1.0).result_dtype(None, None) is DataType.FLOAT64
+        assert Literal("s").result_dtype(None, None) is DataType.STRING
+
+    def test_attr_dtype_requires_schema(self):
+        with pytest.raises(ExpressionError):
+            b.x.result_dtype(None, None)

@@ -1,0 +1,138 @@
+"""Failure injection: every misuse path must fail loudly and precisely,
+never silently produce wrong answers."""
+
+import pytest
+
+from repro.errors import (
+    AggregateError, ExpressionError, OptimizationError, PartitionError,
+    PlanError, QueryError, SchemaError, SkallaError)
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.core.builder import QueryBuilder
+from repro.core.gmdj import Gmdj
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.partition import (
+    DistributionInfo, ValueSetConstraint, partition_round_robin)
+from repro.distributed.plan import ALL_OPTIMIZATIONS, NO_OPTIMIZATIONS
+
+
+@pytest.fixture()
+def detail():
+    return Relation.from_dicts([
+        {"g": i % 3, "v": float(i)} for i in range(30)])
+
+
+def query():
+    return (QueryBuilder().base("g")
+            .gmdj([count_star("n")], r.g == b.g).build())
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_skalla_errors(self):
+        for error_type in (AggregateError, ExpressionError,
+                           OptimizationError, PartitionError, PlanError,
+                           QueryError, SchemaError):
+            assert issubclass(error_type, SkallaError)
+
+
+class TestBadQueries:
+    def test_condition_references_missing_base_attr(self, detail):
+        expression = (QueryBuilder().base("g")
+                      .gmdj([count_star("n")], r.g == b.nope).build())
+        with pytest.raises(SchemaError):
+            expression.evaluate_centralized(detail)
+
+    def test_condition_references_missing_detail_attr(self, detail):
+        expression = (QueryBuilder().base("g")
+                      .gmdj([count_star("n")], r.nope == b.g).build())
+        with pytest.raises(SchemaError):
+            expression.evaluate_centralized(detail)
+
+    def test_aggregate_on_missing_column(self, detail):
+        expression = (QueryBuilder().base("g")
+                      .gmdj([AggregateSpec("sum", "nope", "s")],
+                            r.g == b.g).build())
+        with pytest.raises(SchemaError):
+            expression.evaluate_centralized(detail)
+
+    def test_sum_on_string_column(self):
+        detail = Relation.from_dicts([{"g": 1, "s": "x"}])
+        expression = (QueryBuilder().base("g")
+                      .gmdj([AggregateSpec("sum", "s", "bad")],
+                            r.g == b.g).build())
+        with pytest.raises(AggregateError):
+            expression.evaluate_centralized(detail)
+
+    def test_projection_base_with_base_side_filter(self, detail):
+        from repro.core.expression_tree import ProjectionBase
+        from repro.core.gmdj import Gmdj
+        from repro.core.expression_tree import GmdjExpression
+        expression = GmdjExpression(
+            ProjectionBase(("g",), b.g > 1),
+            (Gmdj.single([count_star("n")], r.g == b.g),), ("g",))
+        with pytest.raises(ExpressionError):
+            expression.evaluate_centralized(detail)
+
+
+class TestBadDistributedSetups:
+    def test_wrong_distribution_info_rejected_on_construction(self, detail):
+        partitions = partition_round_robin(detail, 2)
+        info = DistributionInfo()
+        info.add(0, "g", ValueSetConstraint(frozenset({0})))
+        with pytest.raises(PartitionError, match="violated"):
+            SkallaEngine(partitions, info)
+
+    def test_wrong_info_accepted_when_unverified_but_detectable(self,
+                                                                detail):
+        """verify_info=False skips the check (documented escape hatch);
+        the info object itself still reports what it believes."""
+        partitions = partition_round_robin(detail, 2)
+        info = DistributionInfo()
+        info.add(0, "g", ValueSetConstraint(frozenset({0})))
+        info.add(1, "g", ValueSetConstraint(frozenset({1, 2})))
+        engine = SkallaEngine(partitions, info, verify_info=False)
+        assert engine.info is info
+
+    def test_holistic_centralized_ok_distributed_fails(self, detail):
+        expression = (QueryBuilder().base("g")
+                      .gmdj([AggregateSpec("count_distinct", "v", "d")],
+                            r.g == b.g).build())
+        expression.evaluate_centralized(detail)  # fine
+        engine = SkallaEngine(partition_round_robin(detail, 2))
+        with pytest.raises(AggregateError, match="holistic"):
+            engine.execute(expression, NO_OPTIMIZATIONS)
+
+    def test_query_invalid_against_warehouse_schema(self, detail):
+        engine = SkallaEngine(partition_round_robin(detail, 2))
+        bad = (QueryBuilder().base("missing_attr")
+               .gmdj([count_star("n")], r.g == b.missing_attr).build())
+        with pytest.raises(SchemaError):
+            engine.execute(bad, NO_OPTIMIZATIONS)
+
+
+class TestDegenerateData:
+    def test_all_empty_fragments(self, detail):
+        empty = detail.head(0)
+        engine = SkallaEngine({0: empty, 1: empty})
+        result = engine.execute(query(), NO_OPTIMIZATIONS)
+        assert result.relation.num_rows == 0
+
+    def test_all_empty_fragments_all_optimizations(self, detail):
+        empty = detail.head(0)
+        engine = SkallaEngine({0: empty, 1: empty})
+        result = engine.execute(query(), ALL_OPTIMIZATIONS)
+        assert result.relation.num_rows == 0
+
+    def test_single_row_relation(self):
+        detail = Relation.from_dicts([{"g": 1, "v": 5.0}])
+        engine = SkallaEngine({0: detail})
+        result = engine.execute(query(), ALL_OPTIMIZATIONS)
+        assert result.relation.to_dicts() == [{"g": 1, "n": 1}]
+
+    def test_one_group_many_sites(self, detail):
+        constant = detail.filter(detail.column("g") == 0)
+        engine = SkallaEngine(partition_round_robin(constant, 4))
+        result = engine.execute(query(), NO_OPTIMIZATIONS)
+        assert result.relation.num_rows == 1
+        assert result.relation.to_dicts()[0]["n"] == constant.num_rows

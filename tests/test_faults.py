@@ -1,0 +1,97 @@
+"""Tests for site failures and the engine's retry path."""
+
+import pytest
+
+from repro.errors import PlanError, SiteFailure
+from repro.relational.aggregates import count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.core.builder import QueryBuilder, agg
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.faults import FlakySite
+from repro.distributed.partition import partition_round_robin
+from repro.distributed.plan import ALL_OPTIMIZATIONS, NO_OPTIMIZATIONS
+
+
+@pytest.fixture()
+def detail():
+    return Relation.from_dicts([
+        {"g": i % 5, "v": float(i)} for i in range(400)])
+
+
+def make_query():
+    return (QueryBuilder()
+            .base("g")
+            .gmdj([count_star("n"), agg("avg", "v", "m")], r.g == b.g)
+            .gmdj([count_star("n2")], (r.g == b.g) & (r.v >= b.m))
+            .build())
+
+
+def engine_with_flaky_site(detail, failures, fail_on="both",
+                           max_retries=2):
+    partitions = partition_round_robin(detail, 3)
+    engine = SkallaEngine(partitions, max_retries=max_retries)
+    engine.sites[1] = FlakySite(1, partitions[1], failures=failures,
+                                fail_on=fail_on)
+    return engine
+
+
+class TestFlakySite:
+    def test_fails_then_recovers(self, detail):
+        site = FlakySite(0, detail, failures=2)
+        from repro.core.expression_tree import ProjectionBase
+        base = ProjectionBase(("g",))
+        with pytest.raises(SiteFailure):
+            site.evaluate_base(base)
+        with pytest.raises(SiteFailure):
+            site.evaluate_base(base)
+        result, __ = site.evaluate_base(base)
+        assert result.num_rows == 5
+
+    def test_fail_on_mode(self, detail):
+        site = FlakySite(0, detail, failures=1, fail_on="step")
+        from repro.core.expression_tree import ProjectionBase
+        result, __ = site.evaluate_base(ProjectionBase(("g",)))
+        assert result.num_rows == 5  # base calls unaffected
+
+    def test_bad_mode_rejected(self, detail):
+        with pytest.raises(ValueError):
+            FlakySite(0, detail, fail_on="sometimes")
+
+
+class TestEngineRetries:
+    def test_recovers_from_transient_failures(self, detail):
+        engine = engine_with_flaky_site(detail, failures=2)
+        query = make_query()
+        reference = query.evaluate_centralized(detail)
+        result = engine.execute(query, NO_OPTIMIZATIONS)
+        assert result.relation.multiset_equals(reference)
+        assert result.metrics.retries == 2
+
+    def test_retries_with_optimized_plan(self, detail):
+        engine = engine_with_flaky_site(detail, failures=1)
+        query = make_query()
+        result = engine.execute(query, ALL_OPTIMIZATIONS)
+        assert result.relation.multiset_equals(
+            query.evaluate_centralized(detail))
+        assert result.metrics.retries == 1
+
+    def test_budget_exhaustion_raises(self, detail):
+        engine = engine_with_flaky_site(detail, failures=5, max_retries=2)
+        with pytest.raises(SiteFailure, match="site 1"):
+            engine.execute(make_query(), NO_OPTIMIZATIONS)
+
+    def test_zero_retries_fails_immediately(self, detail):
+        engine = engine_with_flaky_site(detail, failures=1, max_retries=0)
+        with pytest.raises(SiteFailure):
+            engine.execute(make_query(), NO_OPTIMIZATIONS)
+
+    def test_negative_budget_rejected(self, detail):
+        with pytest.raises(PlanError):
+            SkallaEngine(partition_round_robin(detail, 2), max_retries=-1)
+
+    def test_no_retries_counted_when_healthy(self, detail):
+        engine = SkallaEngine(partition_round_robin(detail, 3))
+        result = engine.execute(make_query(), NO_OPTIMIZATIONS)
+        assert result.metrics.retries == 0
+        assert result.metrics.summary()["retries"] == 0

@@ -1,0 +1,107 @@
+"""Unit tests for the GMDJ operator definition (Definition 1 machinery)."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import b, r
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+from repro.core.gmdj import Gmdj, GroupingVariable, profile_gmdj
+
+BASE = Schema.of(("g", DataType.INT64))
+DETAIL = Schema.of(("g", DataType.INT64), ("v", DataType.FLOAT64))
+
+
+def simple_gmdj() -> Gmdj:
+    return Gmdj.single([count_star("n"), AggregateSpec("avg", "v", "m")],
+                       r.g == b.g)
+
+
+class TestConstruction:
+    def test_single(self):
+        gmdj = simple_gmdj()
+        assert len(gmdj.variables) == 1
+        assert gmdj.output_aliases == ("n", "m")
+
+    def test_requires_variables(self):
+        with pytest.raises(QueryError):
+            Gmdj(())
+
+    def test_requires_aggregates(self):
+        with pytest.raises(QueryError):
+            GroupingVariable((), r.g == b.g)
+
+    def test_duplicate_aliases_rejected(self):
+        first = GroupingVariable((count_star("n"),), r.g == b.g)
+        second = GroupingVariable((count_star("n"),), r.v > 0)
+        with pytest.raises(QueryError, match="duplicate"):
+            Gmdj((first, second))
+
+    def test_multi_variable(self):
+        gmdj = Gmdj((
+            GroupingVariable((count_star("n1"),), r.g == b.g),
+            GroupingVariable((count_star("n2"),), (r.g == b.g) & (r.v > 0))))
+        assert len(gmdj.conditions) == 2
+        assert gmdj.output_aliases == ("n1", "n2")
+
+
+class TestSchemas:
+    def test_output_schema(self):
+        schema = simple_gmdj().output_schema(BASE, DETAIL)
+        assert schema.names == ("g", "n", "m")
+        assert schema.dtype("m") is DataType.FLOAT64
+
+    def test_state_schema(self):
+        schema = simple_gmdj().state_schema(BASE, DETAIL)
+        assert schema.names == ("g", "n__count", "m__sum", "m__count")
+
+    def test_validate_passes(self):
+        simple_gmdj().validate(BASE, DETAIL)
+
+    def test_validate_unknown_base_attr(self):
+        gmdj = Gmdj.single([count_star("n")], r.g == b.missing)
+        with pytest.raises(SchemaError):
+            gmdj.validate(BASE, DETAIL)
+
+    def test_validate_unknown_detail_attr(self):
+        gmdj = Gmdj.single([count_star("n")], r.missing == b.g)
+        with pytest.raises(SchemaError):
+            gmdj.validate(BASE, DETAIL)
+
+    def test_validate_alias_collision_with_base(self):
+        gmdj = Gmdj.single([count_star("g")], r.g == b.g)
+        with pytest.raises(SchemaError):
+            gmdj.validate(BASE, DETAIL)
+
+
+class TestProperties:
+    def test_decomposable(self):
+        assert simple_gmdj().is_decomposable()
+        holistic = Gmdj.single([AggregateSpec("median", "v", "med")],
+                               r.g == b.g)
+        assert not holistic.is_decomposable()
+
+    def test_references_generated_attrs(self):
+        outer = Gmdj.single([count_star("n2")],
+                            (r.g == b.g) & (r.v >= b.m))
+        assert outer.references_generated_attrs(["m"])
+        assert not outer.references_generated_attrs(["other"])
+
+    def test_describe_mentions_aggregates(self):
+        assert "count(*)" in simple_gmdj().describe()
+
+
+class TestProfile:
+    def test_profile_collects_attrs(self):
+        gmdj = Gmdj.single([AggregateSpec("sum", "v", "s")],
+                           (r.g == b.g) & (r.v >= b.threshold))
+        profile = profile_gmdj(gmdj)
+        assert profile.base_attrs == {"g", "threshold"}
+        assert profile.detail_attrs == {"g", "v"}
+        assert profile.has_residuals
+
+    def test_profile_pure_equijoin(self):
+        profile = profile_gmdj(simple_gmdj())
+        assert not profile.has_residuals
+        assert profile.analyses[0].base_key == ("g",)

@@ -1,0 +1,180 @@
+"""Tests for the multi-tier coordinator architecture."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.core.builder import QueryBuilder, agg
+from repro.core.gmdj import Gmdj
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.hierarchy import (
+    HierarchicalEngine, TreeNode, TreeTopology, combine_states_by_key)
+from repro.distributed.partition import partition_round_robin
+from repro.distributed.plan import (
+    ALL_OPTIMIZATIONS, NO_OPTIMIZATIONS, OptimizationFlags)
+
+
+def make_query():
+    return (QueryBuilder()
+            .base("g")
+            .gmdj([count_star("n"), agg("avg", "v", "m")], r.g == b.g)
+            .gmdj([count_star("n2")], (r.g == b.g) & (r.v >= b.m))
+            .build())
+
+
+@pytest.fixture(scope="module")
+def detail():
+    return Relation.from_dicts([
+        {"g": i % 17, "v": float((i * 7) % 101)} for i in range(2_000)])
+
+
+@pytest.fixture(scope="module")
+def partitions(detail):
+    return partition_round_robin(detail, 16)
+
+
+class TestTopology:
+    def test_balanced_covers_all_sites(self):
+        topology = TreeTopology.balanced(list(range(16)), fanout=4)
+        assert sorted(topology.sites()) == list(range(16))
+        topology.validate_disjoint()
+        assert topology.depth() == 2
+
+    def test_balanced_deeper(self):
+        topology = TreeTopology.balanced(list(range(32)), fanout=3)
+        assert sorted(topology.sites()) == list(range(32))
+        assert topology.depth() >= 3
+
+    def test_flat(self):
+        topology = TreeTopology.flat([0, 1, 2])
+        assert topology.depth() == 1
+
+    def test_small_fanout_rejected(self):
+        with pytest.raises(PlanError):
+            TreeTopology.balanced([0, 1], fanout=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanError):
+            TreeTopology.balanced([], fanout=2)
+
+    def test_duplicate_site_detected(self):
+        topology = TreeTopology(TreeNode("root", (0, 0), ()))
+        with pytest.raises(PlanError, match="more than once"):
+            topology.validate_disjoint()
+
+    def test_childless_node_rejected(self):
+        with pytest.raises(PlanError, match="no children"):
+            TreeNode("empty")
+
+
+class TestCombineStates:
+    def test_merges_by_key(self):
+        schema_rows_a = [{"g": 1, "n__count": 2, "m__sum": 10.0,
+                          "m__count": 2}]
+        schema_rows_b = [{"g": 1, "n__count": 3, "m__sum": 5.0,
+                          "m__count": 3},
+                         {"g": 2, "n__count": 1, "m__sum": 7.0,
+                          "m__count": 1}]
+        gmdj = Gmdj.single([count_star("n"), AggregateSpec("avg", "v", "m")],
+                           r.g == b.g)
+        detail_schema = Relation.from_dicts([{"g": 1, "v": 1.0}]).schema
+        merged = combine_states_by_key(
+            [Relation.from_dicts(schema_rows_a),
+             Relation.from_dicts(schema_rows_b)],
+            ["g"], [gmdj], detail_schema)
+        rows = {row["g"]: row for row in merged.to_dicts()}
+        assert rows[1]["n__count"] == 5
+        assert rows[1]["m__sum"] == pytest.approx(15.0)
+        assert rows[2]["n__count"] == 1
+
+    def test_empty_inputs_pass_through(self):
+        relation = Relation.from_dicts([{"g": 1, "n__count": 1}]).head(0)
+        gmdj = Gmdj.single([count_star("n")], r.g == b.g)
+        detail_schema = Relation.from_dicts([{"g": 1}]).schema
+        merged = combine_states_by_key([relation], ["g"], [gmdj],
+                                       detail_schema)
+        assert merged.num_rows == 0
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("fanout", [2, 4])
+    @pytest.mark.parametrize("flags", [
+        NO_OPTIMIZATIONS,
+        OptimizationFlags(group_reduction_independent=True),
+        OptimizationFlags(coalesce=True, sync_reduction=True),
+        ALL_OPTIMIZATIONS,
+    ], ids=lambda f: f.describe())
+    def test_tree_matches_centralized(self, detail, partitions, fanout,
+                                      flags):
+        topology = TreeTopology.balanced(sorted(partitions), fanout=fanout)
+        engine = HierarchicalEngine(partitions, topology)
+        query = make_query()
+        reference = query.evaluate_centralized(detail)
+        result = engine.execute(query, flags)
+        assert result.relation.multiset_equals(reference)
+
+    def test_tree_matches_flat_engine(self, detail, partitions):
+        query = make_query()
+        flat = SkallaEngine(partitions).execute(query, NO_OPTIMIZATIONS)
+        topology = TreeTopology.balanced(sorted(partitions), fanout=4)
+        tree = HierarchicalEngine(partitions, topology).execute(
+            query, NO_OPTIMIZATIONS)
+        assert tree.relation.multiset_equals(flat.relation)
+
+    def test_with_distribution_knowledge(self, detail):
+        from repro.distributed.partition import partition_by_values
+        values = {site: [site] for site in range(17)}
+        parts, info = partition_by_values(detail, "g", values)
+        topology = TreeTopology.balanced(sorted(parts), fanout=4)
+        engine = HierarchicalEngine(parts, topology, info)
+        query = make_query()
+        reference = query.evaluate_centralized(detail)
+        result = engine.execute(query, ALL_OPTIMIZATIONS)
+        assert result.relation.multiset_equals(reference)
+        assert result.metrics.num_synchronizations == 1
+
+
+class TestCostProfile:
+    def test_root_inbound_bytes_reduced(self, detail, partitions):
+        """The tree's headline benefit: fewer bytes arrive at the root
+        per round (aggregators pre-merge duplicate groups)."""
+        query = make_query()
+        flat_result = SkallaEngine(partitions).execute(query,
+                                                       NO_OPTIMIZATIONS)
+        topology = TreeTopology.balanced(sorted(partitions), fanout=4)
+        tree_result = HierarchicalEngine(partitions, topology).execute(
+            query, NO_OPTIMIZATIONS)
+
+        def root_inbound(log):
+            from repro.distributed.messages import COORDINATOR
+            return sum(m.total_bytes for m in log.messages
+                       if m.receiver == COORDINATOR
+                       and m.description.endswith("root"))
+
+        flat_up = flat_result.metrics.bytes_to_coordinator
+        tree_up = root_inbound(tree_result.metrics.log)
+        assert tree_up < flat_up
+
+    def test_metrics_populated(self, detail, partitions):
+        topology = TreeTopology.balanced(sorted(partitions), fanout=4)
+        result = HierarchicalEngine(partitions, topology).execute(
+            make_query(), NO_OPTIMIZATIONS)
+        metrics = result.metrics
+        assert metrics.response_seconds > 0
+        assert metrics.communication_seconds > 0
+        assert metrics.num_synchronizations == 3
+
+
+class TestErrors:
+    def test_unknown_site_in_topology(self, partitions):
+        topology = TreeTopology(TreeNode("root", (0, 99), ()))
+        with pytest.raises(PlanError, match="unknown sites"):
+            HierarchicalEngine(partitions, topology)
+
+    def test_schema_mismatch(self, detail):
+        other = detail.project(["g"])
+        topology = TreeTopology.flat([0, 1])
+        with pytest.raises(Exception):
+            HierarchicalEngine({0: detail, 1: other}, topology)

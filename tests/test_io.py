@@ -1,0 +1,69 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.io import read_csv, write_csv
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+
+def test_round_trip(tmp_path, simple_relation):
+    path = tmp_path / "data.csv"
+    write_csv(simple_relation, path)
+    loaded = read_csv(path)
+    assert loaded.schema == simple_relation.schema
+    assert loaded.multiset_equals(simple_relation)
+
+
+def test_round_trip_empty(tmp_path, simple_schema):
+    path = tmp_path / "empty.csv"
+    write_csv(Relation.empty(simple_schema), path)
+    loaded = read_csv(path)
+    assert loaded.num_rows == 0
+    assert loaded.schema == simple_schema
+
+
+def test_bool_round_trip(tmp_path):
+    schema = Schema.of(("flag", DataType.BOOL))
+    relation = Relation.from_rows(schema, [(True,), (False,)])
+    path = tmp_path / "bools.csv"
+    write_csv(relation, path)
+    assert read_csv(path).column("flag").tolist() == [True, False]
+
+
+def test_missing_header_rejected(tmp_path):
+    path = tmp_path / "no_header.csv"
+    path.write_text("")
+    with pytest.raises(SchemaError, match="empty"):
+        read_csv(path)
+
+
+def test_malformed_header_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("justaname\n1\n")
+    with pytest.raises(SchemaError, match="malformed"):
+        read_csv(path)
+
+
+def test_unknown_type_rejected(tmp_path):
+    path = tmp_path / "bad_type.csv"
+    path.write_text("x:decimal\n1\n")
+    with pytest.raises(SchemaError, match="unknown datatype"):
+        read_csv(path)
+
+
+def test_ragged_row_rejected(tmp_path):
+    path = tmp_path / "ragged.csv"
+    path.write_text("x:int64,y:int64\n1,2\n3\n")
+    with pytest.raises(SchemaError, match="cells"):
+        read_csv(path)
+
+
+def test_strings_with_commas_and_quotes(tmp_path):
+    schema = Schema.of(("s", DataType.STRING))
+    relation = Relation.from_rows(schema, [("a,b",), ('say "hi"',)])
+    path = tmp_path / "quoted.csv"
+    write_csv(relation, path)
+    assert read_csv(path).multiset_equals(relation)

@@ -1,0 +1,68 @@
+"""Unit tests for message accounting and the message log."""
+
+from repro.distributed.messages import (
+    CONTROL_MESSAGE_BYTES, COORDINATOR, ENVELOPE_BYTES, MessageLog,
+    control_message, relation_message)
+from repro.relational.relation import Relation
+
+
+def make_relation(rows=3):
+    return Relation.from_dicts([{"k": i, "v": float(i)}
+                                for i in range(rows)])
+
+
+class TestMessages:
+    def test_relation_message_bytes(self):
+        relation = make_relation(3)
+        message = relation_message(0, COORDINATOR, "sub_aggregates",
+                                   relation, round_index=1)
+        assert message.payload_bytes == relation.wire_bytes()
+        assert message.rows == 3
+        assert message.total_bytes == relation.wire_bytes() + ENVELOPE_BYTES
+        assert message.to_coordinator
+
+    def test_control_message(self):
+        message = control_message(COORDINATOR, 2, round_index=0)
+        assert message.payload_bytes == CONTROL_MESSAGE_BYTES
+        assert message.rows == 0
+        assert not message.to_coordinator
+
+    def test_empty_relation_still_pays_envelope(self):
+        relation = make_relation(1).head(0)
+        message = relation_message(COORDINATOR, 1, "base_structure",
+                                   relation, 1)
+        assert message.payload_bytes == 0
+        assert message.total_bytes == ENVELOPE_BYTES
+
+
+class TestMessageLog:
+    def make_log(self):
+        log = MessageLog()
+        log.record(relation_message(0, COORDINATOR, "base_result",
+                                    make_relation(2), 0))
+        log.record(relation_message(COORDINATOR, 0, "base_structure",
+                                    make_relation(5), 1))
+        log.record(relation_message(0, COORDINATOR, "sub_aggregates",
+                                    make_relation(4), 1))
+        return log
+
+    def test_totals(self):
+        log = self.make_log()
+        assert log.total_bytes() == sum(m.total_bytes for m in log.messages)
+        assert log.bytes_to_coordinator() + log.bytes_to_sites() == \
+            log.total_bytes()
+
+    def test_rows_shipped(self):
+        log = self.make_log()
+        assert log.rows_shipped() == 11
+        up, down = log.rows_by_direction()
+        assert up == 6 and down == 5
+
+    def test_round_bytes(self):
+        log = self.make_log()
+        assert log.round_bytes(0) > 0
+        assert log.round_bytes(0) + log.round_bytes(1) == log.total_bytes()
+
+    def test_num_rounds(self):
+        assert self.make_log().num_rounds() == 2
+        assert MessageLog().num_rounds() == 0

@@ -1,0 +1,47 @@
+"""Unit tests for query-execution metrics."""
+
+import pytest
+
+from repro.distributed.messages import (
+    COORDINATOR, MessageLog, relation_message)
+from repro.distributed.metrics import PhaseMetrics, QueryMetrics
+from repro.relational.relation import Relation
+
+
+def test_phase_total():
+    phase = PhaseMetrics("x", site_seconds=1.0, coordinator_seconds=0.5,
+                         communication_seconds=0.25)
+    assert phase.total_seconds == pytest.approx(1.75)
+
+
+def test_metrics_aggregation():
+    metrics = QueryMetrics()
+    metrics.phases.append(PhaseMetrics("a", 1.0, 0.1, 0.2))
+    metrics.phases.append(PhaseMetrics("b", 2.0, 0.3, 0.4))
+    assert metrics.site_seconds == pytest.approx(3.0)
+    assert metrics.coordinator_seconds == pytest.approx(0.4)
+    assert metrics.communication_seconds == pytest.approx(0.6)
+    assert metrics.response_seconds == pytest.approx(4.0)
+
+
+def test_metrics_traffic_delegates_to_log():
+    log = MessageLog()
+    relation = Relation.from_dicts([{"k": 1}, {"k": 2}])
+    log.record(relation_message(0, COORDINATOR, "x", relation, 0))
+    log.record(relation_message(COORDINATOR, 0, "y", relation, 1))
+    metrics = QueryMetrics(log=log)
+    assert metrics.total_bytes == log.total_bytes()
+    assert metrics.bytes_to_coordinator == log.bytes_to_coordinator()
+    assert metrics.bytes_to_sites == log.bytes_to_sites()
+    assert metrics.rows_shipped == 4
+
+
+def test_summary_keys():
+    metrics = QueryMetrics(num_participating_sites=4)
+    metrics.num_synchronizations = 2
+    summary = metrics.summary()
+    assert summary["sites"] == 4
+    assert summary["synchronizations"] == 2
+    for key in ("response_seconds", "site_seconds", "coordinator_seconds",
+                "communication_seconds", "total_bytes", "rows_shipped"):
+        assert key in summary

@@ -1,0 +1,91 @@
+"""Tests for multi-feature query construction and semantics."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.core.multi_feature import MultiFeatureQuery, extremes_profile
+from repro.distributed.plan import ALL_OPTIMIZATIONS
+
+
+@pytest.fixture()
+def purchases():
+    return Relation.from_dicts([
+        {"cust": 1, "price": 10.0, "qty": 1},
+        {"cust": 1, "price": 30.0, "qty": 2},
+        {"cust": 1, "price": 30.0, "qty": 4},
+        {"cust": 2, "price": 5.0, "qty": 7},
+        {"cust": 2, "price": 9.0, "qty": 1},
+    ])
+
+
+class TestBuilder:
+    def test_max_then_count_at_max(self, purchases):
+        query = (MultiFeatureQuery("cust")
+                 .feature("max_price", "max", "price")
+                 .feature("n_at_max", "count", None,
+                          where=r.price >= b.max_price)
+                 .feature("avg_qty_at_max", "avg", "qty",
+                          where=r.price >= b.max_price)
+                 .build())
+        result = {row["cust"]: row
+                  for row in query.evaluate_centralized(
+                      purchases).to_dicts()}
+        assert result[1]["max_price"] == 30.0
+        assert result[1]["n_at_max"] == 2
+        assert result[1]["avg_qty_at_max"] == pytest.approx(3.0)
+        assert result[2]["n_at_max"] == 1
+
+    def test_forward_reference_rejected(self):
+        builder = MultiFeatureQuery("cust")
+        with pytest.raises(QueryError, match="not earlier"):
+            builder.feature("early", "count", None,
+                            where=r.price >= b.late)
+
+    def test_group_attr_usable_in_where(self, purchases):
+        query = (MultiFeatureQuery("cust")
+                 .feature("n_big_cust", "count", None,
+                          where=r.price > b.cust)
+                 .build())
+        result = query.evaluate_centralized(purchases)
+        assert result.num_rows == 2
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(QueryError):
+            MultiFeatureQuery("cust").build()
+        with pytest.raises(QueryError):
+            MultiFeatureQuery()
+
+    def test_runs_distributed(self, purchases):
+        from repro.distributed.engine import SkallaEngine
+        from repro.distributed.partition import partition_round_robin
+        query = (MultiFeatureQuery("cust")
+                 .feature("max_price", "max", "price")
+                 .feature("n_at_max", "count", None,
+                          where=r.price >= b.max_price)
+                 .build())
+        reference = query.evaluate_centralized(purchases)
+        engine = SkallaEngine(partition_round_robin(purchases, 2))
+        result = engine.execute(query, ALL_OPTIMIZATIONS)
+        assert result.relation.multiset_equals(reference)
+
+
+class TestExtremesProfile:
+    def test_values(self, purchases):
+        query = extremes_profile(["cust"], "price")
+        result = {row["cust"]: row
+                  for row in query.evaluate_centralized(
+                      purchases).to_dicts()}
+        assert result[1]["lo"] == 10.0 and result[1]["hi"] == 30.0
+        assert result[1]["n_at_lo"] == 1
+        assert result[1]["n_at_hi"] == 2
+        assert result[1]["n_top_half"] == 2  # >= 20
+        assert result[2]["n_top_half"] == 1  # >= 7
+
+    def test_single_tuple_group(self):
+        data = Relation.from_dicts([{"g": 1, "v": 5.0}])
+        result = extremes_profile(["g"], "v").evaluate_centralized(data)
+        row = result.to_dicts()[0]
+        assert row["lo"] == row["hi"] == 5.0
+        assert row["n_at_lo"] == row["n_at_hi"] == row["n_top_half"] == 1

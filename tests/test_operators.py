@@ -1,0 +1,164 @@
+"""Unit tests for classical relational operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExpressionError, SchemaError
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import r
+from repro.relational.operators import (
+    equi_join, extend, group_by, natural_join, project, select, unpivot)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+
+class TestSelect:
+    def test_basic(self, simple_relation):
+        result = select(simple_relation, r.k == 1)
+        assert result.num_rows == 3
+
+    def test_compound_condition(self, simple_relation):
+        result = select(simple_relation, (r.k == 1) & (r.v > 1.0))
+        assert result.num_rows == 2
+
+    def test_base_refs_rejected(self, simple_relation):
+        from repro.relational.expressions import b
+        with pytest.raises(ExpressionError, match="detail-side"):
+            select(simple_relation, b.k == 1)
+
+
+class TestProject:
+    def test_keeps_duplicates_by_default(self, simple_relation):
+        result = project(simple_relation, ["name"])
+        assert result.num_rows == 6
+
+    def test_distinct(self, simple_relation):
+        result = project(simple_relation, ["name"], distinct=True)
+        assert result.num_rows == 3
+
+
+class TestExtend:
+    def test_computed_column(self, simple_relation):
+        result = extend(simple_relation, {"double_v": r.v * 2})
+        assert result.column("double_v").tolist() == \
+            (simple_relation.column("v") * 2).tolist()
+
+    def test_scalar_broadcast(self, simple_relation):
+        from repro.relational.expressions import Literal
+        result = extend(simple_relation, {"one": Literal(1)})
+        assert result.column("one").tolist() == [1] * 6
+
+    def test_existing_name_rejected(self, simple_relation):
+        with pytest.raises(SchemaError, match="already exists"):
+            extend(simple_relation, {"v": r.k * 1})
+
+
+class TestJoins:
+    @pytest.fixture()
+    def left(self):
+        return Relation.from_dicts([
+            {"k": 1, "a": 10}, {"k": 2, "a": 20}, {"k": 3, "a": 30}])
+
+    @pytest.fixture()
+    def right(self):
+        return Relation.from_dicts([
+            {"k": 1, "c": 100}, {"k": 1, "c": 101}, {"k": 2, "c": 200},
+            {"k": 9, "c": 900}])
+
+    def test_natural_join(self, left, right):
+        joined = natural_join(left, right)
+        assert joined.num_rows == 3
+        assert set(joined.schema.names) == {"k", "a", "c"}
+        ones = joined.filter(joined.column("k") == 1)
+        assert sorted(ones.column("c").tolist()) == [100, 101]
+
+    def test_join_drops_unmatched(self, left, right):
+        joined = natural_join(left, right)
+        assert 3 not in joined.column("k")
+        assert 9 not in joined.column("k")
+
+    def test_no_shared_attrs_rejected(self, left):
+        other = Relation.from_dicts([{"z": 1}])
+        with pytest.raises(SchemaError):
+            natural_join(left, other)
+
+    def test_equi_join_renamed_key(self, left, right):
+        renamed = right.rename({"k": "rk"})
+        joined = equi_join(left, renamed, [("k", "rk")])
+        assert joined.num_rows == 3
+
+    def test_equi_join_collision_rejected(self, left):
+        other = Relation.from_dicts([{"k": 1, "a": 5}])
+        with pytest.raises(SchemaError, match="collide"):
+            equi_join(left, other, [("k", "k")])
+
+    def test_join_with_empty_right(self, left):
+        empty = Relation.empty(Schema.of(("k", DataType.INT64),
+                                         ("c", DataType.INT64)))
+        joined = equi_join(left, empty, [("k", "k")])
+        assert joined.num_rows == 0
+        assert set(joined.schema.names) == {"k", "a", "c"}
+
+
+class TestGroupBy:
+    def test_counts_and_sums(self, simple_relation):
+        result = group_by(simple_relation, ["k"],
+                          [count_star("n"), AggregateSpec("sum", "v", "s")])
+        by_key = {row["k"]: row for row in result.to_dicts()}
+        assert by_key[1]["n"] == 3
+        assert by_key[1]["s"] == pytest.approx(4.0)
+        assert by_key[3]["n"] == 1
+
+    def test_avg(self, simple_relation):
+        result = group_by(simple_relation, ["k"],
+                          [AggregateSpec("avg", "v", "m")])
+        by_key = {row["k"]: row["m"] for row in result.to_dicts()}
+        assert by_key[2] == pytest.approx(7.0)
+
+    def test_grand_total(self, simple_relation):
+        result = group_by(simple_relation, [], [count_star("n")])
+        assert result.num_rows == 1
+        assert result.row(0) == (6,)
+
+    def test_holistic_median_per_group(self, simple_relation):
+        result = group_by(simple_relation, ["k"],
+                          [AggregateSpec("median", "v", "med")])
+        by_key = {row["k"]: row["med"] for row in result.to_dicts()}
+        assert by_key[1] == pytest.approx(1.5)
+
+    def test_empty_input(self, simple_schema):
+        empty = Relation.empty(simple_schema)
+        result = group_by(empty, ["k"], [count_star("n")])
+        assert result.num_rows == 0
+        assert result.schema.names == ("k", "n")
+
+    def test_string_keys(self, simple_relation):
+        result = group_by(simple_relation, ["name"], [count_star("n")])
+        by_name = {row["name"]: row["n"] for row in result.to_dicts()}
+        assert by_name == {"a": 3, "b": 1, "c": 2}
+
+
+class TestUnpivot:
+    def test_rotation(self):
+        relation = Relation.from_dicts([
+            {"id": 1, "p": 10, "q": 20}, {"id": 2, "p": 30, "q": 40}])
+        result = unpivot(relation, ["id"], ["p", "q"])
+        assert result.num_rows == 4
+        assert set(result.schema.names) == {"id", "attribute", "value"}
+        p_rows = result.filter(result.column("attribute") == "p")
+        assert sorted(p_rows.column("value").tolist()) == [10.0, 30.0]
+
+    def test_requires_numeric(self, simple_relation):
+        with pytest.raises(SchemaError, match="not numeric"):
+            unpivot(simple_relation, ["k"], ["name"])
+
+    def test_requires_columns(self, simple_relation):
+        with pytest.raises(SchemaError):
+            unpivot(simple_relation, ["k"], [])
+
+    def test_custom_names(self):
+        relation = Relation.from_dicts([{"id": 1, "p": 10}])
+        result = unpivot(relation, ["id"], ["p"], name_attr="metric",
+                         value_attr="reading")
+        assert result.schema.names == ("id", "metric", "reading")

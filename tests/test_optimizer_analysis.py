@@ -1,0 +1,237 @@
+"""Tests for ψ-derivation (Theorem 4 analysis), including both worked
+examples of Sect. 4.1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.relational.expressions import Literal, b, r
+from repro.distributed.partition import RangeConstraint, ValueSetConstraint
+from repro.optimizer.analysis import (
+    Interval, derive_site_filter, detail_interval,
+    necessary_base_condition)
+
+
+class TestInterval:
+    def test_arithmetic(self):
+        a = Interval(1, 4)
+        c = Interval(-2, 3)
+        assert (a + c) == Interval(-1, 7)
+        assert (a - c) == Interval(-2, 6)
+        assert (a * c) == Interval(-8, 12)
+
+    def test_division_safe(self):
+        assert Interval(1, 4).divide(Interval(2, 2)) == Interval(0.5, 2.0)
+
+    def test_division_through_zero_unbounded(self):
+        result = Interval(1, 4).divide(Interval(-1, 1))
+        assert result.is_unbounded
+
+    def test_point_and_unbounded(self):
+        assert Interval.point(3.0) == Interval(3.0, 3.0)
+        assert Interval.unbounded().is_unbounded
+
+
+class TestDetailInterval:
+    CONSTRAINTS = {"x": RangeConstraint(1, 25),
+                   "s": ValueSetConstraint(frozenset({"a", "b"}))}
+
+    def test_literal(self):
+        assert detail_interval(Literal(5), {}) == Interval(5.0, 5.0)
+
+    def test_string_literal_is_none(self):
+        assert detail_interval(Literal("hi"), {}) is None
+
+    def test_constrained_attr(self):
+        assert detail_interval(r.x, self.CONSTRAINTS) == Interval(1.0, 25.0)
+
+    def test_unconstrained_attr_unbounded(self):
+        assert detail_interval(r.y, self.CONSTRAINTS).is_unbounded
+
+    def test_affine_expression(self):
+        interval = detail_interval(r.x * 2 + 1, self.CONSTRAINTS)
+        assert interval == Interval(3.0, 51.0)
+
+    def test_string_valueset_unbounded(self):
+        assert detail_interval(r.s, self.CONSTRAINTS).is_unbounded
+
+
+def eval_filter(condition, **base_values):
+    env = {"base": {key: np.array(values)
+                    for key, values in base_values.items()},
+           "detail": None}
+    return condition.eval(env).tolist()
+
+
+class TestPaperExample2:
+    """Site S1 handles SourceAS 1..25; θ has Flow.SourceAS = B.SourceAS.
+    Then ¬ψ_1(b) must be b.SourceAS ∈ [1, 25]."""
+
+    CONSTRAINTS = {"SourceAS": RangeConstraint(1, 25)}
+
+    def test_equality_transfers_constraint(self):
+        theta = (r.SourceAS == b.SourceAS) & (r.DestAS == b.DestAS)
+        condition = necessary_base_condition(theta, self.CONSTRAINTS)
+        assert condition is not None
+        assert eval_filter(condition, SourceAS=[1, 25, 26],
+                           DestAS=[0, 0, 0]) == [True, True, False]
+
+
+class TestPaperExample2Revised:
+    """θ revised to B.DestAS + B.SourceAS < Flow.SourceAS * 2 with
+    Flow.SourceAS ∈ [1, 25] gives ¬ψ(b): B.DestAS + B.SourceAS < 50."""
+
+    CONSTRAINTS = {"SourceAS": RangeConstraint(1, 25)}
+
+    def test_affine_bound_derived(self):
+        theta = (b.DestAS + b.SourceAS) < (r.SourceAS * 2)
+        condition = necessary_base_condition(theta, self.CONSTRAINTS)
+        assert condition is not None
+        assert eval_filter(condition, DestAS=[10, 30], SourceAS=[39, 21]) \
+            == [True, False]  # 49 < 50, 51 not < 50
+
+
+class TestNecessaryCondition:
+    CONSTRAINTS = {"x": RangeConstraint(10, 20),
+                   "tag": ValueSetConstraint(frozenset({"web", "dns"}))}
+
+    def test_value_set_equality(self):
+        condition = necessary_base_condition(b.label == r.tag,
+                                             self.CONSTRAINTS)
+        assert eval_filter(condition, label=np.array(
+            ["web", "ssh"], dtype=object)) == [True, False]
+
+    def test_order_atoms(self):
+        condition = necessary_base_condition(b.v > r.x, self.CONSTRAINTS)
+        # ∃x∈[10,20]: v > x  ⟺  v > 10
+        assert eval_filter(condition, v=[11, 10, 9]) == [True, False, False]
+        condition = necessary_base_condition(b.v <= r.x, self.CONSTRAINTS)
+        # ∃x∈[10,20]: v <= x  ⟺  v <= 20
+        assert eval_filter(condition, v=[20, 21]) == [True, False]
+
+    def test_equality_with_affine_detail(self):
+        condition = necessary_base_condition(b.v == r.x + 5,
+                                             self.CONSTRAINTS)
+        assert eval_filter(condition, v=[15, 25, 26]) == [True, True, False]
+
+    def test_unconstrained_attr_yields_none(self):
+        assert necessary_base_condition(b.v == r.unknown,
+                                        self.CONSTRAINTS) is None
+
+    def test_not_equal_yields_none(self):
+        assert necessary_base_condition(b.v != r.x, self.CONSTRAINTS) is None
+
+    def test_pure_base_conjunct_kept(self):
+        theta = (b.v > 100) & (b.k == r.x)
+        condition = necessary_base_condition(theta, self.CONSTRAINTS)
+        assert eval_filter(condition, v=[150, 50], k=[15, 15]) == \
+            [True, False]
+
+    def test_unsatisfiable_detail_conjunct_gives_false(self):
+        theta = (r.x > 100) & (b.k == r.x)
+        condition = necessary_base_condition(theta, self.CONSTRAINTS)
+        assert isinstance(condition, Literal) and condition.value is False
+
+    def test_satisfiable_detail_conjunct_dropped(self):
+        theta = (r.x > 15) & (b.k == r.x)
+        condition = necessary_base_condition(theta, self.CONSTRAINTS)
+        # restriction from the equality remains
+        assert eval_filter(condition, k=[15, 50]) == [True, False]
+
+    def test_disjunction_ors_restrictions(self):
+        theta = (b.k == r.x) | (b.v == r.x)
+        condition = necessary_base_condition(theta, self.CONSTRAINTS)
+        assert eval_filter(condition, k=[15, 5, 5], v=[5, 15, 5]) == \
+            [True, True, False]
+
+    def test_disjunction_with_unrestricted_arm_is_none(self):
+        theta = (b.k == r.x) | (b.v == r.unknown)
+        assert necessary_base_condition(theta, self.CONSTRAINTS) is None
+
+    def test_mixed_operand_atom_contributes_nothing(self):
+        # base and detail mixed on one side: not in the handled fragment
+        theta = (b.k + r.x) > 5
+        assert necessary_base_condition(theta, self.CONSTRAINTS) is None
+
+
+class TestDeriveSiteFilter:
+    CONSTRAINTS = {"g": RangeConstraint(0, 9)}
+
+    def test_all_thetas_restricted(self):
+        thetas = [r.g == b.g, (r.g == b.g) & (r.v >= b.m)]
+        condition = derive_site_filter(thetas, self.CONSTRAINTS)
+        assert eval_filter(condition, g=[5, 15], v=[0, 0], m=[0, 0]) == \
+            [True, False]
+
+    def test_one_unrestricted_theta_defeats_filter(self):
+        thetas = [r.g == b.g, r.v >= b.m]
+        assert derive_site_filter(thetas, self.CONSTRAINTS) is None
+
+    def test_all_false_gives_false(self):
+        thetas = [(r.g > 100) & (r.g == b.g)]
+        condition = derive_site_filter(thetas, self.CONSTRAINTS)
+        assert isinstance(condition, Literal) and condition.value is False
+
+    def test_soundness_never_drops_matching_group(self):
+        """Random spot check: any base tuple with a local match must pass
+        the derived filter (over-approximation is allowed, dropping is
+        not)."""
+        rng = np.random.default_rng(3)
+        detail_g = rng.integers(0, 10, size=200)  # respects g ∈ [0, 9]
+        detail_v = rng.normal(size=200)
+        thetas = [(r.g == b.g) & (r.v >= b.m)]
+        condition = derive_site_filter(thetas, self.CONSTRAINTS)
+        for g_value in range(12):
+            for m_value in (-10.0, 0.0, 10.0):
+                matches = np.any((detail_g == g_value)
+                                 & (detail_v >= m_value))
+                if matches:
+                    passed = eval_filter(condition, g=[g_value],
+                                         m=[m_value])[0]
+                    assert passed, (g_value, m_value)
+
+
+class TestMonotoneFunctionIntervals:
+    CONSTRAINTS = {"t": RangeConstraint(3600, 7200)}
+
+    def test_floor_interval(self):
+        from repro.relational.expressions import fn
+        interval = detail_interval(fn("floor", r.t / 3600),
+                                   self.CONSTRAINTS)
+        assert interval == Interval(1.0, 2.0)
+
+    def test_log_with_nonpositive_low(self):
+        from repro.relational.expressions import fn
+        interval = detail_interval(fn("log", r.t - 3600),
+                                   self.CONSTRAINTS)
+        assert interval.low == -math.inf
+        assert interval.high == pytest.approx(math.log(3600))
+
+    def test_sqrt_clamps_domain(self):
+        from repro.relational.expressions import fn
+        interval = detail_interval(fn("sqrt", r.t - 10_000),
+                                   self.CONSTRAINTS)
+        assert interval.low == 0.0
+
+    def test_unbounded_operand_stays_unbounded(self):
+        from repro.relational.expressions import fn
+        assert detail_interval(fn("exp", r.unknown),
+                               self.CONSTRAINTS).is_unbounded is False
+        # exp maps (-inf, inf) to (0, inf): low becomes finite
+        interval = detail_interval(fn("exp", r.unknown), self.CONSTRAINTS)
+        assert interval.low == 0.0 and interval.high == math.inf
+
+    def test_abs_not_treated_as_monotone(self):
+        from repro.relational.expressions import fn
+        # abs is not monotone; analysis must not produce a wrong interval
+        assert detail_interval(fn("abs", r.t), self.CONSTRAINTS) is None
+
+    def test_filter_through_function(self):
+        """∃t∈[3600,7200]: b.h == floor(t/3600) ⟹ 1 <= b.h <= 2."""
+        from repro.relational.expressions import fn
+        theta = b.h == fn("floor", r.t / 3600)
+        condition = necessary_base_condition(theta, self.CONSTRAINTS)
+        assert condition is not None
+        assert eval_filter(condition, h=[0, 1, 2, 3]) == \
+            [False, True, True, False]

@@ -1,0 +1,169 @@
+"""Unit tests for partitioning and distribution knowledge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.relational.relation import Relation
+from repro.distributed.partition import (
+    DistributionInfo, RangeConstraint, ValueSetConstraint,
+    observed_value_info, partition_by_hash, partition_by_ranges,
+    partition_by_values, partition_round_robin)
+
+
+@pytest.fixture()
+def relation():
+    return Relation.from_dicts([
+        {"nation": n % 5, "cust": n, "v": float(n)} for n in range(50)])
+
+
+class TestConstraints:
+    def test_value_set(self):
+        constraint = ValueSetConstraint(frozenset({1, 2}))
+        assert constraint.contains(1) and not constraint.contains(3)
+        mask = constraint.mask(np.array([1, 3, 2]))
+        assert mask.tolist() == [True, False, True]
+        assert constraint.bounds() == (1.0, 2.0)
+
+    def test_value_set_strings_have_no_bounds(self):
+        constraint = ValueSetConstraint(frozenset({"a", "b"}))
+        assert constraint.bounds() is None
+
+    def test_value_set_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            ValueSetConstraint(frozenset())
+
+    def test_range(self):
+        constraint = RangeConstraint(10, 20)
+        assert constraint.contains(10) and constraint.contains(20)
+        assert not constraint.contains(21)
+        assert constraint.bounds() == (10.0, 20.0)
+
+    def test_range_strings(self):
+        constraint = RangeConstraint("Customer#000000001",
+                                     "Customer#000000050")
+        assert constraint.contains("Customer#000000025")
+        assert constraint.bounds() is None
+
+    def test_range_inverted_rejected(self):
+        with pytest.raises(PartitionError):
+            RangeConstraint(5, 1)
+
+    def test_intersections(self):
+        assert ValueSetConstraint(frozenset({1, 2})).intersects(
+            ValueSetConstraint(frozenset({2, 3})))
+        assert not ValueSetConstraint(frozenset({1})).intersects(
+            ValueSetConstraint(frozenset({2})))
+        assert RangeConstraint(1, 5).intersects(RangeConstraint(5, 9))
+        assert not RangeConstraint(1, 4).intersects(RangeConstraint(5, 9))
+        assert RangeConstraint(1, 5).intersects(
+            ValueSetConstraint(frozenset({3})))
+
+    def test_to_expr(self):
+        from repro.relational.expressions import BaseAttr
+        expr = RangeConstraint(1, 5).to_expr(BaseAttr("x"))
+        env = {"base": {"x": np.array([0, 3, 7])}, "detail": None}
+        assert expr.eval(env).tolist() == [False, True, False]
+
+
+class TestPartitioning:
+    def test_by_values(self, relation):
+        partitions, info = partition_by_values(
+            relation, "nation", {0: [0, 1], 1: [2, 3], 2: [4]})
+        assert sum(p.num_rows for p in partitions.values()) == 50
+        info.verify(partitions)
+        assert info.partition_attributes() == {"nation"}
+
+    def test_by_values_unassigned_rejected(self, relation):
+        with pytest.raises(PartitionError, match="not assigned"):
+            partition_by_values(relation, "nation", {0: [0, 1]})
+
+    def test_by_values_double_assignment_rejected(self, relation):
+        with pytest.raises(PartitionError, match="both"):
+            partition_by_values(relation, "nation",
+                                {0: [0, 1], 1: [1, 2, 3, 4]})
+
+    def test_by_ranges(self, relation):
+        partitions, info = partition_by_ranges(
+            relation, "cust", {0: (0, 24), 1: (25, 49)})
+        assert partitions[0].num_rows == 25
+        info.verify(partitions)
+        assert "cust" in info.partition_attributes()
+
+    def test_by_ranges_overlap_rejected(self, relation):
+        with pytest.raises(PartitionError, match="overlaps"):
+            partition_by_ranges(relation, "cust", {0: (0, 30), 1: (20, 49)})
+
+    def test_by_ranges_gap_rejected(self, relation):
+        with pytest.raises(PartitionError, match="outside"):
+            partition_by_ranges(relation, "cust", {0: (0, 10), 1: (30, 49)})
+
+    def test_by_hash_covers_everything(self, relation):
+        partitions = partition_by_hash(relation, "cust", 4)
+        assert sum(p.num_rows for p in partitions.values()) == 50
+        rebuilt = Relation.concat(list(partitions.values()))
+        assert rebuilt.multiset_equals(relation)
+
+    def test_by_hash_same_key_same_site(self, relation):
+        partitions = partition_by_hash(relation, "nation", 3)
+        for site, fragment in partitions.items():
+            for other_site, other in partitions.items():
+                if site >= other_site:
+                    continue
+                mine = set(fragment.column("nation").tolist())
+                theirs = set(other.column("nation").tolist())
+                assert not mine & theirs
+
+    def test_round_robin_balanced(self, relation):
+        partitions = partition_round_robin(relation, 4)
+        sizes = sorted(p.num_rows for p in partitions.values())
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_zero_sites_rejected(self, relation):
+        with pytest.raises(PartitionError):
+            partition_by_hash(relation, "cust", 0)
+        with pytest.raises(PartitionError):
+            partition_round_robin(relation, 0)
+
+
+class TestDistributionInfo:
+    def test_verify_catches_violation(self, relation):
+        partitions = partition_round_robin(relation, 2)
+        info = DistributionInfo()
+        info.add(0, "nation", ValueSetConstraint(frozenset({0})))
+        with pytest.raises(PartitionError, match="violated"):
+            info.verify(partitions)
+
+    def test_verify_unknown_site(self, relation):
+        info = DistributionInfo()
+        info.add(7, "nation", ValueSetConstraint(frozenset({0})))
+        with pytest.raises(PartitionError, match="unknown site"):
+            info.verify({0: relation})
+
+    def test_partition_attributes_requires_disjoint(self):
+        info = DistributionInfo()
+        info.add(0, "a", ValueSetConstraint(frozenset({1, 2})))
+        info.add(1, "a", ValueSetConstraint(frozenset({2, 3})))
+        assert info.partition_attributes() == set()
+
+    def test_partition_attributes_requires_all_sites(self):
+        info = DistributionInfo()
+        info.add(0, "a", ValueSetConstraint(frozenset({1})))
+        info.add(1, "b", ValueSetConstraint(frozenset({2})))
+        assert info.constrained_attrs() == set()
+        assert info.partition_attributes() == set()
+
+    def test_multiple_partition_attributes(self):
+        info = DistributionInfo()
+        info.add(0, "a", RangeConstraint(0, 4))
+        info.add(0, "b", RangeConstraint(0, 40))
+        info.add(1, "a", RangeConstraint(5, 9))
+        info.add(1, "b", RangeConstraint(41, 90))
+        assert info.partition_attributes() == {"a", "b"}
+
+    def test_observed_value_info(self, relation):
+        partitions, __ = partition_by_values(
+            relation, "nation", {0: [0, 1], 1: [2, 3, 4]})
+        observed = observed_value_info(partitions, ["nation"])
+        observed.verify(partitions)
+        assert observed.partition_attributes() == {"nation"}

@@ -1,0 +1,51 @@
+"""Tests for the pivot operator (inverse of unpivot; cross-tabs)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.operators import pivot, unpivot
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def long_form():
+    return Relation.from_dicts([
+        {"hour": 0, "metric": "web", "value": 10.0},
+        {"hour": 0, "metric": "dns", "value": 3.0},
+        {"hour": 1, "metric": "web", "value": 12.0},
+        {"hour": 1, "metric": "dns", "value": 4.0},
+    ])
+
+
+class TestPivot:
+    def test_basic(self, long_form):
+        wide = pivot(long_form, "hour", "metric", "value")
+        assert set(wide.schema.names) == {"hour", "web", "dns"}
+        rows = {row["hour"]: row for row in wide.to_dicts()}
+        assert rows[0]["web"] == 10.0 and rows[0]["dns"] == 3.0
+        assert rows[1]["web"] == 12.0 and rows[1]["dns"] == 4.0
+
+    def test_round_trip_with_unpivot(self, long_form):
+        wide = pivot(long_form, "hour", "metric", "value")
+        back = unpivot(wide, ["hour"], ["web", "dns"],
+                       name_attr="metric", value_attr="value")
+        assert back.multiset_equals(long_form.project(
+            ["hour", "metric", "value"]))
+
+    def test_incomplete_data_rejected(self, long_form):
+        incomplete = long_form.head(3)  # hour 1 lacks 'dns'
+        with pytest.raises(SchemaError, match="complete"):
+            pivot(incomplete, "hour", "metric", "value")
+
+    def test_duplicate_cell_rejected(self, long_form):
+        doubled = long_form.union_all(long_form.head(1))
+        with pytest.raises(SchemaError, match="duplicates"):
+            pivot(doubled, "hour", "metric", "value")
+
+    def test_empty_rejected(self, long_form):
+        with pytest.raises(SchemaError, match="empty"):
+            pivot(long_form.head(0), "hour", "metric", "value")
+
+    def test_column_order_by_first_appearance(self, long_form):
+        wide = pivot(long_form, "hour", "metric", "value")
+        assert wide.schema.names == ("hour", "web", "dns")

@@ -1,0 +1,140 @@
+"""Tests for the Egil planner: flags → plan structure."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.relational.aggregates import count_star
+from repro.relational.expressions import b, r
+from repro.core.builder import QueryBuilder, agg
+from repro.distributed.plan import (
+    ALL_OPTIMIZATIONS, NO_OPTIMIZATIONS, DistributedPlan, LocalStep,
+    OptimizationFlags, unoptimized_plan)
+from repro.optimizer.planner import build_plan
+from repro.distributed.partition import DistributionInfo, RangeConstraint
+
+
+def correlated():
+    return (QueryBuilder()
+            .base("SourceAS")
+            .gmdj([count_star("cnt1"), agg("avg", "NumBytes", "avg1")],
+                  r.SourceAS == b.SourceAS)
+            .gmdj([count_star("cnt2")],
+                  (r.SourceAS == b.SourceAS) & (r.NumBytes >= b.avg1))
+            .build())
+
+
+def coalescible():
+    return (QueryBuilder()
+            .base("SourceAS")
+            .gmdj([count_star("cnt1")], r.SourceAS == b.SourceAS)
+            .gmdj([count_star("cnt2")],
+                  (r.SourceAS == b.SourceAS) & (r.DestPort == 80))
+            .build())
+
+
+def make_info():
+    info = DistributionInfo()
+    info.add(0, "SourceAS", RangeConstraint(1, 8))
+    info.add(1, "SourceAS", RangeConstraint(9, 16))
+    return info
+
+
+def schema():
+    from repro.data.flows import FLOW_SCHEMA
+    return FLOW_SCHEMA
+
+
+class TestPlanStructure:
+    def test_unoptimized(self):
+        plan = build_plan(correlated(), NO_OPTIMIZATIONS, None, schema(),
+                          sites=[0, 1])
+        assert len(plan.steps) == 2
+        assert not plan.steps[0].include_base
+        assert plan.num_synchronizations == 3
+        assert plan.site_filters == {}
+
+    def test_unoptimized_plan_helper(self):
+        plan = unoptimized_plan(correlated())
+        assert plan.num_synchronizations == 3
+
+    def test_coalesce_fuses(self):
+        plan = build_plan(coalescible(), OptimizationFlags(coalesce=True),
+                          None, schema(), sites=[0, 1])
+        assert len(plan.steps) == 1
+        assert plan.steps[0].gmdjs[0].output_aliases == ("cnt1", "cnt2")
+        assert any("coalescing" in note for note in plan.notes)
+
+    def test_coalesce_no_op_on_correlated(self):
+        plan = build_plan(correlated(), OptimizationFlags(coalesce=True),
+                          None, schema(), sites=[0, 1])
+        assert len(plan.steps) == 2
+        assert not any("coalescing" in note for note in plan.notes)
+
+    def test_sync_reduction_with_knowledge(self):
+        plan = build_plan(correlated(),
+                          OptimizationFlags(sync_reduction=True),
+                          make_info(), schema(), sites=[0, 1])
+        assert len(plan.steps) == 1
+        assert plan.steps[0].include_base
+        assert plan.steps[0].num_gmdjs == 2
+        assert plan.num_synchronizations == 1
+
+    def test_sync_reduction_without_knowledge_keeps_rounds(self):
+        plan = build_plan(correlated(),
+                          OptimizationFlags(sync_reduction=True),
+                          None, schema(), sites=[0, 1])
+        assert len(plan.steps) == 2
+        assert plan.steps[0].include_base  # Prop. 2 needs no knowledge
+        assert plan.num_synchronizations == 2
+
+    def test_aware_filters_attached(self):
+        plan = build_plan(correlated(),
+                          OptimizationFlags(group_reduction_aware=True),
+                          make_info(), schema(), sites=[0, 1])
+        assert 0 in plan.site_filters
+        assert set(plan.site_filters[0]) == {0, 1}
+
+    def test_aware_needs_info(self):
+        plan = build_plan(correlated(),
+                          OptimizationFlags(group_reduction_aware=True),
+                          None, schema(), sites=[0, 1])
+        assert plan.site_filters == {}
+
+    def test_all_optimizations(self):
+        plan = build_plan(correlated(), ALL_OPTIMIZATIONS, make_info(),
+                          schema(), sites=[0, 1])
+        assert plan.num_synchronizations == 1
+        # single include_base step ⇒ nothing is shipped down, so no
+        # aware filters are needed anywhere
+        assert plan.site_filters == {}
+
+    def test_explain_lists_optimizations(self):
+        plan = build_plan(correlated(), ALL_OPTIMIZATIONS, make_info(),
+                          schema(), sites=[0, 1])
+        text = plan.explain()
+        assert "sync-reduction" in text
+        assert "Prop. 2" in text
+
+
+class TestPlanValidation:
+    def test_gmdj_count_mismatch_rejected(self):
+        expr = correlated()
+        with pytest.raises(PlanError, match="covers"):
+            DistributedPlan(expr, (LocalStep((expr.rounds[0],)),),
+                            NO_OPTIMIZATIONS)
+
+    def test_include_base_only_first(self):
+        expr = correlated()
+        with pytest.raises(PlanError, match="first step"):
+            DistributedPlan(expr, (LocalStep((expr.rounds[0],)),
+                                   LocalStep((expr.rounds[1],),
+                                             include_base=True)),
+                            NO_OPTIMIZATIONS)
+
+    def test_empty_step_rejected(self):
+        with pytest.raises(PlanError):
+            LocalStep(())
+
+    def test_flags_describe(self):
+        assert OptimizationFlags().describe() == "(none)"
+        assert "coalesce" in ALL_OPTIMIZATIONS.describe()

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+* **Theorem 1 / partition invariance** — any partition of the detail
+  relation yields the same distributed GMDJ result as centralized
+  evaluation, under any optimization flags whose prerequisites hold;
+* **super-aggregate merge** is associative/commutative and agrees with
+  direct computation on the concatenated input;
+* **group reduction soundness** — derived ¬ψ filters never drop a group
+  that has a local match;
+* **coalescing equivalence** on random coalescible chains;
+* **Theorem 2** — rows shipped never exceed the bound;
+* **relational basics** — distinct/sort/group codes behave like their
+  Python-set counterparts.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.aggregates import (
+    AggregateSpec, count_star, merge_grouped, primitive_reduce)
+from repro.relational.expressions import And, b, r
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+from repro.core.builder import QueryBuilder, agg
+from repro.core.coalesce import coalesce_expression
+from repro.core.evaluator import evaluate_gmdj
+from repro.core.gmdj import Gmdj
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.plan import ALL_OPTIMIZATIONS, OptimizationFlags
+
+DETAIL_SCHEMA = Schema.of(("g", DataType.INT64), ("h", DataType.INT64),
+                          ("v", DataType.FLOAT64))
+
+
+@st.composite
+def detail_relations(draw, min_rows=0, max_rows=60):
+    rows = draw(st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 3),
+                  st.floats(-100, 100, allow_nan=False, width=32)),
+        min_size=min_rows, max_size=max_rows))
+    return Relation.from_rows(DETAIL_SCHEMA, rows)
+
+
+@st.composite
+def assignments(draw, num_rows, num_sites):
+    return draw(st.lists(st.integers(0, num_sites - 1),
+                         min_size=num_rows, max_size=num_rows))
+
+
+def correlated_query():
+    return (QueryBuilder()
+            .base("g")
+            .gmdj([count_star("cnt1"), agg("avg", "v", "avg1"),
+                   agg("min", "v", "min1")],
+                  r.g == b.g)
+            .gmdj([count_star("cnt2"), agg("sum", "v", "sum2")],
+                  (r.g == b.g) & (r.v >= b.avg1))
+            .build())
+
+
+class TestPartitionInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_any_partition_same_result(self, data):
+        detail = data.draw(detail_relations(min_rows=1))
+        num_sites = data.draw(st.integers(1, 4))
+        assignment = np.array(data.draw(
+            assignments(detail.num_rows, num_sites)))
+        partitions = {site: detail.filter(assignment == site)
+                      for site in range(num_sites)}
+        expression = correlated_query()
+        reference = expression.evaluate_centralized(detail)
+        engine = SkallaEngine(partitions)
+        for flags in (OptimizationFlags(),
+                      OptimizationFlags(group_reduction_independent=True),
+                      ALL_OPTIMIZATIONS):
+            result = engine.execute(expression, flags)
+            assert result.relation.multiset_equals(reference), \
+                flags.describe()
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_theorem2_bound_holds(self, data):
+        detail = data.draw(detail_relations(min_rows=1))
+        num_sites = data.draw(st.integers(1, 4))
+        assignment = np.array(data.draw(
+            assignments(detail.num_rows, num_sites)))
+        partitions = {site: detail.filter(assignment == site)
+                      for site in range(num_sites)}
+        expression = correlated_query()
+        engine = SkallaEngine(partitions)
+        result = engine.execute(expression, OptimizationFlags())
+        query_size = result.relation.num_rows
+        bound = (2 * num_sites * query_size * expression.num_rounds
+                 + num_sites * query_size)
+        assert result.metrics.rows_shipped <= bound
+
+
+class TestMergeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.floats(-1e6, 1e6, allow_nan=False, width=32),
+                           min_size=0, max_size=30),
+           split=st.integers(0, 30))
+    def test_split_reduce_merge_equals_direct(self, values, split):
+        """sub-aggregate(left) ⊕ sub-aggregate(right) = aggregate(all)."""
+        split = min(split, len(values))
+        left = np.array(values[:split])
+        right = np.array(values[split:])
+        both = np.array(values)
+        for primitive in ("count", "sum", "sumsq", "min", "max"):
+            codes = np.array([0, 0])
+            states = np.array([primitive_reduce(primitive, left),
+                               primitive_reduce(primitive, right)],
+                              dtype=np.float64)
+            merged = merge_grouped(primitive, codes, states, 1)[0]
+            direct = primitive_reduce(primitive, both)
+            if np.isnan(merged) or (isinstance(direct, float)
+                                    and np.isnan(direct)):
+                assert np.isnan(merged) and np.isnan(direct)
+            else:
+                assert np.isclose(merged, direct, rtol=1e-9, atol=1e-6), \
+                    primitive
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(st.floats(-1e3, 1e3, allow_nan=False, width=32),
+                           min_size=1, max_size=40),
+           num_parts=st.integers(1, 5), seed=st.integers(0, 99))
+    def test_avg_partition_invariant(self, values, num_parts, seed):
+        rng = np.random.default_rng(seed)
+        values = np.array(values)
+        assignment = rng.integers(0, num_parts, size=len(values))
+        total_sum = sum(primitive_reduce(
+            "sum", values[assignment == part]) for part in range(num_parts))
+        total_count = sum(primitive_reduce(
+            "count", values[assignment == part])
+            for part in range(num_parts))
+        assert np.isclose(total_sum / total_count, values.mean())
+
+
+class TestGroupReductionSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_derived_filter_keeps_matching_groups(self, data):
+        from repro.distributed.partition import RangeConstraint
+        from repro.optimizer.analysis import derive_site_filter
+        low = data.draw(st.integers(0, 5))
+        high = data.draw(st.integers(low, 6))
+        constraints = {"g": RangeConstraint(low, high)}
+        detail = data.draw(detail_relations(min_rows=1))
+        mask = constraints["g"].mask(detail.column("g"))
+        local = detail.filter(mask)
+        thetas = [(r.g == b.g),
+                  (r.g == b.g) & (r.v >= b.cut)]
+        condition = derive_site_filter(thetas, constraints)
+        assert condition is not None
+        base = detail.distinct(["g"])
+        cuts = np.full(base.num_rows, -1000.0)  # below everything: matches
+        env = {"base": {"g": base.column("g"), "cut": cuts}, "detail": None}
+        passed = condition.eval(env)
+        for index in range(base.num_rows):
+            g_value = base.column("g")[index]
+            has_match = bool(np.any(local.column("g") == g_value))
+            if has_match:
+                assert passed[index], g_value
+
+
+class TestCoalescingEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_random_coalescible_chain(self, data):
+        detail = data.draw(detail_relations(min_rows=1))
+        thresholds = data.draw(st.lists(
+            st.floats(-50, 50, allow_nan=False, width=32),
+            min_size=2, max_size=4))
+        rounds = tuple(
+            Gmdj.single([count_star(f"n{i}")],
+                        (r.g == b.g) & (r.v >= float(threshold)))
+            for i, threshold in enumerate(thresholds))
+        from repro.core.expression_tree import (
+            GmdjExpression, ProjectionBase)
+        expression = GmdjExpression(ProjectionBase(("g",)), rounds, ("g",))
+        fused = coalesce_expression(expression)
+        assert fused.num_rounds == 1
+        assert expression.evaluate_centralized(detail).multiset_equals(
+            fused.evaluate_centralized(detail))
+
+
+class TestRelationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.integers(-5, 5), max_size=50))
+    def test_distinct_matches_set(self, values):
+        relation = Relation.from_columns(
+            Schema.of(("x", DataType.INT64)), {"x": np.array(values,
+                                                             dtype=np.int64)})
+        assert set(relation.distinct().column("x").tolist()) == set(values)
+        assert relation.distinct().num_rows == len(set(values))
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.integers(-5, 5), max_size=50))
+    def test_group_codes_consistent(self, values):
+        relation = Relation.from_columns(
+            Schema.of(("x", DataType.INT64)), {"x": np.array(values,
+                                                             dtype=np.int64)})
+        codes = relation.row_group_codes()
+        for i in range(len(values)):
+            for j in range(i + 1, len(values)):
+                assert (codes[i] == codes[j]) == (values[i] == values[j])
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(
+        st.tuples(st.integers(0, 3),
+                  st.floats(-10, 10, allow_nan=False, width=32)),
+        min_size=1, max_size=40))
+    def test_gmdj_equijoin_matches_python_groupby(self, values):
+        schema = Schema.of(("g", DataType.INT64), ("v", DataType.FLOAT64))
+        relation = Relation.from_rows(schema, values)
+        base = relation.distinct(["g"])
+        gmdj = Gmdj.single([count_star("n"), AggregateSpec("sum", "v", "s")],
+                           r.g == b.g)
+        result = {row["g"]: row
+                  for row in evaluate_gmdj(gmdj, base,
+                                           relation).to_dicts()}
+        expected: dict[int, list[float]] = {}
+        for g_value, v_value in values:
+            expected.setdefault(g_value, []).append(v_value)
+        for g_value, group in expected.items():
+            assert result[g_value]["n"] == len(group)
+            assert np.isclose(result[g_value]["s"], sum(group), atol=1e-6)

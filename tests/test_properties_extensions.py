@@ -1,0 +1,136 @@
+"""Property-based tests for the extension engines (hypothesis).
+
+* hierarchical engines of random shape agree with centralized
+  evaluation and with the flat engine;
+* heterogeneous chains are partition-invariant;
+* streaming execution is always result-identical to barrier execution;
+* pivot∘unpivot is the identity on complete wide tables.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+from repro.core.builder import QueryBuilder, agg
+from repro.core.gmdj import Gmdj
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.heterogeneous import (
+    HeterogeneousEngine, HeterogeneousQuery, HeterogeneousRound)
+from repro.distributed.hierarchy import HierarchicalEngine, TreeTopology
+from repro.distributed.plan import ALL_OPTIMIZATIONS, NO_OPTIMIZATIONS
+
+DETAIL_SCHEMA = Schema.of(("g", DataType.INT64), ("v", DataType.FLOAT64))
+
+
+@st.composite
+def relations(draw, min_rows=1, max_rows=80):
+    rows = draw(st.lists(
+        st.tuples(st.integers(0, 5),
+                  st.floats(-50, 50, allow_nan=False, width=32)),
+        min_size=min_rows, max_size=max_rows))
+    return Relation.from_rows(DETAIL_SCHEMA, rows)
+
+
+def simple_query():
+    return (QueryBuilder().base("g")
+            .gmdj([count_star("n"), agg("avg", "v", "m")], r.g == b.g)
+            .gmdj([count_star("n2")], (r.g == b.g) & (r.v >= b.m))
+            .build())
+
+
+class TestHierarchyProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_random_tree_matches_centralized(self, data):
+        detail = data.draw(relations())
+        num_sites = data.draw(st.integers(2, 9))
+        fanout = data.draw(st.integers(2, 4))
+        assignment = np.array(data.draw(st.lists(
+            st.integers(0, num_sites - 1), min_size=detail.num_rows,
+            max_size=detail.num_rows)))
+        partitions = {site: detail.filter(assignment == site)
+                      for site in range(num_sites)}
+        topology = TreeTopology.balanced(sorted(partitions), fanout)
+        engine = HierarchicalEngine(partitions, topology)
+        query = simple_query()
+        reference = query.evaluate_centralized(detail)
+        result = engine.execute(query, NO_OPTIMIZATIONS)
+        assert result.relation.multiset_equals(reference)
+
+
+class TestHeterogeneousProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_partition_invariance(self, data):
+        first_table = data.draw(relations())
+        second_table = data.draw(relations())
+        num_sites = data.draw(st.integers(1, 4))
+        tables = {"A": first_table, "B": second_table}
+        catalogs = {}
+        for site in range(num_sites):
+            catalogs[site] = {
+                name: relation.filter(
+                    np.arange(relation.num_rows) % num_sites == site)
+                for name, relation in tables.items()}
+        query = HeterogeneousQuery(
+            base_table="A", base_attrs=("g",),
+            rounds=(
+                HeterogeneousRound(
+                    Gmdj.single([count_star("na"),
+                                 AggregateSpec("sum", "v", "sa")],
+                                r.g == b.g), "A"),
+                HeterogeneousRound(
+                    Gmdj.single([count_star("nb")],
+                                (r.g == b.g) & (r.v >= b.sa / (b.na + 1))),
+                    "B"),
+            ))
+        reference = query.evaluate_centralized(tables)
+        engine = HeterogeneousEngine(catalogs)
+        for reduction in (False, True):
+            result, __ = engine.execute(query,
+                                        independent_reduction=reduction)
+            assert result.multiset_equals(reference)
+
+
+class TestStreamingProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_streaming_identical_results(self, data):
+        detail = data.draw(relations())
+        num_sites = data.draw(st.integers(1, 5))
+        partitions = {
+            site: detail.filter(
+                np.arange(detail.num_rows) % num_sites == site)
+            for site in range(num_sites)}
+        engine = SkallaEngine(partitions)
+        query = simple_query()
+        barrier = engine.execute(query, ALL_OPTIMIZATIONS,
+                                 streaming=False)
+        streamed = engine.execute(query, ALL_OPTIMIZATIONS,
+                                  streaming=True)
+        assert streamed.relation.multiset_equals(barrier.relation)
+
+
+class TestPivotProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_unpivot_then_pivot_identity(self, data):
+        num_keys = data.draw(st.integers(1, 6))
+        values_a = data.draw(st.lists(
+            st.floats(-10, 10, allow_nan=False, width=32),
+            min_size=num_keys, max_size=num_keys))
+        values_b = data.draw(st.lists(
+            st.floats(-10, 10, allow_nan=False, width=32),
+            min_size=num_keys, max_size=num_keys))
+        wide = Relation.from_dicts([
+            {"k": index, "a": float(values_a[index]),
+             "b": float(values_b[index])}
+            for index in range(num_keys)])
+        from repro.relational.operators import pivot, unpivot
+        long_form = unpivot(wide, ["k"], ["a", "b"])
+        back = pivot(long_form, "k", "attribute", "value")
+        assert back.multiset_equals(wide)

@@ -1,0 +1,107 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema.of(("a", DataType.INT64), ("b", DataType.STRING),
+                     ("c", DataType.FLOAT64))
+
+
+class TestConstruction:
+    def test_of_builds_in_order(self, schema):
+        assert schema.names == ("a", "b", "c")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of(("a", DataType.INT64), ("a", DataType.STRING))
+
+    def test_empty_schema_is_legal(self):
+        assert len(Schema([])) == 0
+
+
+class TestAccess:
+    def test_lookup_by_name(self, schema):
+        assert schema["b"] == Attribute("b", DataType.STRING)
+
+    def test_lookup_by_position(self, schema):
+        assert schema[0].name == "a"
+
+    def test_unknown_name_raises_schema_error(self, schema):
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema["missing"]
+
+    def test_position(self, schema):
+        assert schema.position("c") == 2
+        with pytest.raises(SchemaError):
+            schema.position("zzz")
+
+    def test_contains(self, schema):
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_dtype(self, schema):
+        assert schema.dtype("c") is DataType.FLOAT64
+
+    def test_iteration_yields_attributes(self, schema):
+        assert [attr.name for attr in schema] == ["a", "b", "c"]
+
+
+class TestDerivation:
+    def test_project_reorders(self, schema):
+        projected = schema.project(["c", "a"])
+        assert projected.names == ("c", "a")
+
+    def test_rename(self, schema):
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ("x", "b", "c")
+        assert renamed.dtype("x") is DataType.INT64
+
+    def test_extend(self, schema):
+        extended = schema.extend([Attribute("d", DataType.BOOL)])
+        assert extended.names == ("a", "b", "c", "d")
+
+    def test_extend_duplicate_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.extend([Attribute("a", DataType.BOOL)])
+
+
+class TestCompatibility:
+    def test_union_compatible_same(self, schema):
+        other = Schema.of(("a", DataType.INT64), ("b", DataType.STRING),
+                          ("c", DataType.FLOAT64))
+        assert schema.union_compatible(other)
+        schema.require_union_compatible(other)
+
+    def test_union_incompatible_order(self, schema):
+        other = schema.project(["b", "a", "c"])
+        assert not schema.union_compatible(other)
+        with pytest.raises(SchemaError):
+            schema.require_union_compatible(other)
+
+    def test_union_incompatible_type(self, schema):
+        other = Schema.of(("a", DataType.FLOAT64), ("b", DataType.STRING),
+                          ("c", DataType.FLOAT64))
+        assert not schema.union_compatible(other)
+
+    def test_disjoint_names(self, schema):
+        assert schema.disjoint_names(Schema.of(("x", DataType.INT64)))
+        assert not schema.disjoint_names(Schema.of(("a", DataType.INT64)))
+
+
+class TestWireWidth:
+    def test_row_wire_width_sums_attribute_widths(self, schema):
+        expected = (DataType.INT64.wire_width + DataType.STRING.wire_width
+                    + DataType.FLOAT64.wire_width)
+        assert schema.row_wire_width() == expected
+
+    def test_equality_and_hash(self, schema):
+        clone = Schema.of(("a", DataType.INT64), ("b", DataType.STRING),
+                          ("c", DataType.FLOAT64))
+        assert schema == clone
+        assert hash(schema) == hash(clone)

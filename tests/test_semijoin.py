@@ -1,0 +1,87 @@
+"""Tests for semijoin, antijoin, and top-k."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.operators import anti_join, semi_join, top_k
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def left():
+    return Relation.from_dicts([
+        {"k": 1, "a": 10}, {"k": 2, "a": 20}, {"k": 3, "a": 30},
+        {"k": 2, "a": 21}])
+
+
+@pytest.fixture()
+def right():
+    return Relation.from_dicts([
+        {"k": 2, "c": 1}, {"k": 3, "c": 2}, {"k": 3, "c": 3},
+        {"k": 9, "c": 4}])
+
+
+class TestSemiJoin:
+    def test_natural(self, left, right):
+        result = semi_join(left, right)
+        assert result.schema == left.schema
+        assert sorted(result.column("k").tolist()) == [2, 2, 3]
+
+    def test_no_duplication_from_multiple_matches(self, left, right):
+        # k=3 matches two right rows but appears once (its one left row)
+        result = semi_join(left, right)
+        assert result.filter(result.column("k") == 3).num_rows == 1
+
+    def test_explicit_pairs(self, left, right):
+        renamed = right.rename({"k": "rk"})
+        result = semi_join(left, renamed, [("k", "rk")])
+        assert result.num_rows == 3
+
+    def test_empty_right(self, left, right):
+        result = semi_join(left, right.head(0))
+        assert result.num_rows == 0
+
+    def test_semijoin_plus_antijoin_partition_left(self, left, right):
+        kept = semi_join(left, right)
+        dropped = anti_join(left, right)
+        assert kept.num_rows + dropped.num_rows == left.num_rows
+        assert kept.union_all(dropped).multiset_equals(left)
+
+    def test_no_shared_attrs(self, left):
+        other = Relation.from_dicts([{"z": 1}])
+        with pytest.raises(SchemaError):
+            semi_join(left, other)
+
+    def test_empty_pairs_rejected(self, left, right):
+        with pytest.raises(SchemaError):
+            semi_join(left, right, [])
+
+
+class TestAntiJoin:
+    def test_natural(self, left, right):
+        result = anti_join(left, right)
+        assert result.column("k").tolist() == [1]
+
+    def test_empty_right_keeps_all(self, left, right):
+        result = anti_join(left, right.head(0))
+        assert result.multiset_equals(left)
+
+
+class TestTopK:
+    def test_largest_first_default(self, left):
+        result = top_k(left, ["a"], 2)
+        assert result.column("a").tolist() == [30, 21]
+
+    def test_ascending(self, left):
+        result = top_k(left, ["a"], 2, ascending=True)
+        assert result.column("a").tolist() == [10, 20]
+
+    def test_k_larger_than_input(self, left):
+        assert top_k(left, ["a"], 100).num_rows == 4
+
+    def test_k_zero(self, left):
+        assert top_k(left, ["a"], 0).num_rows == 0
+
+    def test_negative_k_rejected(self, left):
+        with pytest.raises(SchemaError):
+            top_k(left, ["a"], -1)

@@ -1,0 +1,109 @@
+"""Unit tests for the Skalla site: local sub-aggregate computation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.core.expression_tree import ProjectionBase
+from repro.core.gmdj import Gmdj
+from repro.distributed.plan import LocalStep
+from repro.distributed.site import SkallaSite
+
+
+@pytest.fixture()
+def fragment():
+    return Relation.from_dicts([
+        {"g": 1, "v": 10.0}, {"g": 1, "v": 20.0}, {"g": 2, "v": 5.0}])
+
+
+@pytest.fixture()
+def site(fragment):
+    return SkallaSite(0, fragment)
+
+
+def first_round():
+    return Gmdj.single([count_star("n"), AggregateSpec("avg", "v", "m")],
+                       r.g == b.g)
+
+
+def second_round():
+    return Gmdj.single([count_star("n2")],
+                       (r.g == b.g) & (r.v >= b.m))
+
+
+class TestBaseRound:
+    def test_evaluate_base(self, site):
+        result, seconds = site.evaluate_base(ProjectionBase(("g",)))
+        assert sorted(result.column("g").tolist()) == [1, 2]
+        assert seconds >= 0.0
+
+
+class TestSingleGmdjStep:
+    def test_ships_states_keyed(self, site):
+        base = Relation.from_dicts([{"g": 1}, {"g": 2}, {"g": 9}])
+        step = LocalStep((first_round(),))
+        shipped, __ = site.execute_step(step, base, ["g"], None, False)
+        assert shipped.schema.names == ("g", "n__count", "m__sum", "m__count")
+        rows = {row["g"]: row for row in shipped.to_dicts()}
+        assert rows[1]["n__count"] == 2
+        assert rows[1]["m__sum"] == pytest.approx(30.0)
+        assert rows[9]["n__count"] == 0
+
+    def test_independent_reduction_drops_unmatched(self, site):
+        base = Relation.from_dicts([{"g": 1}, {"g": 9}])
+        step = LocalStep((first_round(),))
+        shipped, __ = site.execute_step(step, base, ["g"], None, True)
+        assert shipped.column("g").tolist() == [1]
+
+    def test_missing_base_rejected(self, site):
+        step = LocalStep((first_round(),))
+        with pytest.raises(PlanError, match="shipped base"):
+            site.execute_step(step, None, ["g"], None, False)
+
+
+class TestIncludeBaseStep:
+    def test_local_base_computation(self, site):
+        step = LocalStep((first_round(),), include_base=True)
+        shipped, __ = site.execute_step(step, None, ["g"],
+                                        ProjectionBase(("g",)), False)
+        assert sorted(shipped.column("g").tolist()) == [1, 2]
+
+    def test_requires_base_query(self, site):
+        step = LocalStep((first_round(),), include_base=True)
+        with pytest.raises(PlanError, match="base query"):
+            site.execute_step(step, None, ["g"], None, False)
+
+    def test_independent_reduction_skipped_for_local_base(self, site):
+        # All locally-derived groups must ship even with reduction on:
+        # the coordinator reconstructs the base structure from them.
+        step = LocalStep((first_round(),), include_base=True)
+        shipped, __ = site.execute_step(step, None, ["g"],
+                                        ProjectionBase(("g",)), True)
+        assert shipped.num_rows == 2
+
+
+class TestChainedStep:
+    def test_two_rounds_local_finalization(self, site):
+        base = Relation.from_dicts([{"g": 1}, {"g": 2}])
+        step = LocalStep((first_round(), second_round()))
+        shipped, __ = site.execute_step(step, base, ["g"], None, False)
+        rows = {row["g"]: row for row in shipped.to_dicts()}
+        # group 1: avg 15 -> one value (20) above
+        assert rows[1]["n2__count"] == 1
+        # group 2: avg 5 -> the single value 5 is >= its avg
+        assert rows[2]["n2__count"] == 1
+        # both rounds' states present
+        assert "n__count" in shipped.schema
+
+    def test_foreign_groups_stay_neutral(self, site):
+        # Group 9 never matches locally; its second-round condition sees a
+        # NaN local average, which must simply contribute nothing.
+        base = Relation.from_dicts([{"g": 9}])
+        step = LocalStep((first_round(), second_round()))
+        shipped, __ = site.execute_step(step, base, ["g"], None, False)
+        row = shipped.to_dicts()[0]
+        assert row["n__count"] == 0
+        assert row["n2__count"] == 0

@@ -1,0 +1,120 @@
+"""Tests for compiling Egil SQL into GMDJ expressions."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import b, r
+from repro.relational.operators import group_by, select
+from repro.core.builder import QueryBuilder, agg
+from repro.sql.compiler import compile_sql
+
+
+class TestSimpleGroupBy:
+    def test_matches_group_by_operator(self, small_flows):
+        expr = compile_sql(
+            "SELECT SourceAS, COUNT(*) AS n, AVG(NumBytes) AS m "
+            "FROM Flow GROUP BY SourceAS", small_flows.schema)
+        via_sql = expr.evaluate_centralized(small_flows)
+        via_groupby = group_by(small_flows, ["SourceAS"],
+                               [count_star("n"),
+                                AggregateSpec("avg", "NumBytes", "m")])
+        assert via_sql.multiset_equals(via_groupby)
+
+    def test_key_is_group_attrs(self, small_flows):
+        expr = compile_sql(
+            "SELECT SourceAS, DestAS, COUNT(*) AS n FROM Flow "
+            "GROUP BY SourceAS, DestAS", small_flows.schema)
+        assert expr.key == ("SourceAS", "DestAS")
+
+    def test_unknown_group_attr(self, small_flows):
+        with pytest.raises(ParseError, match="not in the detail"):
+            compile_sql("SELECT Bogus, COUNT(*) AS n FROM Flow "
+                        "GROUP BY Bogus", small_flows.schema)
+
+
+class TestWhere:
+    def test_where_filters_detail_everywhere(self, small_flows):
+        expr = compile_sql(
+            "SELECT SourceAS, COUNT(*) AS n FROM Flow "
+            "WHERE DestPort IN (80, 443) GROUP BY SourceAS",
+            small_flows.schema)
+        result = expr.evaluate_centralized(small_flows)
+        web = select(small_flows, r.DestPort.isin([80, 443]))
+        expected = group_by(web, ["SourceAS"], [count_star("n")])
+        assert result.multiset_equals(expected)
+
+    def test_where_must_use_detail_names(self, small_flows):
+        with pytest.raises(ParseError, match="unknown name"):
+            compile_sql("SELECT SourceAS, COUNT(*) AS n FROM Flow "
+                        "WHERE nothere > 1 GROUP BY SourceAS",
+                        small_flows.schema)
+
+
+class TestComputeRounds:
+    def test_correlated_round_matches_builder(self, small_flows):
+        expr = compile_sql("""
+            SELECT SourceAS, COUNT(*) AS cnt1, SUM(NumBytes) AS sum1
+            FROM Flow GROUP BY SourceAS
+            THEN COMPUTE COUNT(*) AS cnt2
+                 WHERE NumBytes >= sum1 / cnt1
+            """, small_flows.schema)
+        manual = (QueryBuilder()
+                  .base("SourceAS")
+                  .gmdj([count_star("cnt1"), agg("sum", "NumBytes", "sum1")],
+                        r.SourceAS == b.SourceAS)
+                  .gmdj([count_star("cnt2")],
+                        (r.SourceAS == b.SourceAS)
+                        & (r.NumBytes >= b.sum1 / b.cnt1))
+                  .build())
+        assert expr.evaluate_centralized(small_flows).multiset_equals(
+            manual.evaluate_centralized(small_flows))
+
+    def test_alias_resolves_to_base_side(self, small_flows):
+        expr = compile_sql("""
+            SELECT SourceAS, AVG(NumBytes) AS m FROM Flow GROUP BY SourceAS
+            THEN COMPUTE COUNT(*) AS n WHERE NumBytes >= m
+            """, small_flows.schema)
+        condition = expr.rounds[1].conditions[0]
+        assert "m" in condition.attrs("base")
+        assert "NumBytes" in condition.attrs("detail")
+
+    def test_group_attr_in_round_condition_resolves_to_base(self,
+                                                            small_flows):
+        expr = compile_sql("""
+            SELECT SourceAS, COUNT(*) AS n FROM Flow GROUP BY SourceAS
+            THEN COMPUTE COUNT(*) AS n2 WHERE SourceAS < 5
+            """, small_flows.schema)
+        condition = expr.rounds[1].conditions[0]
+        assert "SourceAS" in condition.attrs("base")
+
+    def test_later_alias_not_visible_earlier(self, small_flows):
+        with pytest.raises(ParseError, match="unknown name"):
+            compile_sql("""
+                SELECT SourceAS, COUNT(*) AS n FROM Flow GROUP BY SourceAS
+                THEN COMPUTE COUNT(*) AS n2 WHERE NumBytes >= later
+                THEN COMPUTE COUNT(*) AS later
+                """, small_flows.schema)
+
+    def test_round_count(self, small_flows):
+        expr = compile_sql("""
+            SELECT SourceAS, COUNT(*) AS a FROM Flow GROUP BY SourceAS
+            THEN COMPUTE COUNT(*) AS b WHERE NumBytes > 1
+            THEN COMPUTE COUNT(*) AS c WHERE NumBytes > 2
+            """, small_flows.schema)
+        assert expr.num_rounds == 3
+
+
+class TestDistributedCompatibility:
+    def test_compiled_query_runs_distributed(self, small_flows,
+                                             flow_warehouse):
+        from repro.distributed import ALL_OPTIMIZATIONS
+        expr = compile_sql("""
+            SELECT SourceAS, COUNT(*) AS cnt1, SUM(NumBytes) AS sum1
+            FROM Flow GROUP BY SourceAS
+            THEN COMPUTE COUNT(*) AS cnt2 WHERE NumBytes >= sum1 / cnt1
+            """, small_flows.schema)
+        reference = expr.evaluate_centralized(small_flows)
+        result = flow_warehouse.execute(expr, ALL_OPTIMIZATIONS)
+        assert result.relation.multiset_equals(reference)
+        assert result.metrics.num_synchronizations == 1

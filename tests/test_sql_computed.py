@@ -1,0 +1,125 @@
+"""Tests for computed select expressions (arithmetic over aggregates)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import AggCall, ComputedItem
+from repro.sql.compiler import compile_query, compile_sql, compile_statement
+from repro.sql.parser import parse
+
+
+class TestParsing:
+    def test_computed_item_recognized(self):
+        statement = parse("SELECT a, SUM(x) / COUNT(*) AS avg_x "
+                          "FROM t GROUP BY a")
+        assert len(statement.computed) == 1
+        item = statement.computed[0]
+        assert isinstance(item, ComputedItem)
+        assert item.alias == "avg_x"
+
+    def test_plain_aggregate_still_plain(self):
+        statement = parse("SELECT a, SUM(x) AS s FROM t GROUP BY a")
+        assert statement.computed == ()
+        assert statement.aggregates[0].alias == "s"
+
+    def test_mixed_group_attr_in_expression(self):
+        statement = parse("SELECT a, SUM(x) * a AS scaled "
+                          "FROM t GROUP BY a")
+        assert statement.computed[0].alias == "scaled"
+
+    def test_expression_without_alias_rejected(self):
+        with pytest.raises(ParseError, match="AS alias"):
+            parse("SELECT a, SUM(x) / 2 FROM t GROUP BY a")
+
+    def test_agg_call_node(self):
+        statement = parse("SELECT a, MAX(x) - MIN(x) AS range_x "
+                          "FROM t GROUP BY a")
+        expr = statement.computed[0].expr
+        assert isinstance(expr.left, AggCall)
+        assert expr.left.func == "max"
+
+
+class TestCompilation:
+    def test_values_match_manual_computation(self, small_flows):
+        compiled = compile_query(
+            "SELECT SourceAS, SUM(NumBytes) AS s, COUNT(*) AS n, "
+            "SUM(NumBytes) / COUNT(*) AS mean_b "
+            "FROM Flow GROUP BY SourceAS", small_flows.schema)
+        result = compiled.run_centralized(small_flows)
+        assert np.allclose(result.column("mean_b"),
+                           result.column("s") / result.column("n"))
+
+    def test_hidden_aggregates_dropped(self, small_flows):
+        compiled = compile_query(
+            "SELECT SourceAS, MAX(NumBytes) - MIN(NumBytes) AS spread "
+            "FROM Flow GROUP BY SourceAS", small_flows.schema)
+        result = compiled.run_centralized(small_flows)
+        assert set(result.schema.names) == {"SourceAS", "spread"}
+
+    def test_explicit_alias_reused_not_duplicated(self, small_flows):
+        compiled = compile_query(
+            "SELECT SourceAS, COUNT(*) AS n, "
+            "SUM(NumBytes) / COUNT(*) AS mean_b "
+            "FROM Flow GROUP BY SourceAS", small_flows.schema)
+        # COUNT(*) appears explicitly; only SUM becomes hidden
+        assert len(compiled.hidden) == 1
+        result = compiled.run_centralized(small_flows)
+        assert "n" in result.schema
+
+    def test_group_attr_in_computed_expr(self, small_flows):
+        compiled = compile_query(
+            "SELECT SourceAS, COUNT(*) * SourceAS AS weighted "
+            "FROM Flow GROUP BY SourceAS", small_flows.schema)
+        result = compiled.run_centralized(small_flows)
+        counts = {row["SourceAS"]: row["weighted"]
+                  for row in result.to_dicts()}
+        for source, weighted in counts.items():
+            assert weighted % max(source, 1) == 0
+
+    def test_detail_attr_in_computed_rejected(self, small_flows):
+        with pytest.raises(ParseError, match="grouping attributes"):
+            compile_query("SELECT SourceAS, SUM(NumBytes) + DestAS AS bad "
+                          "FROM Flow GROUP BY SourceAS",
+                          small_flows.schema)
+
+    def test_having_on_computed_column(self, small_flows):
+        compiled = compile_query(
+            "SELECT SourceAS, SUM(NumBytes) / COUNT(*) AS mean_b "
+            "FROM Flow GROUP BY SourceAS HAVING mean_b > 25000",
+            small_flows.schema)
+        result = compiled.run_centralized(small_flows)
+        assert all(value > 25000 for value in result.column("mean_b"))
+
+    def test_order_by_computed_column(self, small_flows):
+        compiled = compile_query(
+            "SELECT SourceAS, SUM(NumBytes) / COUNT(*) AS mean_b "
+            "FROM Flow GROUP BY SourceAS ORDER BY mean_b",
+            small_flows.schema)
+        values = compiled.run_centralized(small_flows).column("mean_b")
+        assert all(values[:-1] <= values[1:])
+
+    def test_compile_sql_rejects_computed(self, small_flows):
+        with pytest.raises(ParseError, match="compile_query"):
+            compile_sql("SELECT SourceAS, SUM(NumBytes) / 2 AS half "
+                        "FROM Flow GROUP BY SourceAS", small_flows.schema)
+
+    def test_compile_statement_rejects_computed(self, small_flows):
+        statement = parse("SELECT SourceAS, SUM(NumBytes) / 2 AS half "
+                          "FROM Flow GROUP BY SourceAS")
+        with pytest.raises(ParseError, match="compile_query"):
+            compile_statement(statement, small_flows.schema)
+
+
+class TestDistributed:
+    def test_computed_through_warehouse(self, small_flows, flow_warehouse):
+        from repro.sql.compiler import compile_query
+        compiled = compile_query(
+            "SELECT SourceAS, SUM(NumBytes) / COUNT(*) AS mean_b "
+            "FROM Flow GROUP BY SourceAS", small_flows.schema)
+        from repro.distributed import ALL_OPTIMIZATIONS
+        result = flow_warehouse.execute(compiled.expression,
+                                        ALL_OPTIMIZATIONS)
+        final = compiled.post_process(result.relation)
+        reference = compiled.run_centralized(small_flows)
+        assert final.multiset_equals(reference)

@@ -1,0 +1,109 @@
+"""Property-based fuzzing of the SQL frontend (hypothesis).
+
+Generates random (but grammatical) Egil statements over the flow
+schema, then checks the pipeline invariants:
+
+* parse → compile never crashes with anything but ParseError;
+* compiled queries evaluate, and every round compiles to key equality
+  plus the written condition;
+* grouping-only statements agree with the group_by operator;
+* presentation clauses (ORDER BY/LIMIT) are respected.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.flows import generate_flows
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.operators import group_by
+from repro.sql.compiler import compile_query, compile_sql
+
+FLOWS = generate_flows(num_flows=800, num_routers=3, num_source_as=8,
+                       num_dest_as=4, seed=13)
+
+GROUP_ATTRS = ["SourceAS", "DestAS", "DestPort", "RouterId"]
+MEASURES = ["NumBytes", "NumPackets", "StartTime"]
+FUNCS = ["count", "sum", "avg", "min", "max"]
+
+
+@st.composite
+def aggregate_items(draw, index):
+    func = draw(st.sampled_from(FUNCS))
+    column = None if func == "count" else draw(st.sampled_from(MEASURES))
+    target = "*" if column is None else column
+    alias = f"a{index}"
+    return f"{func.upper()}({target}) AS {alias}", alias
+
+
+@st.composite
+def statements(draw):
+    attrs = draw(st.lists(st.sampled_from(GROUP_ATTRS), min_size=1,
+                          max_size=2, unique=True))
+    num_aggs = draw(st.integers(1, 3))
+    agg_texts = []
+    aliases = []
+    for index in range(num_aggs):
+        text, alias = draw(aggregate_items(index))
+        agg_texts.append(text)
+        aliases.append(alias)
+    select_list = ", ".join(attrs + agg_texts)
+    sql = f"SELECT {select_list} FROM Flow"
+    if draw(st.booleans()):
+        port = draw(st.sampled_from([80, 443, 53]))
+        sql += f" WHERE DestPort <> {port}"
+    sql += " GROUP BY " + ", ".join(attrs)
+    if draw(st.booleans()):
+        measure = draw(st.sampled_from(MEASURES))
+        threshold = draw(st.integers(0, 10_000))
+        sql += (f" THEN COMPUTE COUNT(*) AS extra "
+                f"WHERE {measure} >= {threshold}")
+        aliases.append("extra")
+    order_col = None
+    if draw(st.booleans()):
+        order_col = draw(st.sampled_from(aliases))
+        direction = draw(st.sampled_from(["ASC", "DESC"]))
+        sql += f" ORDER BY {order_col} {direction}"
+    limit = None
+    if draw(st.booleans()):
+        limit = draw(st.integers(0, 30))
+        sql += f" LIMIT {limit}"
+    return sql, attrs, aliases, order_col, limit
+
+
+class TestFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(data=statements())
+    def test_pipeline_invariants(self, data):
+        sql, attrs, aliases, order_col, limit = data
+        compiled = compile_query(sql, FLOWS.schema)
+        expression = compiled.expression
+        assert expression.key == tuple(attrs)
+        # every round's condition entails key equality on the group attrs
+        from repro.relational.conditions import entails_equality_on
+        for gmdj in expression.rounds:
+            for condition in gmdj.conditions:
+                assert entails_equality_on(condition, attrs) is not None
+        result = compiled.run_centralized(FLOWS)
+        for alias in aliases:
+            assert alias in result.schema
+        if limit is not None:
+            assert result.num_rows <= limit
+        if order_col is not None and limit is None:
+            values = result.column(order_col).astype(np.float64)
+            diffs = np.diff(values)
+            assert np.all(diffs >= 0) or np.all(diffs <= 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(attrs=st.lists(st.sampled_from(GROUP_ATTRS), min_size=1,
+                          max_size=2, unique=True),
+           measure=st.sampled_from(MEASURES))
+    def test_grouping_matches_group_by_operator(self, attrs, measure):
+        sql = (f"SELECT {', '.join(attrs)}, COUNT(*) AS n, "
+               f"SUM({measure}) AS s FROM Flow GROUP BY "
+               + ", ".join(attrs))
+        expression = compile_sql(sql, FLOWS.schema)
+        via_sql = expression.evaluate_centralized(FLOWS)
+        via_operator = group_by(FLOWS, attrs,
+                                [count_star("n"),
+                                 AggregateSpec("sum", measure, "s")])
+        assert via_sql.multiset_equals(via_operator)

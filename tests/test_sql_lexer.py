@@ -1,0 +1,82 @@
+"""Unit tests for the Egil tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import (
+    EOF, IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING, tokenize)
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == EOF
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Select SELECT")
+        assert all(t.kind == KEYWORD and t.text == "SELECT"
+                   for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        assert texts("SourceAS custkey _x y2") == \
+            ["SourceAS", "custkey", "_x", "y2"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 23.5 0.5")
+        assert [t.text for t in tokens[:-1]] == ["1", "23.5", "0.5"]
+        assert all(t.kind == NUMBER for t in tokens[:-1])
+
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == STRING
+        assert tokens[0].text == "it's"
+
+    def test_operators_longest_match(self):
+        assert texts("<= >= <> != < > = + - * / %") == \
+            ["<=", ">=", "<>", "!=", "<", ">", "=", "+", "-", "*", "/", "%"]
+
+    def test_punctuation(self):
+        tokens = tokenize("( ) , ;")
+        assert all(t.kind == PUNCT for t in tokens[:-1])
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n x")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "x"]
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("SELECT @x")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("abc $")
+        except ParseError as error:
+            assert error.position == 4
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestPositions:
+    def test_token_positions(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_is_keyword_helper(self):
+        token = tokenize("FROM")[0]
+        assert token.is_keyword("from")
+        assert not token.is_keyword("select")

@@ -1,0 +1,167 @@
+"""Unit tests for the Egil parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    Binary, Constant, Logical, Membership, Name, Negation, names_in)
+from repro.sql.parser import parse
+
+BASIC = """
+SELECT SourceAS, DestAS, COUNT(*) AS cnt, SUM(NumBytes) AS total
+FROM Flow
+GROUP BY SourceAS, DestAS
+"""
+
+
+class TestBasicSelect:
+    def test_structure(self):
+        statement = parse(BASIC)
+        assert statement.group_attrs == ("SourceAS", "DestAS")
+        assert statement.table == "Flow"
+        assert [a.alias for a in statement.aggregates] == ["cnt", "total"]
+        assert statement.where is None
+        assert statement.compute_rounds == ()
+        assert statement.round_count() == 1
+
+    def test_count_star_column_is_none(self):
+        statement = parse(BASIC)
+        assert statement.aggregates[0].column is None
+        assert statement.aggregates[1].column == "NumBytes"
+
+    def test_function_names_lowercased(self):
+        statement = parse(BASIC)
+        assert statement.aggregates[0].func == "count"
+
+    def test_trailing_semicolon_ok(self):
+        parse(BASIC + ";")
+
+    def test_group_by_must_match_select(self):
+        with pytest.raises(ParseError, match="must match"):
+            parse("SELECT a, COUNT(*) AS n FROM t GROUP BY b")
+
+    def test_aggregate_requires_alias(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a, COUNT(*) FROM t GROUP BY a")
+
+    def test_select_needs_aggregate(self):
+        with pytest.raises(ParseError, match="aggregate"):
+            parse("SELECT a FROM t GROUP BY a")
+
+    def test_select_needs_group_attr(self):
+        with pytest.raises(ParseError, match="grouping"):
+            parse("SELECT COUNT(*) AS n FROM t GROUP BY a")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse(BASIC + " EXTRA")
+
+
+class TestWhere:
+    def test_comparison(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t "
+                          "WHERE x >= 10 GROUP BY a")
+        assert isinstance(statement.where, Binary)
+        assert statement.where.op == ">="
+
+    def test_sql_equality_becomes_double_equals(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t "
+                          "WHERE x = 1 GROUP BY a")
+        assert statement.where.op == "=="
+
+    def test_precedence_and_over_or(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t "
+                          "WHERE x = 1 OR y = 2 AND z = 3 GROUP BY a")
+        assert isinstance(statement.where, Logical)
+        assert statement.where.op == "or"
+        assert isinstance(statement.where.operands[1], Logical)
+
+    def test_parentheses_override(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t "
+                          "WHERE (x = 1 OR y = 2) AND z = 3 GROUP BY a")
+        assert statement.where.op == "and"
+
+    def test_arithmetic_precedence(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t "
+                          "WHERE x + y * 2 > 10 GROUP BY a")
+        left = statement.where.left
+        assert left.op == "+"
+        assert left.right.op == "*"
+
+    def test_in_list(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t "
+                          "WHERE p IN (80, 443) GROUP BY a")
+        assert isinstance(statement.where, Membership)
+        assert statement.where.values == (80, 443)
+        assert not statement.where.negated
+
+    def test_not_in(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t "
+                          "WHERE p NOT IN (80) GROUP BY a")
+        assert statement.where.negated
+
+    def test_not_prefix(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t "
+                          "WHERE NOT x = 1 GROUP BY a")
+        assert isinstance(statement.where, Negation)
+
+    def test_string_literal(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t "
+                          "WHERE name = 'web' GROUP BY a")
+        assert statement.where.right == Constant("web")
+
+    def test_unary_minus(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t "
+                          "WHERE x > -5 GROUP BY a")
+        right = statement.where.right
+        assert isinstance(right, Binary) and right.op == "-"
+
+    def test_booleans(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t "
+                          "WHERE flag = TRUE GROUP BY a")
+        assert statement.where.right == Constant(True)
+
+
+class TestComputeRounds:
+    SOURCE = BASIC + """
+THEN COMPUTE COUNT(*) AS above WHERE NumBytes >= total / cnt
+THEN COMPUTE AVG(NumBytes) AS heavy_avg WHERE NumBytes >= 2 * total / cnt
+"""
+
+    def test_round_count(self):
+        statement = parse(self.SOURCE)
+        assert statement.round_count() == 3
+
+    def test_round_contents(self):
+        statement = parse(self.SOURCE)
+        first = statement.compute_rounds[0]
+        assert first.aggregates[0].alias == "above"
+        assert names_in(first.condition) == {"NumBytes", "total", "cnt"}
+
+    def test_round_without_where(self):
+        statement = parse(BASIC + "THEN COMPUTE MIN(NumBytes) AS lo")
+        assert statement.compute_rounds[0].condition is None
+
+    def test_multiple_aggregates_per_round(self):
+        statement = parse(
+            BASIC + "THEN COMPUTE COUNT(*) AS c2, AVG(NumBytes) AS a2 "
+                    "WHERE NumBytes > 0")
+        assert len(statement.compute_rounds[0].aggregates) == 2
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(ParseError, match="FROM"):
+            parse("SELECT a, COUNT(*) AS n GROUP BY a")
+
+    def test_missing_group_by(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a, COUNT(*) AS n FROM t")
+
+    def test_bad_in_literal(self):
+        with pytest.raises(ParseError, match="literal"):
+            parse("SELECT a, COUNT(*) AS n FROM t WHERE p IN (x) GROUP BY a")
+
+    def test_bad_expression_token(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a, COUNT(*) AS n FROM t WHERE > 1 GROUP BY a")

@@ -1,0 +1,127 @@
+"""Tests for HAVING / ORDER BY / LIMIT (presentation clauses)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.compiler import compile_query, compile_sql
+from repro.sql.parser import parse
+
+
+class TestParsing:
+    def test_having(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t GROUP BY a "
+                          "HAVING n > 5")
+        assert statement.having is not None
+
+    def test_order_by_directions(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t GROUP BY a "
+                          "ORDER BY n DESC, a ASC")
+        assert [(i.column, i.ascending) for i in statement.order_by] == \
+            [("n", False), ("a", True)]
+
+    def test_order_by_default_ascending(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t GROUP BY a "
+                          "ORDER BY a")
+        assert statement.order_by[0].ascending
+
+    def test_limit(self):
+        statement = parse("SELECT a, COUNT(*) AS n FROM t GROUP BY a "
+                          "LIMIT 7")
+        assert statement.limit == 7
+
+    def test_full_clause_order(self):
+        statement = parse(
+            "SELECT a, COUNT(*) AS n FROM t WHERE x > 0 GROUP BY a "
+            "THEN COMPUTE COUNT(*) AS m WHERE x > n "
+            "HAVING m > 1 ORDER BY n DESC LIMIT 3;")
+        assert statement.having is not None
+        assert statement.limit == 3
+
+    def test_limit_rejects_float(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse("SELECT a, COUNT(*) AS n FROM t GROUP BY a LIMIT 1.5")
+
+
+class TestCompilation:
+    SQL = ("SELECT SourceAS, COUNT(*) AS n, SUM(NumBytes) AS s "
+           "FROM Flow GROUP BY SourceAS ")
+
+    def test_having_filters_output(self, small_flows):
+        compiled = compile_query(self.SQL + "HAVING n >= 300",
+                                 small_flows.schema)
+        result = compiled.run_centralized(small_flows)
+        assert result.num_rows > 0
+        assert all(value >= 300 for value in result.column("n"))
+
+    def test_having_compared_to_plain(self, small_flows):
+        plain = compile_query(self.SQL, small_flows.schema)
+        havinged = compile_query(self.SQL + "HAVING n >= 300",
+                                 small_flows.schema)
+        full = plain.run_centralized(small_flows)
+        kept = havinged.run_centralized(small_flows)
+        expected = full.filter(full.column("n") >= 300)
+        assert kept.multiset_equals(expected)
+
+    def test_order_by_desc(self, small_flows):
+        compiled = compile_query(self.SQL + "ORDER BY n DESC",
+                                 small_flows.schema)
+        result = compiled.run_centralized(small_flows)
+        counts = result.column("n")
+        assert all(counts[:-1] >= counts[1:])
+
+    def test_order_by_multi_key_stable(self, small_flows):
+        compiled = compile_query(
+            "SELECT SourceAS, DestAS, COUNT(*) AS n FROM Flow "
+            "GROUP BY SourceAS, DestAS ORDER BY SourceAS ASC, n DESC",
+            small_flows.schema)
+        result = compiled.run_centralized(small_flows)
+        rows = list(zip(result.column("SourceAS").tolist(),
+                        result.column("n").tolist()))
+        assert rows == sorted(rows, key=lambda pair: (pair[0], -pair[1]))
+
+    def test_limit(self, small_flows):
+        compiled = compile_query(self.SQL + "ORDER BY n DESC LIMIT 5",
+                                 small_flows.schema)
+        result = compiled.run_centralized(small_flows)
+        assert result.num_rows == 5
+
+    def test_having_on_alias_from_compute_round(self, small_flows):
+        compiled = compile_query(
+            self.SQL + "THEN COMPUTE COUNT(*) AS big "
+                       "WHERE NumBytes >= s / n "
+                       "HAVING big > 100", small_flows.schema)
+        result = compiled.run_centralized(small_flows)
+        assert all(value > 100 for value in result.column("big"))
+
+    def test_having_unknown_name(self, small_flows):
+        with pytest.raises(ParseError, match="not an output"):
+            compile_query(self.SQL + "HAVING bogus > 1",
+                          small_flows.schema)
+
+    def test_order_by_unknown_column(self, small_flows):
+        with pytest.raises(ParseError, match="ORDER BY"):
+            compile_query(self.SQL + "ORDER BY bogus",
+                          small_flows.schema)
+
+    def test_compile_sql_refuses_presentation(self, small_flows):
+        with pytest.raises(ParseError, match="presentation"):
+            compile_sql(self.SQL + "LIMIT 3", small_flows.schema)
+
+
+class TestDistributed:
+    def test_post_process_applies_to_distributed_result(self, small_flows,
+                                                        flow_warehouse):
+        from repro.distributed import ALL_OPTIMIZATIONS
+        compiled = compile_query(
+            "SELECT SourceAS, COUNT(*) AS n FROM Flow GROUP BY SourceAS "
+            "HAVING n >= 200 ORDER BY n DESC LIMIT 4",
+            small_flows.schema)
+        centralized = compiled.run_centralized(small_flows)
+        result = flow_warehouse.execute(compiled.expression,
+                                        ALL_OPTIMIZATIONS)
+        distributed = compiled.post_process(result.relation)
+        assert distributed.num_rows == centralized.num_rows
+        # same top-4 counts (row order equal because sort is total on n
+        # values drawn from distinct groups)
+        assert sorted(distributed.column("n").tolist()) == \
+            sorted(centralized.column("n").tolist())

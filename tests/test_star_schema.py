@@ -1,0 +1,71 @@
+"""Tests for the normalized star schema and denormalization."""
+
+import pytest
+
+from repro.data.star_schema import (
+    StarSchema, denormalize, generate_star_schema)
+from repro.data.tpch import TPCR_SCHEMA, TpcrConfig, generate_tpcr
+
+
+@pytest.fixture(scope="module")
+def config():
+    return TpcrConfig(num_rows=3_000, num_customers=150, seed=9)
+
+
+@pytest.fixture(scope="module")
+def star(config):
+    return generate_star_schema(config)
+
+
+class TestGeneration:
+    def test_table_sizes(self, star, config):
+        assert star.customer.num_rows == 150
+        assert star.orders.num_rows == config.resolved_orders()
+        assert star.lineitem.num_rows == 3_000
+
+    def test_keys_are_unique(self, star):
+        assert star.customer.distinct(["CustKey"]).num_rows == \
+            star.customer.num_rows
+        assert star.orders.distinct(["OrderKey"]).num_rows == \
+            star.orders.num_rows
+
+    def test_referential_integrity(self, star):
+        cust_keys = set(star.customer.column("CustKey").tolist())
+        assert set(star.orders.column("OrderCustKey").tolist()) <= cust_keys
+        order_keys = set(star.orders.column("OrderKey").tolist())
+        assert set(star.lineitem.column("LineOrderKey").tolist()) <= \
+            order_keys
+
+    def test_deterministic(self, config):
+        first = generate_star_schema(config)
+        second = generate_star_schema(config)
+        assert first.lineitem.multiset_equals(second.lineitem)
+
+    def test_config_kwargs(self):
+        star = generate_star_schema(num_rows=500, num_customers=50, seed=1)
+        assert star.customer.num_rows == 50
+        with pytest.raises(TypeError):
+            generate_star_schema(TpcrConfig(), num_rows=10)
+
+
+class TestDenormalize:
+    def test_schema(self, star):
+        wide = denormalize(star)
+        assert wide.schema == TPCR_SCHEMA
+
+    def test_matches_direct_generator(self, star, config):
+        """The joins reproduce generate_tpcr exactly: the denormalized
+        generator is a faithful shortcut of the ETL."""
+        via_joins = denormalize(star)
+        direct = generate_tpcr(config)
+        assert via_joins.multiset_equals(direct)
+
+    def test_row_count_preserved(self, star):
+        assert denormalize(star).num_rows == star.lineitem.num_rows
+
+    def test_queryable(self, star):
+        from repro.relational.operators import group_by
+        from repro.relational.aggregates import count_star
+        wide = denormalize(star)
+        by_nation = group_by(wide, ["NationKey"], [count_star("n")])
+        assert sum(by_nation.column("n")) == wide.num_rows

@@ -1,0 +1,115 @@
+"""Tests for warehouse persistence."""
+
+import json
+
+import pytest
+
+from repro.data.flows import generate_flows, router_as_ranges
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.network import LinkModel
+from repro.distributed.partition import (
+    RangeConstraint, ValueSetConstraint, partition_by_values)
+from repro.distributed.plan import ALL_OPTIMIZATIONS
+from repro.distributed.storage import (
+    StorageError, constraint_from_json, constraint_to_json,
+    load_warehouse, save_warehouse)
+
+
+@pytest.fixture()
+def engine():
+    flows = generate_flows(num_flows=1_500, num_routers=3,
+                           num_source_as=12, seed=4)
+    partitions, info = partition_by_values(
+        flows, "RouterId", {site: [site] for site in range(3)})
+    for site, (low, high) in router_as_ranges(3, 12).items():
+        info.add(site, "SourceAS", RangeConstraint(low, high))
+    return SkallaEngine(partitions, info,
+                        link=LinkModel(bandwidth=2e6, latency=0.02),
+                        site_slowdowns={1: 2.5})
+
+
+class TestConstraintJson:
+    def test_value_set_round_trip(self):
+        original = ValueSetConstraint(frozenset({1, 2, 3}))
+        restored = constraint_from_json(constraint_to_json(original))
+        assert restored == original
+
+    def test_range_round_trip(self):
+        original = RangeConstraint("a", "m")
+        restored = constraint_from_json(constraint_to_json(original))
+        assert restored == original
+
+    def test_unknown_kind(self):
+        with pytest.raises(StorageError):
+            constraint_from_json({"kind": "wavelet"})
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_everything(self, engine, tmp_path):
+        save_warehouse(engine, tmp_path / "wh")
+        loaded = load_warehouse(tmp_path / "wh")
+        assert loaded.site_ids == engine.site_ids
+        for site in engine.site_ids:
+            assert loaded.fragment(site).multiset_equals(
+                engine.fragment(site))
+        assert loaded.link == engine.link
+        assert loaded.sites[1].slowdown == 2.5
+        assert loaded.info is not None
+        assert loaded.info.partition_attributes() == \
+            engine.info.partition_attributes()
+
+    def test_loaded_warehouse_answers_queries(self, engine, tmp_path):
+        from repro.bench.queries import correlated_query
+        save_warehouse(engine, tmp_path / "wh")
+        loaded = load_warehouse(tmp_path / "wh")
+        query = correlated_query(["SourceAS"], "NumBytes")
+        original = engine.execute(query, ALL_OPTIMIZATIONS)
+        reloaded = loaded.execute(query, ALL_OPTIMIZATIONS)
+        assert reloaded.relation.multiset_equals(original.relation)
+        assert reloaded.metrics.num_synchronizations == \
+            original.metrics.num_synchronizations
+
+    def test_warehouse_without_info(self, tmp_path):
+        flows = generate_flows(num_flows=500, num_routers=2, seed=1)
+        from repro.distributed.partition import partition_round_robin
+        engine = SkallaEngine(partition_round_robin(flows, 2))
+        save_warehouse(engine, tmp_path / "plain")
+        loaded = load_warehouse(tmp_path / "plain")
+        assert loaded.info is None
+
+
+class TestFailureModes:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError, match="manifest"):
+            load_warehouse(tmp_path)
+
+    def test_malformed_manifest(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(StorageError, match="malformed"):
+            load_warehouse(tmp_path)
+
+    def test_wrong_version(self, engine, tmp_path):
+        save_warehouse(engine, tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StorageError, match="format"):
+            load_warehouse(tmp_path)
+
+    def test_missing_fragment(self, engine, tmp_path):
+        save_warehouse(engine, tmp_path)
+        (tmp_path / "site_0.csv").unlink()
+        with pytest.raises(StorageError, match="missing site"):
+            load_warehouse(tmp_path)
+
+    def test_tampered_constraints_detected(self, engine, tmp_path):
+        save_warehouse(engine, tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["constraints"]["0"]["SourceAS"] = {
+            "kind": "range", "low": 100, "high": 200}
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StorageError, match="does not match"):
+            load_warehouse(tmp_path)
+        # but loading without verification is the documented escape hatch
+        loaded = load_warehouse(tmp_path, verify_info=False)
+        assert loaded.info is not None

@@ -1,0 +1,86 @@
+"""Unit tests for repro.relational.types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.types import (
+    DataType, coerce_array, common_type, infer_type)
+
+
+class TestDataType:
+    def test_numpy_dtypes(self):
+        assert DataType.INT64.numpy_dtype == np.dtype(np.int64)
+        assert DataType.FLOAT64.numpy_dtype == np.dtype(np.float64)
+        assert DataType.STRING.numpy_dtype == np.dtype(object)
+        assert DataType.BOOL.numpy_dtype == np.dtype(np.bool_)
+
+    def test_wire_widths_are_positive(self):
+        for dtype in DataType:
+            assert dtype.wire_width > 0
+
+    def test_numeric_classification(self):
+        assert DataType.INT64.is_numeric
+        assert DataType.FLOAT64.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.BOOL.is_numeric
+
+    def test_string_wire_width_is_fixed(self):
+        assert DataType.STRING.wire_width == 24
+
+
+class TestInferType:
+    def test_bool_before_int(self):
+        # bool is a subclass of int; inference must pick BOOL
+        assert infer_type(True) is DataType.BOOL
+
+    def test_scalars(self):
+        assert infer_type(3) is DataType.INT64
+        assert infer_type(3.5) is DataType.FLOAT64
+        assert infer_type("x") is DataType.STRING
+
+    def test_numpy_scalars(self):
+        assert infer_type(np.int64(1)) is DataType.INT64
+        assert infer_type(np.float64(1.0)) is DataType.FLOAT64
+        assert infer_type(np.bool_(True)) is DataType.BOOL
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SchemaError):
+            infer_type(object())
+
+
+class TestCommonType:
+    def test_int_int(self):
+        assert common_type(DataType.INT64, DataType.INT64) is DataType.INT64
+
+    def test_widening(self):
+        assert common_type(DataType.INT64,
+                           DataType.FLOAT64) is DataType.FLOAT64
+        assert common_type(DataType.FLOAT64,
+                           DataType.INT64) is DataType.FLOAT64
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(SchemaError):
+            common_type(DataType.STRING, DataType.INT64)
+        with pytest.raises(SchemaError):
+            common_type(DataType.INT64, DataType.BOOL)
+
+
+class TestCoerceArray:
+    def test_list_to_array(self):
+        array = coerce_array([1, 2, 3], DataType.INT64)
+        assert array.dtype == np.int64
+        assert array.tolist() == [1, 2, 3]
+
+    def test_scalar_becomes_length_one(self):
+        array = coerce_array(5, DataType.INT64)
+        assert array.shape == (1,)
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(SchemaError):
+            coerce_array(np.zeros((2, 2)), DataType.FLOAT64)
+
+    def test_string_column(self):
+        array = coerce_array(["a", "b"], DataType.STRING)
+        assert array.dtype == object
+        assert list(array) == ["a", "b"]
