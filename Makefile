@@ -1,0 +1,15 @@
+# Convenience targets; `make ci` runs exactly what GitHub Actions runs.
+
+.PHONY: ci lint test bench
+
+ci:
+	sh scripts/ci.sh all
+
+lint:
+	sh scripts/ci.sh lint
+
+test:
+	sh scripts/ci.sh test
+
+bench:
+	sh scripts/ci.sh bench

@@ -9,7 +9,6 @@ Not a paper figure: measures the centralized evaluator's paths (DESIGN.md
   (one coding pass instead of two).
 """
 
-import pytest
 
 from repro.data.flows import generate_flows
 from repro.relational.aggregates import AggregateSpec, count_star

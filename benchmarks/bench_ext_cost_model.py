@@ -7,7 +7,6 @@ optimization setting the model distinguishes, plus the flag set
 match the measured ordering exactly.
 """
 
-import pytest
 
 from repro.bench.harness import build_tpcr_warehouse
 from repro.bench.queries import correlated_query

@@ -8,10 +8,8 @@ arriving at the root — and, under the parallel-subtree cost model, the
 response time at scale — grow much more slowly with the site count.
 """
 
-import numpy as np
 import pytest
 
-from repro.bench.harness import format_table
 from repro.bench.queries import correlated_query
 from repro.data.tpch import generate_tpcr
 from repro.distributed.engine import SkallaEngine

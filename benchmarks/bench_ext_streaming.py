@@ -14,7 +14,6 @@ two models should not shrink as the straggler worsens.
 
 import pytest
 
-from repro.bench.harness import build_tpcr_warehouse
 from repro.bench.queries import correlated_query
 from repro.data.tpch import generate_tpcr, nation_assignment
 from repro.distributed.engine import SkallaEngine

@@ -24,7 +24,7 @@ Expected shapes (Sect. 5.2):
 
 import pytest
 
-from repro.bench.harness import growth_exponent, run_once
+from repro.bench.harness import growth_exponent
 from repro.bench.queries import coalescible_query
 from repro.relational.expressions import r
 from repro.distributed.plan import OptimizationFlags

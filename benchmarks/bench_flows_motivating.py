@@ -6,7 +6,6 @@ router-partitioned flow warehouse, unoptimized vs fully optimized, and
 the same query arriving through the Egil SQL frontend.
 """
 
-import pytest
 
 from repro.bench.harness import build_flow_warehouse
 from repro.core.builder import QueryBuilder, agg

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# The single CI entrypoint.  The GitHub workflow and local `make ci`
+# both run this script, so the two can never drift apart.
+#
+#   scripts/ci.sh lint    ruff over src/, tests/, benchmarks/ (skipped
+#                         with a notice when ruff is not installed)
+#   scripts/ci.sh test    the tier-1 suite: PYTHONPATH=src pytest -x -q
+#   scripts/ci.sh bench   one benchmark file as a smoke test, at a
+#                         reduced row count so it finishes in seconds
+#   scripts/ci.sh all     lint + test + bench (the default)
+#
+# Exit code: non-zero as soon as any stage fails.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PYTHON=${PYTHON:-python}
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+lint() {
+    if command -v ruff >/dev/null 2>&1; then
+        echo "== lint: ruff check =="
+        ruff check src tests benchmarks examples
+    else
+        echo "== lint: ruff not installed, skipping (pip install ruff) =="
+    fi
+}
+
+tests() {
+    echo "== test: tier-1 suite =="
+    "$PYTHON" -m pytest -x -q
+}
+
+bench() {
+    echo "== bench: transport smoke =="
+    REPRO_BENCH_ROWS=${REPRO_BENCH_ROWS:-8000} \
+        "$PYTHON" -m pytest benchmarks/bench_ext_transport.py -x -q \
+        --benchmark-disable
+}
+
+stage=${1:-all}
+case "$stage" in
+    lint)  lint ;;
+    test)  tests ;;
+    bench) bench ;;
+    all)   lint; tests; bench ;;
+    *)     echo "usage: scripts/ci.sh [lint|test|bench|all]" >&2; exit 2 ;;
+esac

@@ -23,7 +23,7 @@ from repro.data.flows import generate_flows, router_as_ranges
 from repro.data.tpch import (
     TpcrConfig, custkey_ranges, customer_name, generate_tpcr,
     nation_assignment)
-from repro.distributed.engine import ExecutionResult, SkallaEngine
+from repro.distributed.engine import SkallaEngine
 from repro.distributed.network import LinkModel
 from repro.distributed.partition import (
     DistributionInfo, RangeConstraint, partition_by_values)

@@ -31,6 +31,7 @@ from repro.errors import SkallaError
 from repro.bench.harness import build_flow_warehouse, build_tpcr_warehouse
 from repro.distributed.plan import OptimizationFlags
 from repro.distributed.storage import load_warehouse, save_warehouse
+from repro.distributed.transport import DEFAULT_TRANSPORT, TRANSPORTS
 from repro.optimizer.planner import build_plan
 from repro.relational.statistics import collect_stats, merge_stats
 from repro.sql.compiler import compile_query
@@ -87,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("sql")
     query.add_argument("--optimize", choices=sorted(OPTIMIZE_LEVELS),
                        default="all")
+    query.add_argument("--transport", choices=sorted(TRANSPORTS),
+                       default=DEFAULT_TRANSPORT,
+                       help="site execution backend: inprocess (default, "
+                            "modeled network only), thread (pooled "
+                            "threads), process (one worker process per "
+                            "site, real serialized bytes)")
     query.add_argument("--streaming", action="store_true",
                        help="incremental synchronization")
     query.add_argument("--limit", type=int, default=20,
@@ -168,10 +175,14 @@ def _resolve_flags(name: str) -> OptimizationFlags:
 
 def _cmd_query(args) -> int:
     engine = load_warehouse(args.warehouse)
+    engine.use_transport(args.transport)
     compiled = compile_query(args.sql, engine.detail_schema)
     expression = compiled.expression
     flags = _resolve_flags(args.optimize)
-    result = engine.execute(expression, flags, streaming=args.streaming)
+    try:
+        result = engine.execute(expression, flags, streaming=args.streaming)
+    finally:
+        engine.close()
     if args.explain:
         from repro.distributed.explain import explain_analyze
         print(explain_analyze(result))
@@ -183,8 +194,14 @@ def _cmd_query(args) -> int:
     metrics = result.metrics
     print(f"\n{table.num_rows} rows; "
           f"{metrics.num_synchronizations} synchronization(s); "
-          f"{metrics.total_bytes:,} bytes moved; "
-          f"response {metrics.response_seconds:.3f}s")
+          f"{metrics.total_bytes:,} bytes moved (modeled); "
+          f"response {metrics.response_seconds:.3f}s "
+          f"[transport {metrics.transport}]")
+    if metrics.real_bytes:
+        print(f"real wire traffic: {metrics.real_bytes:,} bytes "
+              f"serialized; {metrics.real_seconds:.3f}s measured; "
+              f"{metrics.retries} retry(ies), "
+              f"{metrics.worker_respawns} respawn(s)")
     return 0
 
 

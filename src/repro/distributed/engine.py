@@ -21,15 +21,22 @@ Timing: site computations are measured (max across sites of a round,
 since sites run in parallel); transfers are modeled by the
 :class:`~repro.distributed.network.SimulatedNetwork`; coordinator work is
 measured.  See DESIGN.md §5 for why this preserves the paper's shapes.
+
+Site execution is delegated to a pluggable **transport**
+(:mod:`repro.distributed.transport`): in-process (default), thread pool,
+or one OS worker process per site exchanging serialized bytes.  The
+transport owns retries/backoff/deadlines; the engine composes results
+and records modeled *and* real cost side by side.
 """
 
 from __future__ import annotations
 
-import threading
+import numpy as np
+
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.errors import PlanError, SchemaError, SiteFailure
+from repro.errors import PartitionError, PlanError, SchemaError
 from repro.relational.expressions import Expr, evaluate_predicate
 from repro.relational.relation import Relation
 from repro.core.expression_tree import GmdjExpression, RelationBase
@@ -40,12 +47,11 @@ from repro.distributed.metrics import PhaseMetrics, QueryMetrics
 from repro.distributed.network import ComputeModel, LinkModel, SimulatedNetwork
 from repro.distributed.partition import DistributionInfo
 from repro.distributed.plan import (
-    DistributedPlan, NO_OPTIMIZATIONS, OptimizationFlags, unoptimized_plan)
+    DistributedPlan, NO_OPTIMIZATIONS, OptimizationFlags)
 from repro.distributed.site import SkallaSite
-
-
-#: Serializes retry-counter updates when sites run on a thread pool.
-_RETRY_LOCK = threading.Lock()
+from repro.distributed.transport import (
+    DEFAULT_TRANSPORT, RetryPolicy, SiteRequest, SiteResponse, Transport,
+    create_transport)
 
 
 @dataclass
@@ -81,7 +87,10 @@ class SkallaEngine:
                  site_slowdowns: Mapping[SiteId, float] | None = None,
                  max_retries: int = 2,
                  compute_model: ComputeModel | None = None,
-                 parallel_sites: bool = False):
+                 parallel_sites: bool = False,
+                 transport: "str | Transport | None" = None,
+                 retry_policy: RetryPolicy | None = None,
+                 transport_options: Mapping[str, object] | None = None):
         if not partitions:
             raise PlanError("a warehouse needs at least one site")
         schemas = {fragment.schema for fragment in partitions.values()}
@@ -99,11 +108,63 @@ class SkallaEngine:
         self.max_retries = max_retries
         #: deterministic compute-time model (None = measure wall clock)
         self.compute_model = compute_model
-        #: evaluate sites on a thread pool (NumPy releases the GIL for
-        #: most of the heavy kernels, so this is real parallelism)
+        #: legacy switch: thread-pool site evaluation.  Equivalent to
+        #: ``transport="thread"``; kept for backward compatibility.
         self.parallel_sites = parallel_sites
+        #: per-engine retry/backoff/deadline policy handed to the
+        #: transport (``max_retries`` fills the budget when no explicit
+        #: policy is given).  Per-engine state: two engines retrying
+        #: concurrently never share a lock or a counter.
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_retries=max_retries)
+        if transport is None:
+            transport = "thread" if parallel_sites else DEFAULT_TRANSPORT
+        self._transport_spec = transport
+        self._transport_options = dict(transport_options or {})
+        self._transport: Transport | None = None
         if info is not None and verify_info:
             info.verify(partitions)
+
+    # -- transport lifecycle -----------------------------------------------------
+
+    @property
+    def transport(self) -> Transport:
+        """The active transport backend (created lazily on first use)."""
+        if self._transport is None:
+            spec = self._transport_spec
+            if isinstance(spec, Transport):
+                self._transport = spec
+            else:
+                self._transport = create_transport(
+                    spec, self.sites, retry=self.retry_policy,
+                    **self._transport_options)
+        return self._transport
+
+    @property
+    def transport_name(self) -> str:
+        if self._transport is not None:
+            return self._transport.name
+        spec = self._transport_spec
+        return spec.name if isinstance(spec, Transport) else str(spec)
+
+    def use_transport(self, transport: "str | Transport",
+                      **options) -> None:
+        """Switch backends; closes the previous one if it was created."""
+        self.close()
+        self._transport_spec = transport
+        self._transport_options = dict(options)
+
+    def close(self) -> None:
+        """Release transport resources (worker processes, pools)."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    def __enter__(self) -> "SkallaEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def site_ids(self) -> list[SiteId]:
@@ -129,15 +190,18 @@ class SkallaEngine:
             for attr, constraint in self.info.constraints.get(
                     site_id, {}).items():
                 mask = constraint.mask(rows.column(attr))
-                import numpy as np
                 if not bool(np.all(mask)):
-                    from repro.errors import PartitionError
                     bad = rows.column(attr)[~mask][:3]
                     raise PartitionError(
                         f"appended rows violate site {site_id}'s "
                         f"constraint on {attr!r}: {list(bad)}")
         site = self.sites[site_id]
         site.fragment = site.fragment.union_all(rows)
+        # Worker processes hold a snapshot of the fragment; force a
+        # respawn so the next round sees the appended rows.
+        if self._transport is not None and hasattr(self._transport,
+                                                   "invalidate"):
+            self._transport.invalidate()
 
     def total_detail_relation(self,
                               sites: Sequence[SiteId] | None = None) -> Relation:
@@ -203,7 +267,8 @@ class SkallaEngine:
         network = SimulatedNetwork(
             num_sites=max(self.sites) + 1, link=self.link)
         metrics = QueryMetrics(log=network.log,
-                               num_participating_sites=len(participating))
+                               num_participating_sites=len(participating),
+                               transport=self.transport_name)
         coordinator = Coordinator(expression, self.detail_schema)
         round_index = 0
 
@@ -217,19 +282,21 @@ class SkallaEngine:
                 network.send(control_message(
                     COORDINATOR, site_id, round_index, "ship base query"))
             phase.communication_seconds += network.end_phase()
-            outputs = self._run_on_sites(
-                metrics, participating,
-                lambda sid: self.sites[sid].evaluate_base(expression.base),
-                base_rows=0)
+            requests = [SiteRequest(site_id=sid, kind="base",
+                                    base_query=expression.base)
+                        for sid in participating]
+            outputs = self._run_on_sites(metrics, phase, network, requests,
+                                         base_rows=0)
             fragments = []
             site_seconds = 0.0
             for site_id in participating:
-                fragment, seconds = outputs[site_id]
-                site_seconds = max(site_seconds, seconds)
-                fragments.append(fragment)
+                response = outputs[site_id]
+                site_seconds = max(site_seconds, response.compute_seconds)
+                fragments.append(response.relation)
                 network.send(relation_message(
-                    site_id, COORDINATOR, "base_result", fragment,
-                    round_index, "local base-values result"))
+                    site_id, COORDINATOR, "base_result", response.relation,
+                    round_index, "local base-values result",
+                    real_bytes=response.response_bytes or None))
             phase.site_seconds = site_seconds
             phase.communication_seconds += network.end_phase()
             __, coordinator_seconds = coordinator.synchronize_base(fragments)
@@ -270,21 +337,26 @@ class SkallaEngine:
                           if step.include_base else expression.key)
             base_rows = (0 if step.include_base else
                          coordinator.final_result().num_rows)
-            outputs = self._run_on_sites(
-                metrics, step_participants,
-                lambda sid: self.sites[sid].execute_step(
-                    step, shipped[sid], ship_attrs, expression.base,
-                    plan.flags.group_reduction_independent),
-                base_rows=base_rows)
+            requests = [SiteRequest(
+                site_id=sid, kind="step", step=step,
+                base_relation=shipped[sid],
+                ship_attrs=tuple(ship_attrs),
+                base_query=expression.base,
+                independent_reduction=plan.flags.group_reduction_independent)
+                for sid in step_participants]
+            outputs = self._run_on_sites(metrics, phase, network, requests,
+                                         base_rows=base_rows)
             sub_results = []
             site_seconds = []
             for site_id in step_participants:
-                sub_result, seconds = outputs[site_id]
-                site_seconds.append(seconds)
-                sub_results.append(sub_result)
+                response = outputs[site_id]
+                site_seconds.append(response.compute_seconds)
+                sub_results.append(response.relation)
                 network.send(relation_message(
-                    site_id, COORDINATOR, "sub_aggregates", sub_result,
-                    round_index, "sub-aggregate results"))
+                    site_id, COORDINATOR, "sub_aggregates",
+                    response.relation, round_index,
+                    "sub-aggregate results",
+                    real_bytes=response.response_bytes or None))
 
             if streaming:
                 network.end_phase()  # bytes are already logged; timing
@@ -307,57 +379,40 @@ class SkallaEngine:
         result = coordinator.final_result()
         return ExecutionResult(result, metrics, plan)
 
-    def _run_on_sites(self, metrics, participating, operation, base_rows):
-        """Run ``operation(site_id)`` on every participating site.
+    def _run_on_sites(self, metrics: QueryMetrics, phase: PhaseMetrics,
+                      network: SimulatedNetwork,
+                      requests: Sequence[SiteRequest],
+                      base_rows: int) -> dict[SiteId, SiteResponse]:
+        """Execute one round of site requests through the transport.
 
-        Runs on a thread pool when ``parallel_sites`` is set (site work
-        only reads the site's own fragment, so this is safe), otherwise
-        sequentially.  When a :class:`ComputeModel` is attached, each
-        site's reported seconds are replaced by the model's prediction,
-        scaled by the site's slowdown.
+        The transport owns parallelism and robustness (retries with
+        backoff + jitter, per-call deadlines, worker respawn); this
+        method aggregates its outcome into the metrics: retry counts,
+        worker respawns, and the round's *real* wall-clock / wire bytes
+        next to the modeled numbers.  When a :class:`ComputeModel` is
+        attached, each site's reported compute seconds are replaced by
+        the model's prediction, scaled by the site's slowdown.
+
+        Retry accounting is aggregated here, on the engine's thread,
+        after the round completes — no cross-engine lock involved.
         """
-        outputs: dict = {}
-        if self.parallel_sites and len(participating) > 1:
-            from concurrent.futures import ThreadPoolExecutor
-            with ThreadPoolExecutor(
-                    max_workers=min(8, len(participating))) as pool:
-                futures = {
-                    site_id: pool.submit(self._call_site, metrics, site_id,
-                                         lambda sid=site_id: operation(sid))
-                    for site_id in participating}
-            for site_id, future in futures.items():
-                outputs[site_id] = future.result()
-        else:
-            for site_id in participating:
-                outputs[site_id] = self._call_site(
-                    metrics, site_id, lambda sid=site_id: operation(sid))
+        outputs = self.transport.run_round(requests)
+        round_bytes = 0
+        round_wall = 0.0
+        for response in outputs.values():
+            metrics.retries += response.retries
+            metrics.worker_respawns += response.respawns
+            round_bytes += response.request_bytes + response.response_bytes
+            round_wall = max(round_wall, response.wall_seconds)
+        phase.real_seconds += round_wall
+        phase.real_bytes += round_bytes
+        network.note_real_transfer(round_bytes, round_wall)
         if self.compute_model is not None:
-            for site_id in participating:
-                result, __ = outputs[site_id]
+            for site_id, response in outputs.items():
                 site = self.sites[site_id]
-                modeled = self.compute_model.seconds(
+                response.compute_seconds = self.compute_model.seconds(
                     site.fragment.num_rows, base_rows) * site.slowdown
-                outputs[site_id] = (result, modeled)
         return outputs
-
-    def _call_site(self, metrics, site_id, operation):
-        """Invoke a site operation, retrying transient failures.
-
-        Site work is idempotent (a pure function of fragment + shipped
-        structure), so a failed call is simply repeated; the retry count
-        is recorded in the metrics.  Exhausting the budget re-raises the
-        last :class:`SiteFailure`.
-        """
-        attempts = 0
-        while True:
-            try:
-                return operation()
-            except SiteFailure:
-                attempts += 1
-                if attempts > self.max_retries:
-                    raise
-                with _RETRY_LOCK:  # sites may run on a thread pool
-                    metrics.retries += 1
 
     def _streaming_synchronize(self, coordinator, step, sub_results,
                                site_seconds, phase) -> None:

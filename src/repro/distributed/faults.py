@@ -1,20 +1,35 @@
-"""Fault injection: flaky sites for testing the engine's retry path.
+"""Fault injection: flaky sites and process-level worker faults.
 
 Skalla's round structure makes site work naturally *idempotent*: a site
 computes a pure function of (its fragment, the shipped structure, the
 plan step), so a crashed or timed-out site can simply be asked again —
-no distributed state to repair.  :class:`FlakySite` simulates a site
-that fails its first ``failures`` requests and then recovers; the
-engine's retry loop (``SkallaEngine(max_retries=…)``) exercises exactly
-the recovery path a production deployment needs.
+no distributed state to repair.  Two injection layers exercise that:
+
+* :class:`FlakySite` — an in-process stand-in that raises
+  :class:`~repro.errors.SiteFailure` for its first ``failures``
+  requests, then recovers; drives the transport retry loop without any
+  OS machinery (works under every transport, including inside worker
+  processes, since sites are pickled whole).
+* :class:`ProcessFaultSpec` — **process-level** faults for the
+  multiprocess transport: kill the worker (``os._exit``) or hang it
+  past its call deadline on the N-th request.  The parent observes a
+  closed pipe / deadline expiry, respawns the worker, and retries —
+  the full crash-recovery path, not a simulated one.
 """
 
 from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
 
 from repro.errors import SiteFailure
 from repro.relational.relation import Relation
 from repro.distributed.messages import SiteId
 from repro.distributed.site import SkallaSite
+
+#: Exit code used by injected worker kills (recognizable in logs).
+KILL_EXIT_CODE = 73
 
 
 class FlakySite(SkallaSite):
@@ -53,3 +68,51 @@ class FlakySite(SkallaSite):
         self._maybe_fail("step")
         return super().execute_step(step, base_relation, ship_attrs,
                                     base_query, independent_reduction)
+
+
+@dataclass(frozen=True)
+class ProcessFaultSpec:
+    """Process-level fault plan for one multiprocess-transport worker.
+
+    Shipped to the worker at spawn; applied *before* serving the
+    matching request, so the coordinator never receives a response for
+    that round — exactly what a mid-round server crash looks like.
+
+    Parameters
+    ----------
+    kill_on_request:
+        1-based ordinal of the request on which the worker process
+        exits hard (``os._exit(KILL_EXIT_CODE)`` — no cleanup, no
+        goodbye frame).  ``None`` disables.
+    hang_on_request:
+        1-based ordinal of the request on which the worker sleeps for
+        ``hang_seconds`` before serving — long enough to blow a
+        per-call deadline.  ``None`` disables.
+    hang_seconds:
+        How long a hang lasts.  Choose it larger than the transport's
+        ``RetryPolicy.call_deadline`` to trigger kill + respawn.
+    repeat:
+        By default a spec is one-shot: the respawned replacement worker
+        is healthy, so the retried call succeeds.  With ``repeat`` the
+        replacement inherits the same spec — the retry budget exhausts
+        and the query fails, which is the other path worth testing.
+    """
+
+    kill_on_request: int | None = None
+    hang_on_request: int | None = None
+    hang_seconds: float = 30.0
+    repeat: bool = False
+
+    def __post_init__(self):
+        for ordinal in (self.kill_on_request, self.hang_on_request):
+            if ordinal is not None and ordinal < 1:
+                raise ValueError("fault request ordinals are 1-based")
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be non-negative")
+
+    def apply(self, request_ordinal: int) -> None:
+        """Invoked by the worker loop before serving each request."""
+        if self.kill_on_request == request_ordinal:
+            os._exit(KILL_EXIT_CODE)
+        if self.hang_on_request == request_ordinal:
+            time.sleep(self.hang_seconds)

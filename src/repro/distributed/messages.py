@@ -50,6 +50,11 @@ class Message:
         The evaluation round this transfer belongs to.
     description:
         Human-readable note for plan explanations.
+    real_bytes:
+        Bytes the transport *actually* serialized for this transfer
+        (SKRL frame size under the multiprocess transport), or ``None``
+        when the transfer was in-process and only the modeled
+        ``payload_bytes`` applies.
     """
 
     sender: SiteId
@@ -59,6 +64,7 @@ class Message:
     rows: int
     round_index: int
     description: str = ""
+    real_bytes: int | None = None
 
     @property
     def total_bytes(self) -> int:
@@ -71,12 +77,17 @@ class Message:
 
 def relation_message(sender: SiteId, receiver: SiteId, kind: str,
                      relation: Relation, round_index: int,
-                     description: str = "") -> Message:
-    """A message shipping ``relation``, costed by its wire size."""
+                     description: str = "",
+                     real_bytes: int | None = None) -> Message:
+    """A message shipping ``relation``, costed by its wire size.
+
+    ``real_bytes`` attaches the measured serialized size when a
+    transport actually moved the payload between processes.
+    """
     return Message(sender=sender, receiver=receiver, kind=kind,
                    payload_bytes=relation.wire_bytes(),
                    rows=relation.num_rows, round_index=round_index,
-                   description=description)
+                   description=description, real_bytes=real_bytes)
 
 
 def control_message(sender: SiteId, receiver: SiteId, round_index: int,
@@ -120,6 +131,16 @@ class MessageLog:
     def round_bytes(self, round_index: int) -> int:
         return sum(message.total_bytes for message in self.messages
                    if message.round_index == round_index)
+
+    def real_total_bytes(self) -> int:
+        """Measured serialized bytes, where a transport recorded them.
+
+        Messages without a measurement (in-process transfers, control
+        messages) contribute 0 — compare against :meth:`total_bytes`
+        to see modeled vs real side by side.
+        """
+        return sum(message.real_bytes for message in self.messages
+                   if message.real_bytes is not None)
 
     def num_rounds(self) -> int:
         if not self.messages:

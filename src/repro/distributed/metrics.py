@@ -19,12 +19,28 @@ from repro.distributed.messages import MessageLog
 
 @dataclass
 class PhaseMetrics:
-    """One local-compute / transfer / coordinator-compute segment."""
+    """One local-compute / transfer / coordinator-compute segment.
+
+    The ``site_seconds`` / ``coordinator_seconds`` /
+    ``communication_seconds`` triple composes the paper's *modeled* time
+    (measured compute + :class:`~repro.distributed.network.LinkModel`
+    transfers).  The ``real_*`` fields sit next to it when a transport
+    actually moves bytes between processes: ``real_seconds`` is the
+    measured wall-clock of the round's site calls (max across sites —
+    serialization, IPC, and retries included) and ``real_bytes`` counts
+    the serialized request+response frames on the wire.  Both stay 0
+    under the in-process transport, where the modeled numbers are the
+    only communication story.
+    """
 
     name: str
     site_seconds: float = 0.0
     coordinator_seconds: float = 0.0
     communication_seconds: float = 0.0
+    #: measured wall-clock of the round's site calls (0 = in-process).
+    real_seconds: float = 0.0
+    #: real serialized bytes moved by the transport for this round.
+    real_bytes: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -42,6 +58,10 @@ class QueryMetrics:
     num_participating_sites: int = 0
     #: site-call retries performed after transient failures
     retries: int = 0
+    #: which transport backend executed the sites ("inprocess" default)
+    transport: str = "inprocess"
+    #: worker processes respawned after crashes/hangs (process transport)
+    worker_respawns: int = 0
 
     # -- time -------------------------------------------------------------
 
@@ -63,6 +83,24 @@ class QueryMetrics:
     def response_seconds(self) -> float:
         """End-to-end query evaluation time (the paper's headline metric)."""
         return sum(phase.total_seconds for phase in self.phases)
+
+    @property
+    def real_seconds(self) -> float:
+        """Measured wall-clock of all site rounds (serialization + IPC
+        included).  0 under the in-process transport."""
+        return sum(phase.real_seconds for phase in self.phases)
+
+    # -- real wire traffic (multiprocess transport) ------------------------
+
+    @property
+    def real_bytes(self) -> int:
+        """Serialized bytes the transport actually moved (0 in-process).
+
+        Comparable to :attr:`total_bytes`, which is the *modeled* wire
+        size of the same payloads; the ratio is the codec's framing
+        overhead/compression relative to the paper's fixed-width model.
+        """
+        return sum(phase.real_bytes for phase in self.phases)
 
     # -- traffic -----------------------------------------------------------
 
@@ -97,4 +135,8 @@ class QueryMetrics:
             "synchronizations": self.num_synchronizations,
             "sites": self.num_participating_sites,
             "retries": self.retries,
+            "transport": self.transport,
+            "real_seconds": round(self.real_seconds, 6),
+            "real_bytes": self.real_bytes,
+            "worker_respawns": self.worker_respawns,
         }

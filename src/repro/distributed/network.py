@@ -95,6 +95,8 @@ class SimulatedNetwork:
         self._phase_messages: list[Message] = []
         self._transfer_seconds = 0.0
         self._phase_seconds: list[float] = []
+        self._real_bytes = 0
+        self._real_seconds = 0.0
 
     def _validate_endpoint(self, node: SiteId) -> None:
         if node == COORDINATOR:
@@ -122,6 +124,19 @@ class SimulatedNetwork:
         self._phase_seconds.append(seconds)
         return seconds
 
+    def note_real_transfer(self, wire_bytes: int, seconds: float) -> None:
+        """Record bytes/seconds a transport *actually* moved/measured.
+
+        The modeled :class:`LinkModel` numbers stay authoritative for
+        the paper's figures; these observations accumulate next to them
+        so callers can report modeled vs real side by side.
+        """
+        if wire_bytes < 0 or seconds < 0:
+            raise NetworkError("real transfer observations must be "
+                               "non-negative")
+        self._real_bytes += wire_bytes
+        self._real_seconds += seconds
+
     @property
     def transfer_seconds(self) -> float:
         """Total modeled communication time across completed phases."""
@@ -130,3 +145,13 @@ class SimulatedNetwork:
     @property
     def phase_seconds(self) -> list[float]:
         return list(self._phase_seconds)
+
+    @property
+    def real_bytes(self) -> int:
+        """Serialized bytes observed on a real transport (0 in-process)."""
+        return self._real_bytes
+
+    @property
+    def real_seconds(self) -> float:
+        """Measured wall-clock observed on a real transport."""
+        return self._real_seconds

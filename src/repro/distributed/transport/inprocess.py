@@ -1,0 +1,74 @@
+"""In-process transports: direct calls and a persistent thread pool.
+
+Both backends execute site work inside the coordinator process — no
+serialization happens, so real request/response bytes are 0 and only the
+modeled :class:`~repro.distributed.network.LinkModel` numbers describe
+communication.  ``wall_seconds`` is still measured, so thread-level
+parallel speedup is visible next to the modeled per-round maximum.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.distributed.messages import SiteId
+from repro.distributed.transport.base import (
+    RetryPolicy, SiteRequest, SiteResponse, Transport, perform_request,
+    run_round_threaded)
+
+
+class InProcessTransport(Transport):
+    """Direct, sequential site execution (the historical default)."""
+
+    name = "inprocess"
+
+    def _invoke(self, request: SiteRequest) -> SiteResponse:
+        started = time.perf_counter()
+        relation, seconds = perform_request(
+            self._site(request.site_id), request)
+        return SiteResponse(site_id=request.site_id, relation=relation,
+                            compute_seconds=seconds,
+                            wall_seconds=time.perf_counter() - started)
+
+
+class ThreadTransport(InProcessTransport):
+    """Site execution on a persistent thread pool.
+
+    NumPy releases the GIL for most of the heavy kernels, so site
+    compute overlaps for real.  The pool persists across rounds (and
+    queries) to avoid re-spawning threads per round.
+    """
+
+    name = "thread"
+
+    def __init__(self, sites, retry: RetryPolicy | None = None,
+                 seed: int | None = None, max_workers: int | None = None):
+        super().__init__(sites, retry=retry, seed=seed)
+        self._requested_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def start(self) -> None:
+        if self._pool is None:
+            workers = self._requested_workers or min(8, max(1, len(self.sites)))
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="skalla-site")
+        super().start()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        super().close()
+
+    def run_round(self, requests: Sequence[SiteRequest],
+                  ) -> dict[SiteId, SiteResponse]:
+        self._ensure_started()
+        if len(requests) <= 1:
+            return super().run_round(requests)
+        assert self._pool is not None
+        return run_round_threaded(self, requests, self._pool.submit)
+
+
+__all__ = ["InProcessTransport", "ThreadTransport"]

@@ -1,0 +1,101 @@
+"""Worker-process main loop for the multiprocess transport.
+
+One worker hosts exactly one :class:`~repro.distributed.site.SkallaSite`.
+The parent ships the site object once at startup (pickle — the fragment
+arrays travel as raw buffers), then exchanges per-round frames:
+
+* request frame: a pickled dict with the plan fragment (``step`` /
+  ``base_query`` / flags) and the shipped base structure encoded with
+  the SKRL binary codec (:mod:`repro.relational.io`);
+* response frame: ``{"ok": True, "payload": <SKRL bytes>, "seconds":
+  <site compute seconds>}`` or ``{"ok": False, "error": <exception>}``.
+
+Frame sizes are exactly the *real wire bytes* the transport metrics
+report.  Fault injection (:class:`~repro.distributed.faults.
+ProcessFaultSpec`) is applied here, before a request is served, so a
+"kill" fault genuinely terminates the OS process mid-round.
+
+This module is import-safe at top level (no side effects) so the
+``spawn`` start method can load it in a fresh interpreter.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.errors import SkallaError
+from repro.relational.io import decode_relation, encode_relation
+
+#: Frame kinds understood by the worker loop.
+INIT = "init"
+SHUTDOWN = "shutdown"
+CALL = "call"
+
+
+def _picklable_error(error: BaseException) -> BaseException:
+    """Return ``error`` if it survives pickling, else a faithful stand-in.
+
+    The parent re-raises whatever comes back; an exception whose class
+    cannot cross the process boundary is downgraded to a
+    :class:`SkallaError` carrying the original type name and message.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return SkallaError(f"{type(error).__name__}: {error}")
+
+
+def serve(connection) -> None:
+    """Serve site requests over ``connection`` until shutdown/EOF.
+
+    ``connection`` is one end of a :func:`multiprocessing.Pipe`; frames
+    travel via ``send_bytes``/``recv_bytes`` so both sides can measure
+    real frame sizes.
+    """
+    site = None
+    fault = None
+    served = 0
+    while True:
+        try:
+            frame = connection.recv_bytes()
+        except (EOFError, OSError):
+            return
+        message = pickle.loads(frame)
+        kind = message["kind"]
+        if kind == SHUTDOWN:
+            return
+        if kind == INIT:
+            site = message["site"]
+            fault = message.get("fault")
+            connection.send_bytes(pickle.dumps({"ok": True,
+                                                "site_id": site.site_id}))
+            continue
+        # -- a site call ---------------------------------------------------
+        served += 1
+        if fault is not None:
+            fault.apply(served)  # may exit the process or hang
+        try:
+            if site is None:
+                raise SkallaError("worker received a call before init")
+            from repro.distributed.transport.base import (
+                SiteRequest, perform_request)
+            payload = message["base_relation"]
+            request = SiteRequest(
+                site_id=site.site_id,
+                kind=message["call"],
+                base_query=message["base_query"],
+                step=message["step"],
+                base_relation=(decode_relation(payload)
+                               if payload is not None else None),
+                ship_attrs=tuple(message["ship_attrs"]),
+                independent_reduction=message["independent_reduction"])
+            relation, seconds = perform_request(site, request)
+            response = {"ok": True, "payload": encode_relation(relation),
+                        "seconds": seconds}
+        except BaseException as error:  # noqa: BLE001 - must cross the pipe
+            response = {"ok": False, "error": _picklable_error(error)}
+        try:
+            connection.send_bytes(pickle.dumps(response))
+        except (BrokenPipeError, OSError):
+            return

@@ -78,6 +78,25 @@ class SiteFailure(SkallaError):
         super().__init__(message or f"site {site_id} failed")
         self.site_id = site_id
 
+    def __reduce__(self):
+        # Default exception pickling re-calls __init__ with
+        # ``Exception.args`` (just the message), which would shift the
+        # message into the site_id slot.  Failures must cross process
+        # boundaries intact for the multiprocess transport, so spell
+        # the constructor arguments out explicitly.
+        return (type(self), (self.site_id, str(self)))
+
+
+class TransportError(SkallaError):
+    """A transport backend could not start or lost a worker permanently.
+
+    Transient per-call trouble (a crashed or hung worker) surfaces as
+    :class:`SiteFailure` so the retry loop handles it; this error means
+    the backend itself is unusable (e.g. the platform cannot spawn
+    subprocesses), at which point the multiprocess transport degrades to
+    in-process execution.
+    """
+
 
 class ParseError(SkallaError):
     """The SQL frontend could not parse the query text.

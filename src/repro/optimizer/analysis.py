@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.relational.expressions import (
-    And, Arith, BaseAttr, Comparison, DetailAttr, Expr, Func, InSet,
+    And, Arith, Comparison, DetailAttr, Expr, Func, InSet,
     Literal, Not, Or, conjuncts, disjuncts)
 from repro.distributed.partition import AttributeConstraint
 

@@ -1,14 +1,42 @@
-"""CSV import/export for relations.
+"""Relation interchange: CSV for humans, a compact binary codec for wires.
 
-A tiny, dependency-free interchange format so examples can persist data
-sets and users can inspect results.  The header row stores ``name:type``
-pairs so a round trip preserves the schema exactly.
+Two formats live here:
+
+* **CSV** (:func:`write_csv` / :func:`read_csv`) — a tiny,
+  dependency-free interchange format so examples can persist data sets
+  and users can inspect results.  The header row stores ``name:type``
+  pairs so a round trip preserves the schema exactly.
+
+* **SKRL binary** (:func:`encode_relation` / :func:`decode_relation`) —
+  the columnar wire format used by the multiprocess transport
+  (:mod:`repro.distributed.transport`) to ship relation payloads between
+  worker processes and the coordinator.  Fixed-width columns are raw
+  little-endian arrays; strings are a UTF-8 blob plus an offsets array.
+  The byte counts this codec produces are the *real* wire bytes the
+  transport metrics report next to the modeled
+  :meth:`~repro.relational.relation.Relation.wire_bytes` numbers.
+
+Layout of an encoded relation (all integers little-endian)::
+
+    magic   b"SKRL"          4 bytes
+    version u8               currently 1
+    nattrs  u32
+    nrows   u64
+    per attribute:
+        name_len u16, name utf-8 bytes, dtype_code u8
+    per column (schema order):
+        INT64/FLOAT64:  nrows × 8 raw bytes
+        BOOL:           nrows × 1 raw bytes
+        STRING:         (nrows + 1) × u32 offsets, then the UTF-8 blob
 """
 
 from __future__ import annotations
 
 import csv
+import struct
 from pathlib import Path
+
+import numpy as np
 
 from repro.errors import SchemaError
 from repro.relational.relation import Relation
@@ -65,3 +93,134 @@ def read_csv(path: str | Path) -> Relation:
                     f"expected {len(attributes)}")
             rows.append([parse(cell) for parse, cell in zip(parsers, row)])
     return Relation.from_rows(schema, rows)
+
+
+# ---------------------------------------------------------------------------
+# SKRL binary codec (the multiprocess transport's wire format)
+# ---------------------------------------------------------------------------
+
+_MAGIC = b"SKRL"
+_VERSION = 1
+
+#: Stable one-byte codes for each datatype (wire compatibility contract).
+_DTYPE_CODES = {
+    DataType.INT64: 0,
+    DataType.FLOAT64: 1,
+    DataType.STRING: 2,
+    DataType.BOOL: 3,
+}
+_CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
+
+_HEADER = struct.Struct("<4sBIQ")
+
+
+def encode_relation(relation: Relation) -> bytes:
+    """Serialize ``relation`` into the compact SKRL binary format.
+
+    The encoding is deterministic (same relation → same bytes) and
+    self-describing: :func:`decode_relation` recovers the schema exactly,
+    including attribute order, for any row count — zero rows included.
+    """
+    parts = [_HEADER.pack(_MAGIC, _VERSION, len(relation.schema),
+                          relation.num_rows)]
+    for attribute in relation.schema:
+        name_bytes = attribute.name.encode("utf-8")
+        if len(name_bytes) > 0xFFFF:
+            raise SchemaError(
+                f"attribute name too long to encode: {attribute.name!r}")
+        parts.append(struct.pack("<H", len(name_bytes)))
+        parts.append(name_bytes)
+        parts.append(struct.pack("<B", _DTYPE_CODES[attribute.dtype]))
+    for attribute in relation.schema:
+        array = relation.column(attribute.name)
+        if attribute.dtype is DataType.STRING:
+            encoded = [str(value).encode("utf-8") for value in array]
+            offsets = np.zeros(len(encoded) + 1, dtype=np.uint32)
+            if encoded:
+                np.cumsum([len(blob) for blob in encoded],
+                          out=offsets[1:], dtype=np.uint32)
+            parts.append(offsets.astype("<u4", copy=False).tobytes())
+            parts.append(b"".join(encoded))
+        elif attribute.dtype is DataType.BOOL:
+            parts.append(np.ascontiguousarray(
+                array, dtype=np.uint8).tobytes())
+        else:  # INT64 / FLOAT64: raw little-endian fixed width
+            little = "<i8" if attribute.dtype is DataType.INT64 else "<f8"
+            parts.append(np.ascontiguousarray(array).astype(
+                little, copy=False).tobytes())
+    return b"".join(parts)
+
+
+def decode_relation(data: bytes) -> Relation:
+    """Inverse of :func:`encode_relation`.
+
+    Raises :class:`~repro.errors.SchemaError` on a malformed or truncated
+    payload (wrong magic, unknown version/dtype code, short buffer).
+    """
+    view = memoryview(data)
+    if len(view) < _HEADER.size:
+        raise SchemaError("SKRL payload truncated before header")
+    magic, version, nattrs, nrows = _HEADER.unpack_from(view, 0)
+    if magic != _MAGIC:
+        raise SchemaError(f"bad SKRL magic {bytes(magic)!r}")
+    if version != _VERSION:
+        raise SchemaError(f"unsupported SKRL version {version}")
+    cursor = _HEADER.size
+    attributes: list[Attribute] = []
+    for __ in range(nattrs):
+        if cursor + 2 > len(view):
+            raise SchemaError("SKRL payload truncated in attribute table")
+        (name_len,) = struct.unpack_from("<H", view, cursor)
+        cursor += 2
+        if cursor + name_len + 1 > len(view):
+            raise SchemaError("SKRL payload truncated in attribute table")
+        name = bytes(view[cursor:cursor + name_len]).decode("utf-8")
+        cursor += name_len
+        code = view[cursor]
+        cursor += 1
+        try:
+            dtype = _CODE_DTYPES[code]
+        except KeyError:
+            raise SchemaError(f"unknown SKRL dtype code {code}") from None
+        attributes.append(Attribute(name, dtype))
+    schema = Schema(attributes)
+    columns: dict[str, np.ndarray] = {}
+    for attribute in attributes:
+        if attribute.dtype is DataType.STRING:
+            width = (nrows + 1) * 4
+            if cursor + width > len(view):
+                raise SchemaError(
+                    f"SKRL payload truncated in column {attribute.name!r}")
+            offsets = np.frombuffer(view, dtype="<u4", count=nrows + 1,
+                                    offset=cursor)
+            cursor += width
+            blob_len = int(offsets[-1]) if nrows else 0
+            if cursor + blob_len > len(view):
+                raise SchemaError(
+                    f"SKRL payload truncated in column {attribute.name!r}")
+            blob = bytes(view[cursor:cursor + blob_len])
+            cursor += blob_len
+            values = np.empty(nrows, dtype=object)
+            for index in range(nrows):
+                values[index] = blob[offsets[index]:offsets[index + 1]] \
+                    .decode("utf-8")
+            columns[attribute.name] = values
+        else:
+            if attribute.dtype is DataType.BOOL:
+                wire_dtype, width = "<u1", nrows
+            elif attribute.dtype is DataType.INT64:
+                wire_dtype, width = "<i8", nrows * 8
+            else:
+                wire_dtype, width = "<f8", nrows * 8
+            if cursor + width > len(view):
+                raise SchemaError(
+                    f"SKRL payload truncated in column {attribute.name!r}")
+            raw = np.frombuffer(view, dtype=wire_dtype, count=nrows,
+                                offset=cursor)
+            cursor += width
+            columns[attribute.name] = raw.astype(
+                attribute.dtype.numpy_dtype)
+    if cursor != len(view):
+        raise SchemaError(
+            f"SKRL payload has {len(view) - cursor} trailing bytes")
+    return Relation(schema, columns)

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.errors import SchemaError
 from repro.relational.schema import Attribute, Schema
-from repro.relational.types import DataType, coerce_array, infer_type
+from repro.relational.types import coerce_array, infer_type
 
 
 class Relation:

@@ -38,7 +38,7 @@ from repro.sql.ast import (
     Logical, Membership, Name, Negation, OrderItem, SelectStatement,
     SqlExpr)
 from repro.sql.lexer import (
-    EOF, IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING, Token, tokenize)
+    EOF, IDENT, NUMBER, OP, PUNCT, STRING, Token, tokenize)
 
 _COMPARISONS = {"=": "==", "==": "==", "<>": "!=", "!=": "!=",
                 "<": "<", "<=": "<=", ">": ">", ">=": ">="}

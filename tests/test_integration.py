@@ -66,6 +66,48 @@ class TestExperimentQueriesCorrect:
         assert result.relation.multiset_equals(reference)
 
 
+class TestTransportParityOnExperimentQueries:
+    """The experiment queries through every transport backend produce
+    bit-identical relations (the multiprocess acceptance criterion)."""
+
+    QUERIES = {
+        "correlated": lambda: correlated_query(["CustName"],
+                                               "ExtendedPrice"),
+        "coalescible": lambda: coalescible_query(
+            ["CustName"], "ExtendedPrice", r.Discount >= 0.05),
+        "combined": lambda: combined_query(
+            ["CustName"], "ExtendedPrice", r.Discount >= 0.05),
+    }
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_process_matches_inprocess(self, tpcr_warehouse, name):
+        engine = tpcr_warehouse.engine
+        query = self.QUERIES[name]()
+        for flags in (NO_OPTIMIZATIONS, ALL_OPTIMIZATIONS):
+            engine.use_transport("inprocess")
+            reference = engine.execute(query, flags).relation
+            engine.use_transport("process")
+            try:
+                under_process = engine.execute(query, flags).relation
+            finally:
+                engine.use_transport("inprocess")
+            assert under_process.multiset_equals(reference), (name, flags)
+            assert list(under_process.schema.names) == \
+                list(reference.schema.names)
+
+    def test_thread_matches_inprocess(self, tpcr_warehouse):
+        engine = tpcr_warehouse.engine
+        query = self.QUERIES["combined"]()
+        engine.use_transport("inprocess")
+        reference = engine.execute(query, ALL_OPTIMIZATIONS).relation
+        engine.use_transport("thread")
+        try:
+            under_thread = engine.execute(query, ALL_OPTIMIZATIONS).relation
+        finally:
+            engine.use_transport("inprocess")
+        assert under_thread.multiset_equals(reference)
+
+
 class TestSynchronizationCounts:
     def test_correlated_unoptimized_three_syncs(self, tpcr_warehouse):
         query = correlated_query(["CustName"], "ExtendedPrice")

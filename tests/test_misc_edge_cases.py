@@ -4,7 +4,6 @@ import re
 from pathlib import Path
 
 import numpy as np
-import pytest
 
 from repro.relational.aggregates import AggregateSpec, count_star
 from repro.relational.expressions import b, r

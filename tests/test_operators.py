@@ -1,6 +1,5 @@
 """Unit tests for classical relational operators."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ExpressionError, SchemaError

@@ -18,7 +18,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.relational.aggregates import (
     AggregateSpec, count_star, merge_grouped, primitive_reduce)
-from repro.relational.expressions import And, b, r
+from repro.relational.expressions import b, r
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.types import DataType

@@ -12,7 +12,7 @@ import pytest
 
 from repro.data.flows import generate_flows
 from repro.data.tpch import generate_tpcr
-from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.aggregates import count_star
 from repro.relational.operators import group_by
 
 

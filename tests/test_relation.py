@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import SchemaError
 from repro.relational.relation import Relation
-from repro.relational.schema import Attribute, Schema
+from repro.relational.schema import Attribute
 from repro.relational.types import DataType
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the Skalla site: local sub-aggregate computation."""
 
-import numpy as np
 import pytest
 
 from repro.errors import PlanError

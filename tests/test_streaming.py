@@ -7,8 +7,6 @@ from repro.relational.aggregates import count_star
 from repro.relational.expressions import b, r
 from repro.relational.relation import Relation
 from repro.core.builder import QueryBuilder, agg
-from repro.core.expression_tree import GmdjExpression, ProjectionBase
-from repro.core.gmdj import Gmdj
 from repro.distributed.coordinator import (
     Coordinator, IncrementalSynchronizer)
 from repro.distributed.engine import SkallaEngine

@@ -1,6 +1,5 @@
 """Tests for synchronization reduction guards (Prop. 2, Thm. 5, Cor. 1)."""
 
-import pytest
 
 from repro.relational.aggregates import count_star
 from repro.relational.expressions import b, r
@@ -136,7 +135,6 @@ class TestEndToEndSyncCounts:
         """Grouping on DestAS (not partitioned): Prop. 2 still applies but
         Cor. 1 cannot merge the rounds."""
         from repro.distributed.plan import OptimizationFlags
-        from repro.data.flows import router_as_ranges
         from repro.distributed.partition import partition_by_values
         from repro.distributed.engine import SkallaEngine
         partitions, info = partition_by_values(

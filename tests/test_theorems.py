@@ -8,13 +8,12 @@ in running code.
 import numpy as np
 import pytest
 
-from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.aggregates import count_star
 from repro.relational.expressions import b, r
 from repro.relational.relation import Relation
 from repro.core.builder import QueryBuilder, agg
 from repro.core.coalesce import coalesce_adjacent
 from repro.core.evaluator import STATES, evaluate_gmdj, finalize_states
-from repro.core.expression_tree import GmdjExpression, ProjectionBase
 from repro.core.gmdj import Gmdj
 from repro.distributed.engine import SkallaEngine
 from repro.distributed.partition import (
