@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` runs exactly what GitHub Actions runs.
 
-.PHONY: ci lint test bench
+.PHONY: ci lint test bench bench-cache
 
 ci:
 	sh scripts/ci.sh all
@@ -13,3 +13,7 @@ test:
 
 bench:
 	sh scripts/ci.sh bench
+
+# Full-scale cache benchmark (regenerates benchmarks/results/ext_cache.txt).
+bench-cache:
+	PYTHONPATH=src python -m pytest benchmarks/bench_ext_cache.py -q

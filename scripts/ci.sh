@@ -5,8 +5,9 @@
 #   scripts/ci.sh lint    ruff over src/, tests/, benchmarks/ (skipped
 #                         with a notice when ruff is not installed)
 #   scripts/ci.sh test    the tier-1 suite: PYTHONPATH=src pytest -x -q
-#   scripts/ci.sh bench   one benchmark file as a smoke test, at a
-#                         reduced row count so it finishes in seconds
+#   scripts/ci.sh bench   the transport and cache benchmarks as smoke
+#                         tests, at a reduced row count so they finish
+#                         in seconds
 #   scripts/ci.sh all     lint + test + bench (the default)
 #
 # Exit code: non-zero as soon as any stage fails.
@@ -36,6 +37,10 @@ bench() {
     echo "== bench: transport smoke =="
     REPRO_BENCH_ROWS=${REPRO_BENCH_ROWS:-8000} \
         "$PYTHON" -m pytest benchmarks/bench_ext_transport.py -x -q \
+        --benchmark-disable
+    echo "== bench: cache smoke =="
+    REPRO_BENCH_ROWS=${REPRO_BENCH_ROWS:-8000} \
+        "$PYTHON" -m pytest benchmarks/bench_ext_cache.py -x -q \
         --benchmark-disable
 }
 

@@ -113,10 +113,18 @@ def run_once(warehouse: Warehouse, expression: GmdjExpression,
              flags: OptimizationFlags,
              sites: Sequence[int] | None = None,
              label: str = "") -> dict[str, object]:
-    """One execution, summarized into a flat row."""
+    """One execution, exported into a flat row.
+
+    Uses :meth:`QueryMetrics.as_dict` — the same JSON-ready export CI
+    artifacts and dashboards consume — and flattens it for the bench
+    tables (the per-phase breakdown stays available under ``"phases"``
+    but is not rendered by :func:`format_table`).
+    """
     result = warehouse.engine.execute(expression, flags, sites=sites)
     row: dict[str, object] = {"config": label or flags.describe()}
-    row.update(result.metrics.summary())
+    exported = result.metrics.as_dict()
+    exported.pop("phases")
+    row.update(exported)
     return row
 
 

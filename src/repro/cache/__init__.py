@@ -1,0 +1,60 @@
+"""Sub-aggregate result cache with incremental (delta) maintenance.
+
+Skalla's Theorem 1 makes a site's sub-aggregate **mergeable** — that is
+what lets the coordinator combine per-site contributions into
+super-aggregates.  The same algebra makes a sub-aggregate **reusable**
+(an identical round over an unchanged fragment returns the identical
+relation) and **delta-maintainable** (appended rows form just another
+horizontal fragment, so the cached sub-result merges with the delta's
+sub-result instead of rescanning).  This package exploits all three:
+
+* :mod:`repro.cache.fingerprint` — canonical identity of one round of
+  site work (plan fragment + shipped-structure content + site id);
+* :mod:`repro.cache.versioning` — per-site fragment version counters
+  and the retained append-delta log;
+* :mod:`repro.cache.store` — the memory-budgeted LRU
+  :class:`~repro.cache.store.CacheStore` with SKRL-codec byte
+  accounting;
+* :mod:`repro.cache.maintenance` — the delta-merge rules (and their
+  documented boundary: non-decomposable aggregates and Thm.-5
+  multi-GMDJ steps fall back to full recompute);
+* :mod:`repro.cache.manager` — the
+  :class:`~repro.cache.manager.SubAggregateCache` facade the engine
+  consults per site request.
+
+Enable it with ``SkallaEngine(..., cache=True)`` /
+``engine.enable_cache()`` or the CLI's ``--cache`` flag; see
+docs/CACHING.md for semantics and guarantees.
+"""
+
+from repro.cache.fingerprint import (
+    FINGERPRINT_VERSION, fingerprint_request, relation_content_hash)
+from repro.cache.maintenance import (
+    delta_mergeable, evaluate_delta, merge_sub_results)
+from repro.cache.manager import (
+    CacheDecision, DELTA, HIT, MISS, SubAggregateCache)
+from repro.cache.store import (
+    CacheEntry, CacheStore, DEFAULT_BUDGET_BYTES, encoded_size)
+from repro.cache.versioning import (
+    DEFAULT_DELTA_BUDGET_BYTES, DeltaLog, DeltaRecord)
+
+__all__ = [
+    "CacheDecision",
+    "CacheEntry",
+    "CacheStore",
+    "DEFAULT_BUDGET_BYTES",
+    "DEFAULT_DELTA_BUDGET_BYTES",
+    "DELTA",
+    "DeltaLog",
+    "DeltaRecord",
+    "FINGERPRINT_VERSION",
+    "HIT",
+    "MISS",
+    "SubAggregateCache",
+    "delta_mergeable",
+    "encoded_size",
+    "evaluate_delta",
+    "fingerprint_request",
+    "merge_sub_results",
+    "relation_content_hash",
+]

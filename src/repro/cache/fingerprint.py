@@ -1,0 +1,82 @@
+"""Canonical fingerprints for site sub-aggregate computations.
+
+A site's contribution to one evaluation round is a pure function of
+
+* **what** is asked — the round kind (base round vs plan step), the
+  plan fragment (GMDJs / base query), the shipped attribute list, and
+  whether distribution-independent group reduction filters the output;
+* **the shipped base structure** — for non-``include_base`` steps the
+  coordinator ships the current base-result structure ``X`` (possibly
+  filtered per site by the distribution-aware ¬ψ_i rewrite), and the
+  sub-result depends on its exact content;
+* **which fragment** it runs over — the site id plus the fragment's
+  version (tracked separately by
+  :mod:`repro.cache.versioning`, *not* folded into the fingerprint so a
+  stale entry can still be located and delta-upgraded).
+
+Semantically identical rounds therefore hash identically even across
+separately-built plans, engines, and transports: the fingerprint is a
+SHA-256 over a canonical byte encoding — plan fragments via
+deterministic pickling of the (frozen, dataclass-based) operator trees,
+relation content via the SKRL binary codec
+(:func:`repro.relational.io.encode_relation`), which is itself a
+canonical columnar byte layout.
+
+A fingerprint that spuriously *differs* (e.g. two structurally equal
+plans pickling differently due to shared-subtree memoization) costs a
+cache miss, never a wrong answer; a fingerprint can only *collide* if
+SHA-256 collides.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+from repro.relational.relation import Relation
+from repro.distributed.transport.base import SiteRequest
+
+#: Bump when the canonical encoding changes, so persisted or shared
+#: fingerprints from older layouts can never alias new ones.
+FINGERPRINT_VERSION = 1
+
+#: Pickle protocol pinned for byte stability across Python 3.10–3.12.
+_PICKLE_PROTOCOL = 4
+
+
+def relation_content_hash(relation: Relation) -> str:
+    """SHA-256 over the relation's canonical SKRL byte encoding.
+
+    Schema (names, dtypes, order), row order, and every cell value all
+    contribute; two relations hash equal iff their canonical encodings
+    are byte-identical.
+    """
+    from repro.relational.io import encode_relation
+    return hashlib.sha256(encode_relation(relation)).hexdigest()
+
+
+def fingerprint_request(request: SiteRequest) -> str:
+    """Fingerprint one :class:`SiteRequest` (site work unit).
+
+    The shipped base relation is hashed by *content* (SKRL bytes), so a
+    re-executed query whose intermediate structure ``X`` comes out
+    identical hits even though the relation object is new.
+    """
+    structure_hash = (None if request.base_relation is None
+                      else relation_content_hash(request.base_relation))
+    payload = (
+        FINGERPRINT_VERSION,
+        request.kind,
+        int(request.site_id),
+        pickle.dumps(request.base_query, protocol=_PICKLE_PROTOCOL),
+        pickle.dumps(request.step, protocol=_PICKLE_PROTOCOL),
+        tuple(request.ship_attrs),
+        bool(request.independent_reduction),
+        structure_hash,
+    )
+    blob = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+    return hashlib.sha256(blob).hexdigest()
+
+
+__all__ = ["FINGERPRINT_VERSION", "fingerprint_request",
+           "relation_content_hash"]

@@ -1,0 +1,195 @@
+"""The engine-facing facade: fingerprint → decision → fulfillment.
+
+One :class:`SubAggregateCache` serves one
+:class:`~repro.distributed.engine.SkallaEngine`.  It is hosted on the
+coordinator side, *above* the transport — the coordinator is where the
+sub-results land anyway, so caching there lets every backend
+(inprocess / thread / process) skip the whole site call on a hit: no
+fragment scan, no serialization, no IPC, and no modeled *or* real bytes
+on the wire.  Conceptually each entry is the site's own memoized
+answer; hosting the memo at the coordinator merely moves it to the hub
+the star topology already funnels everything through (see
+docs/CACHING.md for the trade-off discussion).
+
+Lookup outcomes per site request:
+
+* :data:`HIT` — fingerprint present at the site's current fragment
+  version.  The stored relation is returned as-is (relations are
+  immutable), bit-identical to what the round would recompute.
+* :data:`DELTA` — fingerprint present at an older version, the round is
+  delta-mergeable, and the version gap is covered by retained appends.
+  The round is evaluated over only the delta rows and merged into the
+  entry (Theorem 1 over the {old fragment, delta} partition).
+* :data:`MISS` — no entry, a non-mergeable stale entry, or a pruned
+  delta gap.  The engine dispatches the request to the transport as
+  usual and populates the cache from the response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.distributed.messages import SiteId
+from repro.distributed.transport.base import SiteRequest
+from repro.cache.fingerprint import fingerprint_request
+from repro.cache.maintenance import (
+    delta_mergeable, evaluate_delta, merge_sub_results)
+from repro.cache.store import CacheEntry, CacheStore, DEFAULT_BUDGET_BYTES
+from repro.cache.versioning import DEFAULT_DELTA_BUDGET_BYTES, DeltaLog
+
+HIT = "hit"
+DELTA = "delta"
+MISS = "miss"
+
+
+@dataclass
+class CacheDecision:
+    """What the cache can do for one site request."""
+
+    request: SiteRequest
+    outcome: str
+    fingerprint: str
+    current_version: int
+    entry: CacheEntry | None = None
+    delta: Relation | None = None
+
+    @property
+    def site_id(self) -> SiteId:
+        return self.request.site_id
+
+
+@dataclass
+class SubAggregateCache:
+    """Sub-aggregate result cache with incremental maintenance."""
+
+    budget_bytes: int = DEFAULT_BUDGET_BYTES
+    delta_budget_bytes: int = DEFAULT_DELTA_BUDGET_BYTES
+    store: CacheStore = None  # type: ignore[assignment]
+    log: DeltaLog = None  # type: ignore[assignment]
+    #: lifetime counters (per-execution counts live in QueryMetrics)
+    hits: int = 0
+    misses: int = 0
+    delta_merges: int = 0
+    full_recomputes_after_append: int = 0
+    #: modeled wire bytes that never moved thanks to hits/deltas
+    bytes_saved: int = 0
+    _appended_sites: set = field(default_factory=set)
+
+    def __post_init__(self):
+        if self.store is None:
+            self.store = CacheStore(budget_bytes=self.budget_bytes)
+        if self.log is None:
+            self.log = DeltaLog(max_bytes_per_site=self.delta_budget_bytes)
+
+    # -- ingest ------------------------------------------------------------
+
+    def on_append(self, site_id: SiteId, rows: Relation) -> int:
+        """Bump the site's fragment version, retaining the delta."""
+        self._appended_sites.add(site_id)
+        return self.log.record_append(site_id, rows)
+
+    def version(self, site_id: SiteId) -> int:
+        return self.log.version(site_id)
+
+    # -- lookup ------------------------------------------------------------
+
+    def decide(self, request: SiteRequest) -> CacheDecision:
+        """Classify one site request as hit / delta-mergeable / miss."""
+        fingerprint = fingerprint_request(request)
+        current = self.log.version(request.site_id)
+        entry = self.store.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return CacheDecision(request, MISS, fingerprint, current)
+        if entry.version == current:
+            self.hits += 1
+            entry.hits += 1
+            return CacheDecision(request, HIT, fingerprint, current,
+                                 entry=entry)
+        if delta_mergeable(request):
+            delta = self.log.deltas_between(request.site_id, entry.version,
+                                            current)
+            if delta is not None:
+                return CacheDecision(request, DELTA, fingerprint, current,
+                                     entry=entry, delta=delta)
+        # Stale and not upgradable: the entry can never become current
+        # again (versions only grow), so free its budget now.
+        self.store.drop(fingerprint)
+        self.misses += 1
+        self.full_recomputes_after_append += 1
+        return CacheDecision(request, MISS, fingerprint, current)
+
+    # -- fulfillment -------------------------------------------------------
+
+    def fulfill_hit(self, decision: CacheDecision) -> Relation:
+        """The cached sub-result (immutable; shared by reference)."""
+        assert decision.entry is not None
+        self.bytes_saved += decision.entry.relation.wire_bytes()
+        return decision.entry.relation
+
+    def apply_delta(self, decision: CacheDecision, key: Sequence[str],
+                    detail_schema: Schema, slowdown: float = 1.0,
+                    ) -> tuple[Relation, Relation, float, float]:
+        """Evaluate over the delta and merge into the cached entry.
+
+        Returns ``(merged, delta_sub_result, site_seconds,
+        merge_seconds)``.  The upgraded entry sits at the site's current
+        fragment version, so the next lookup is a pure hit.
+        """
+        assert decision.entry is not None and decision.delta is not None
+        delta_result, site_seconds = evaluate_delta(
+            decision.request, decision.delta, slowdown)
+        merged, merge_seconds = merge_sub_results(
+            decision.request, decision.entry.relation, delta_result,
+            key, detail_schema)
+        self.store.upgrade(decision.entry, decision.current_version, merged)
+        self.delta_merges += 1
+        # Only the delta sub-aggregate travels instead of the full one.
+        self.bytes_saved += max(
+            0, merged.wire_bytes() - delta_result.wire_bytes())
+        return merged, delta_result, site_seconds, merge_seconds
+
+    def populate(self, decision: CacheDecision,
+                 relation: Relation) -> None:
+        """Store a freshly computed sub-result at the current version."""
+        self.store.put(decision.fingerprint, decision.request.site_id,
+                       decision.current_version, relation)
+
+    # -- retention ---------------------------------------------------------
+
+    def prune_deltas(self) -> None:
+        """Drop retained deltas no live entry can still consume."""
+        for site_id in list(self._appended_sites):
+            self.log.prune_below(site_id, self.store.min_version(site_id))
+
+    def clear(self) -> None:
+        self.store.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        stats = dict(self.store.stats())
+        stats.update({
+            "hits": self.hits,
+            "misses": self.misses,
+            "delta_merges": self.delta_merges,
+            "full_recomputes_after_append":
+                self.full_recomputes_after_append,
+            "bytes_saved": self.bytes_saved,
+            "retained_delta_bytes": self.log.retained_bytes(),
+        })
+        return stats
+
+    def describe(self) -> str:
+        stats = self.stats()
+        return (f"sub-aggregate cache: {stats['entries']} entries, "
+                f"{stats['used_bytes']:,}/{stats['budget_bytes']:,} B, "
+                f"{stats['hits']} hits / {stats['misses']} misses / "
+                f"{stats['delta_merges']} delta merges, "
+                f"{stats['bytes_saved']:,} B saved")
+
+
+__all__ = ["CacheDecision", "DELTA", "HIT", "MISS", "SubAggregateCache"]

@@ -96,6 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "site, real serialized bytes)")
     query.add_argument("--streaming", action="store_true",
                        help="incremental synchronization")
+    query.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="enable the coordinator-side sub-aggregate "
+                            "cache (reuses per-site sub-results across "
+                            "repeated rounds; --no-cache disables)")
+    query.add_argument("--cache-budget-mb", type=float, default=64.0,
+                       help="cache memory budget in MiB of SKRL-encoded "
+                            "sub-results (default 64)")
+    query.add_argument("--repeat", type=int, default=1,
+                       help="execute the query N times in one process "
+                            "(warm runs demonstrate the cache; the last "
+                            "run's result is printed)")
     query.add_argument("--limit", type=int, default=20,
                        help="rows to print (default 20)")
     query.add_argument("--explain", action="store_true",
@@ -176,11 +188,16 @@ def _resolve_flags(name: str) -> OptimizationFlags:
 def _cmd_query(args) -> int:
     engine = load_warehouse(args.warehouse)
     engine.use_transport(args.transport)
+    if args.cache:
+        engine.enable_cache(budget_mb=args.cache_budget_mb)
     compiled = compile_query(args.sql, engine.detail_schema)
     expression = compiled.expression
     flags = _resolve_flags(args.optimize)
+    repeats = max(1, args.repeat)
     try:
-        result = engine.execute(expression, flags, streaming=args.streaming)
+        for __ in range(repeats):
+            result = engine.execute(expression, flags,
+                                    streaming=args.streaming)
     finally:
         engine.close()
     if args.explain:
@@ -202,6 +219,13 @@ def _cmd_query(args) -> int:
               f"serialized; {metrics.real_seconds:.3f}s measured; "
               f"{metrics.retries} retry(ies), "
               f"{metrics.worker_respawns} respawn(s)")
+    if metrics.cache_enabled:
+        print(f"cache: {metrics.cache_hits} hit(s), "
+              f"{metrics.cache_misses} miss(es), "
+              f"{metrics.cache_delta_merges} delta merge(s); "
+              f"{metrics.site_scans} site scan(s); "
+              f"{metrics.cache_bytes_saved:,} bytes saved "
+              f"[{engine.cache.describe()}]")
     return 0
 
 

@@ -39,10 +39,13 @@ from typing import Mapping, Sequence
 from repro.errors import PartitionError, PlanError, SchemaError
 from repro.relational.expressions import Expr, evaluate_predicate
 from repro.relational.relation import Relation
+from repro.cache import DELTA, HIT, MISS, SubAggregateCache
+from repro.cache.manager import CacheDecision
 from repro.core.expression_tree import GmdjExpression, RelationBase
 from repro.distributed.coordinator import Coordinator
 from repro.distributed.messages import (
-    COORDINATOR, SiteId, control_message, relation_message)
+    CONTROL_MESSAGE_BYTES, COORDINATOR, ENVELOPE_BYTES, SiteId,
+    control_message, relation_message)
 from repro.distributed.metrics import PhaseMetrics, QueryMetrics
 from repro.distributed.network import ComputeModel, LinkModel, SimulatedNetwork
 from repro.distributed.partition import DistributionInfo
@@ -90,7 +93,9 @@ class SkallaEngine:
                  parallel_sites: bool = False,
                  transport: "str | Transport | None" = None,
                  retry_policy: RetryPolicy | None = None,
-                 transport_options: Mapping[str, object] | None = None):
+                 transport_options: Mapping[str, object] | None = None,
+                 cache: "bool | SubAggregateCache" = False,
+                 cache_budget_mb: float = 64.0):
         if not partitions:
             raise PlanError("a warehouse needs at least one site")
         schemas = {fragment.schema for fragment in partitions.values()}
@@ -122,8 +127,45 @@ class SkallaEngine:
         self._transport_spec = transport
         self._transport_options = dict(transport_options or {})
         self._transport: Transport | None = None
+        #: optional sub-aggregate result cache (``None`` = disabled).
+        self._cache: SubAggregateCache | None = None
+        if isinstance(cache, SubAggregateCache):
+            self._cache = cache
+        elif cache:
+            self.enable_cache(budget_mb=cache_budget_mb)
         if info is not None and verify_info:
             info.verify(partitions)
+
+    # -- sub-aggregate cache -----------------------------------------------------
+
+    @property
+    def cache(self) -> SubAggregateCache | None:
+        """The sub-aggregate cache, or ``None`` when caching is off."""
+        return self._cache
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache is not None
+
+    def enable_cache(self, budget_mb: float = 64.0,
+                     delta_budget_mb: float = 16.0) -> SubAggregateCache:
+        """Attach a sub-aggregate result cache (idempotent).
+
+        ``budget_mb`` bounds the LRU store (SKRL-encoded bytes);
+        ``delta_budget_mb`` bounds retained append-deltas per site.
+        Fragment versions start counting from the moment of enabling.
+        """
+        if self._cache is None:
+            if budget_mb <= 0:
+                raise PlanError("cache budget must be positive")
+            self._cache = SubAggregateCache(
+                budget_bytes=int(budget_mb * 1024 * 1024),
+                delta_budget_bytes=int(delta_budget_mb * 1024 * 1024))
+        return self._cache
+
+    def disable_cache(self) -> None:
+        """Detach (and drop) the sub-aggregate cache."""
+        self._cache = None
 
     # -- transport lifecycle -----------------------------------------------------
 
@@ -197,11 +239,14 @@ class SkallaEngine:
                         f"constraint on {attr!r}: {list(bad)}")
         site = self.sites[site_id]
         site.fragment = site.fragment.union_all(rows)
-        # Worker processes hold a snapshot of the fragment; force a
-        # respawn so the next round sees the appended rows.
-        if self._transport is not None and hasattr(self._transport,
-                                                   "invalidate"):
-            self._transport.invalidate()
+        # Bump the site's fragment version and retain the delta so
+        # cached sub-results can be upgraded instead of recomputed.
+        if self._cache is not None:
+            self._cache.on_append(site_id, rows)
+        # Backends that snapshot fragments (worker processes) must
+        # refresh — but only the appended site's worker, not the pool.
+        if self._transport is not None:
+            self._transport.invalidate([site_id])
 
     def total_detail_relation(self,
                               sites: Sequence[SiteId] | None = None) -> Relation:
@@ -268,7 +313,8 @@ class SkallaEngine:
             num_sites=max(self.sites) + 1, link=self.link)
         metrics = QueryMetrics(log=network.log,
                                num_participating_sites=len(participating),
-                               transport=self.transport_name)
+                               transport=self.transport_name,
+                               cache_enabled=self._cache is not None)
         coordinator = Coordinator(expression, self.detail_schema)
         round_index = 0
 
@@ -278,32 +324,38 @@ class SkallaEngine:
             coordinator.set_base(expression.base.relation)
         elif not first_step.include_base:
             phase = PhaseMetrics("base round")
-            for site_id in participating:
-                network.send(control_message(
-                    COORDINATOR, site_id, round_index, "ship base query"))
-            phase.communication_seconds += network.end_phase()
             requests = [SiteRequest(site_id=sid, kind="base",
                                     base_query=expression.base)
                         for sid in participating]
-            outputs = self._run_on_sites(metrics, phase, network, requests,
-                                         base_rows=0)
+            decisions = self._classify(requests)
+            for site_id in participating:
+                if self._needs_dispatch(decisions, site_id):
+                    network.send(control_message(
+                        COORDINATOR, site_id, round_index,
+                        "ship base query"))
+                else:
+                    # a hit/delta round needs no kick-off message
+                    phase.cache_bytes_saved += (CONTROL_MESSAGE_BYTES
+                                                + ENVELOPE_BYTES)
+            phase.communication_seconds += network.end_phase()
+            outputs = self._fulfill_round(
+                metrics, phase, network, requests, decisions,
+                base_rows=0, round_index=round_index, key=expression.key,
+                uplink_kind="base_result",
+                uplink_note="local base-values result")
             fragments = []
             site_seconds = 0.0
             for site_id in participating:
                 response = outputs[site_id]
                 site_seconds = max(site_seconds, response.compute_seconds)
                 fragments.append(response.relation)
-                network.send(relation_message(
-                    site_id, COORDINATOR, "base_result", response.relation,
-                    round_index, "local base-values result",
-                    real_bytes=response.response_bytes or None))
             phase.site_seconds = site_seconds
             phase.communication_seconds += network.end_phase()
             __, coordinator_seconds = coordinator.synchronize_base(fragments)
             if self.compute_model is not None:
                 coordinator_seconds = self.compute_model.seconds(
                     sum(fragment.num_rows for fragment in fragments), 0)
-            phase.coordinator_seconds = coordinator_seconds
+            phase.coordinator_seconds += coordinator_seconds
             metrics.phases.append(phase)
             metrics.num_synchronizations += 1
             round_index += 1
@@ -317,21 +369,13 @@ class SkallaEngine:
 
             if step.include_base:
                 for site_id in step_participants:
-                    network.send(control_message(
-                        COORDINATOR, site_id, round_index,
-                        "ship plan step (local base)"))
                     shipped[site_id] = None
             else:
                 current = coordinator.final_result()
                 filters = plan.site_filters.get(step_index, {})
                 for site_id in step_participants:
-                    to_ship = self._filter_for_site(
+                    shipped[site_id] = self._filter_for_site(
                         current, filters.get(site_id))
-                    shipped[site_id] = to_ship
-                    network.send(relation_message(
-                        COORDINATOR, site_id, "base_structure", to_ship,
-                        round_index, "base-result structure"))
-            phase.communication_seconds += network.end_phase()
 
             ship_attrs = (expression.base_schema(self.detail_schema).names
                           if step.include_base else expression.key)
@@ -344,19 +388,39 @@ class SkallaEngine:
                 base_query=expression.base,
                 independent_reduction=plan.flags.group_reduction_independent)
                 for sid in step_participants]
-            outputs = self._run_on_sites(metrics, phase, network, requests,
-                                         base_rows=base_rows)
+            decisions = self._classify(requests)
+
+            for site_id in step_participants:
+                if self._needs_dispatch(decisions, site_id):
+                    if step.include_base:
+                        network.send(control_message(
+                            COORDINATOR, site_id, round_index,
+                            "ship plan step (local base)"))
+                    else:
+                        network.send(relation_message(
+                            COORDINATOR, site_id, "base_structure",
+                            shipped[site_id], round_index,
+                            "base-result structure"))
+                else:
+                    # the site's cached round already holds this exact
+                    # structure (the fingerprint includes its content)
+                    to_ship = shipped[site_id]
+                    saved = (CONTROL_MESSAGE_BYTES if to_ship is None
+                             else to_ship.wire_bytes())
+                    phase.cache_bytes_saved += saved + ENVELOPE_BYTES
+            phase.communication_seconds += network.end_phase()
+
+            outputs = self._fulfill_round(
+                metrics, phase, network, requests, decisions,
+                base_rows=base_rows, round_index=round_index,
+                key=expression.key, uplink_kind="sub_aggregates",
+                uplink_note="sub-aggregate results")
             sub_results = []
             site_seconds = []
             for site_id in step_participants:
                 response = outputs[site_id]
                 site_seconds.append(response.compute_seconds)
                 sub_results.append(response.relation)
-                network.send(relation_message(
-                    site_id, COORDINATOR, "sub_aggregates",
-                    response.relation, round_index,
-                    "sub-aggregate results",
-                    real_bytes=response.response_bytes or None))
 
             if streaming:
                 network.end_phase()  # bytes are already logged; timing
@@ -371,13 +435,97 @@ class SkallaEngine:
                 if self.compute_model is not None:
                     coordinator_seconds = self.compute_model.seconds(
                         sum(h.num_rows for h in sub_results), 0)
-                phase.coordinator_seconds = coordinator_seconds
+                phase.coordinator_seconds += coordinator_seconds
             metrics.phases.append(phase)
             metrics.num_synchronizations += 1
             round_index += 1
 
+        if self._cache is not None:
+            self._cache.prune_deltas()
         result = coordinator.final_result()
         return ExecutionResult(result, metrics, plan)
+
+    # -- cache-aware round fulfilment -------------------------------------------
+
+    def _classify(self, requests: Sequence[SiteRequest],
+                  ) -> "dict[SiteId, CacheDecision] | None":
+        """Consult the sub-aggregate cache for one round of requests."""
+        if self._cache is None:
+            return None
+        return {request.site_id: self._cache.decide(request)
+                for request in requests}
+
+    @staticmethod
+    def _needs_dispatch(decisions: "dict[SiteId, CacheDecision] | None",
+                        site_id: SiteId) -> bool:
+        """Whether the round must actually reach the site's executor."""
+        return decisions is None or decisions[site_id].outcome == MISS
+
+    def _fulfill_round(self, metrics: QueryMetrics, phase: PhaseMetrics,
+                       network: SimulatedNetwork,
+                       requests: Sequence[SiteRequest],
+                       decisions: "dict[SiteId, CacheDecision] | None",
+                       base_rows: int, round_index: int,
+                       key: Sequence[str], uplink_kind: str,
+                       uplink_note: str) -> dict[SiteId, SiteResponse]:
+        """Serve one round through the cache, then the transport.
+
+        Misses go to the transport exactly as before (and populate the
+        cache afterwards); hits are answered from the store with no site
+        scan and no transfer; delta-mergeable stale entries are upgraded
+        by evaluating the round over only the retained delta rows — only
+        the delta sub-aggregate travels (``delta_<kind>`` messages).
+        """
+        misses = [request for request in requests
+                  if self._needs_dispatch(decisions, request.site_id)]
+        outputs: dict[SiteId, SiteResponse] = {}
+        if misses:
+            outputs = self._run_on_sites(metrics, phase, network, misses,
+                                         base_rows=base_rows)
+        phase.site_scans += len(misses)
+        responses: dict[SiteId, SiteResponse] = {}
+        for request in requests:
+            site_id = request.site_id
+            decision = decisions[site_id] if decisions is not None else None
+            if decision is None or decision.outcome == MISS:
+                response = outputs[site_id]
+                if decision is not None:
+                    phase.cache_misses += 1
+                    self._cache.populate(decision, response.relation)
+                network.send(relation_message(
+                    site_id, COORDINATOR, uplink_kind, response.relation,
+                    round_index, uplink_note,
+                    real_bytes=response.response_bytes or None))
+            elif decision.outcome == HIT:
+                relation = self._cache.fulfill_hit(decision)
+                response = SiteResponse(site_id=site_id, relation=relation,
+                                        compute_seconds=0.0)
+                phase.cache_hits += 1
+                phase.cache_bytes_saved += (relation.wire_bytes()
+                                            + ENVELOPE_BYTES)
+            else:  # DELTA: incremental maintenance (Theorem 1 over
+                # the {old fragment, appended delta} partition)
+                assert decision.outcome == DELTA
+                site = self.sites[site_id]
+                merged, delta_result, delta_seconds, merge_seconds = \
+                    self._cache.apply_delta(decision, key,
+                                            self.detail_schema,
+                                            site.slowdown)
+                if self.compute_model is not None:
+                    delta_seconds = self.compute_model.seconds(
+                        decision.delta.num_rows, base_rows) * site.slowdown
+                response = SiteResponse(site_id=site_id, relation=merged,
+                                        compute_seconds=delta_seconds)
+                phase.cache_delta_merges += 1
+                phase.coordinator_seconds += merge_seconds
+                network.send(relation_message(
+                    site_id, COORDINATOR, f"delta_{uplink_kind}",
+                    delta_result, round_index,
+                    f"delta {uplink_note} (incremental maintenance)"))
+                phase.cache_bytes_saved += max(
+                    0, merged.wire_bytes() - delta_result.wire_bytes())
+            responses[site_id] = response
+        return responses
 
     def _run_on_sites(self, metrics: QueryMetrics, phase: PhaseMetrics,
                       network: SimulatedNetwork,
@@ -452,7 +600,9 @@ class SkallaEngine:
         slowest = max(site_seconds, default=0.0)
         phase.site_seconds = slowest
         phase.communication_seconds += max(0.0, last_arrival - slowest)
-        phase.coordinator_seconds = makespan - max(last_arrival, slowest)
+        # += so coordinator-side delta-merge work accounted by the cache
+        # path survives when streaming synchronization is also on.
+        phase.coordinator_seconds += makespan - max(last_arrival, slowest)
 
     @staticmethod
     def _filter_for_site(structure: Relation,

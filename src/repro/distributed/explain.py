@@ -38,6 +38,17 @@ def explain_analyze(result: ExecutionResult) -> str:
             f"{phase.coordinator_seconds:>8.4f} "
             f"{phase.communication_seconds:>8.4f} "
             f"{phase.total_seconds:>8.4f}")
+    if metrics.cache_enabled:
+        lines.append("")
+        lines.append("sub-aggregate cache:")
+        lines.append(f"  hits           : {metrics.cache_hits}")
+        lines.append(f"  misses         : {metrics.cache_misses}")
+        lines.append(f"  delta merges   : {metrics.cache_delta_merges}")
+        lines.append(f"  site scans     : {metrics.site_scans}")
+        lines.append(f"  bytes saved    : {metrics.cache_bytes_saved:,} B")
+        scans = [f"{phase.name}={phase.site_scans}"
+                 for phase in metrics.phases]
+        lines.append(f"  scans per phase: {', '.join(scans)}")
     lines.append("")
     lines.append("traffic:")
     lines.append(f"  to coordinator : {metrics.bytes_to_coordinator:,} B")

@@ -41,11 +41,37 @@ class PhaseMetrics:
     real_seconds: float = 0.0
     #: real serialized bytes moved by the transport for this round.
     real_bytes: int = 0
+    #: full-fragment site scans actually dispatched this round (cache
+    #: hits and delta merges do not scan the fragment).
+    site_scans: int = 0
+    #: sub-aggregate cache outcomes for this round (0 when disabled).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_delta_merges: int = 0
+    #: modeled wire bytes that did not travel thanks to the cache.
+    cache_bytes_saved: int = 0
 
     @property
     def total_seconds(self) -> float:
         return (self.site_seconds + self.coordinator_seconds
                 + self.communication_seconds)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready export of this phase (modeled + real + cache)."""
+        return {
+            "name": self.name,
+            "site_seconds": round(self.site_seconds, 6),
+            "coordinator_seconds": round(self.coordinator_seconds, 6),
+            "communication_seconds": round(self.communication_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+            "real_seconds": round(self.real_seconds, 6),
+            "real_bytes": self.real_bytes,
+            "site_scans": self.site_scans,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_delta_merges": self.cache_delta_merges,
+            "cache_bytes_saved": self.cache_bytes_saved,
+        }
 
 
 @dataclass
@@ -62,6 +88,8 @@ class QueryMetrics:
     transport: str = "inprocess"
     #: worker processes respawned after crashes/hangs (process transport)
     worker_respawns: int = 0
+    #: whether the sub-aggregate cache was consulted for this execution
+    cache_enabled: bool = False
 
     # -- time -------------------------------------------------------------
 
@@ -121,6 +149,30 @@ class QueryMetrics:
         """Groups transferred in either direction (Fig. 2's unit)."""
         return self.log.rows_shipped()
 
+    # -- sub-aggregate cache ------------------------------------------------
+
+    @property
+    def site_scans(self) -> int:
+        """Full-fragment site scans dispatched (0 on a fully warm run)."""
+        return sum(phase.site_scans for phase in self.phases)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(phase.cache_hits for phase in self.phases)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(phase.cache_misses for phase in self.phases)
+
+    @property
+    def cache_delta_merges(self) -> int:
+        return sum(phase.cache_delta_merges for phase in self.phases)
+
+    @property
+    def cache_bytes_saved(self) -> int:
+        """Modeled wire bytes that never traveled thanks to the cache."""
+        return sum(phase.cache_bytes_saved for phase in self.phases)
+
     def summary(self) -> dict[str, object]:
         """A flat dict of the headline numbers (handy for bench tables)."""
         return {
@@ -139,4 +191,21 @@ class QueryMetrics:
             "real_seconds": round(self.real_seconds, 6),
             "real_bytes": self.real_bytes,
             "worker_respawns": self.worker_respawns,
+            "site_scans": self.site_scans,
+            "cache_enabled": self.cache_enabled,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_delta_merges": self.cache_delta_merges,
+            "cache_bytes_saved": self.cache_bytes_saved,
         }
+
+    def as_dict(self) -> dict[str, object]:
+        """Full JSON export: the summary plus every phase's breakdown.
+
+        ``json.dumps(metrics.as_dict())`` round-trips: every value is a
+        plain str/int/float/bool.  Used by the benchmark harness instead
+        of ad-hoc formatting, and handy for dashboards and CI artifacts.
+        """
+        exported = self.summary()
+        exported["phases"] = [phase.as_dict() for phase in self.phases]
+        return exported

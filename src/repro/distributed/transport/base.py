@@ -191,6 +191,18 @@ class Transport(abc.ABC):
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def invalidate(self, site_ids: "Sequence[SiteId] | None" = None) -> None:
+        """Refresh any backend-held snapshot of the given sites.
+
+        Part of the transport contract: the engine calls this after a
+        fragment changes (e.g. :meth:`SkallaEngine.append`), naming the
+        affected sites; ``None`` means "all sites".  Backends that read
+        ``self.sites`` live at call time (in-process, thread) have
+        nothing to refresh — this default is a no-op.  Backends that
+        snapshot fragments (the multiprocess workers) override it to
+        respawn exactly the named workers.
+        """
+
     # -- execution ---------------------------------------------------------
 
     def run_round(self, requests: Sequence[SiteRequest],

@@ -164,10 +164,24 @@ class MultiprocessTransport(Transport):
         self._workers.clear()
         super().close()
 
-    def invalidate(self) -> None:
-        """Drop all workers; the next round respawns from current sites."""
-        self._teardown_workers()
-        self._started = False
+    def invalidate(self, site_ids: Sequence[SiteId] | None = None) -> None:
+        """Drop workers so the next round respawns from current sites.
+
+        With ``site_ids`` given, only those sites' workers are killed —
+        the rest of the pool (and its shipped fragments) stays warm, so
+        an :meth:`~repro.distributed.engine.SkallaEngine.append` at one
+        collection point no longer pays a full pool respawn.  Respawn is
+        lazy: the replacement worker is started by the next call that
+        targets the site.
+        """
+        if site_ids is None:
+            self._teardown_workers()
+            self._started = False
+            return
+        for site_id in site_ids:
+            worker = self._workers.pop(site_id, None)
+            if worker is not None:
+                worker.kill()
 
     def _teardown_workers(self) -> None:
         for worker in self._workers.values():

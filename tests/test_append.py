@@ -1,0 +1,164 @@
+"""Edge cases of ``SkallaEngine.append`` (collection-point ingest).
+
+Covers: schema mismatch rejection, φ-constraint enforcement when
+distribution knowledge is registered, surgical per-site worker
+invalidation on the process transport (only the appended site's worker
+respawns), and cross-transport result parity after several appends.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError, PlanError, SchemaError
+from repro.relational.aggregates import count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.core.builder import QueryBuilder, agg
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.partition import (
+    partition_by_values, partition_round_robin)
+from repro.distributed.plan import ALL_OPTIMIZATIONS
+
+
+@pytest.fixture()
+def detail():
+    return Relation.from_dicts([
+        {"g": i % 5, "v": float(i), "name": f"n{i % 9}"}
+        for i in range(400)])
+
+
+def query():
+    return (QueryBuilder()
+            .base("g")
+            .gmdj([count_star("n"), agg("sum", "v", "total")], r.g == b.g)
+            .build())
+
+
+def rows_for(groups, offset=10_000, count=20):
+    groups = list(groups)
+    return Relation.from_dicts([
+        {"g": groups[i % len(groups)], "v": float(offset + i),
+         "name": f"n{i % 9}"}
+        for i in range(count)])
+
+
+class TestAppendValidation:
+    def test_unknown_site_rejected(self, detail):
+        engine = SkallaEngine(partition_round_robin(detail, 3))
+        with pytest.raises(PlanError, match="unknown site"):
+            engine.append(99, rows_for([0]))
+
+    def test_schema_mismatch_rejected(self, detail):
+        engine = SkallaEngine(partition_round_robin(detail, 3))
+        wrong = Relation.from_dicts([{"g": 1, "v": 2.0}])  # missing name
+        with pytest.raises(SchemaError, match="schema"):
+            engine.append(0, wrong)
+        wrong_type = Relation.from_dicts([
+            {"g": "one", "v": 2.0, "name": "x"}])  # g is a string
+        with pytest.raises(SchemaError, match="schema"):
+            engine.append(0, wrong_type)
+        # nothing was ingested
+        assert engine.fragment(0).num_rows == \
+            partition_round_robin(detail, 3)[0].num_rows
+
+    def test_phi_constraint_violation_rejected(self, detail):
+        partitions, info = partition_by_values(
+            detail, "g", {0: [0, 1], 1: [2, 3, 4]})
+        engine = SkallaEngine(partitions, info)
+        before = engine.fragment(0).num_rows
+        with pytest.raises(PartitionError, match="constraint on 'g'"):
+            engine.append(0, rows_for([0, 3]))  # g=3 belongs to site 1
+        assert engine.fragment(0).num_rows == before
+        # conforming rows are accepted
+        engine.append(0, rows_for([0, 1]))
+        assert engine.fragment(0).num_rows == before + 20
+
+    def test_append_grows_fragment_and_results(self, detail):
+        engine = SkallaEngine(partition_round_robin(detail, 3))
+        baseline = engine.execute(query(), ALL_OPTIMIZATIONS).relation
+        engine.append(1, rows_for([0]))
+        after = engine.execute(query(), ALL_OPTIMIZATIONS).relation
+        n0 = {row["g"]: row["n"] for row in baseline.to_dicts()}
+        n1 = {row["g"]: row["n"] for row in after.to_dicts()}
+        assert n1[0] == n0[0] + 20
+        assert all(n1[g] == n0[g] for g in n0 if g != 0)
+
+
+class TestSurgicalInvalidation:
+    def test_only_appended_worker_respawns(self, detail):
+        engine = SkallaEngine(partition_round_robin(detail, 3),
+                              transport="process")
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                first = engine.execute(query(), ALL_OPTIMIZATIONS)
+                transport = engine.transport
+                if transport.name != "process" or transport.degraded:
+                    pytest.skip("process transport unavailable here")
+                pids = {sid: worker.process.pid for sid, worker
+                        in transport._workers.items()}
+                engine.append(1, rows_for([2]))
+                # only site 1's worker was torn down; respawn is lazy
+                assert set(transport._workers) == {0, 2}
+                second = engine.execute(query(), ALL_OPTIMIZATIONS)
+                new_pids = {sid: worker.process.pid for sid, worker
+                            in transport._workers.items()}
+        finally:
+            engine.close()
+        assert new_pids[0] == pids[0] and new_pids[2] == pids[2]
+        assert new_pids[1] != pids[1]
+        # the respawned worker sees the appended rows
+        n_first = {row["g"]: row["n"] for row in first.relation.to_dicts()}
+        n_second = {row["g"]: row["n"] for row in second.relation.to_dicts()}
+        assert n_second[2] == n_first[2] + 20
+
+    def test_invalidate_none_tears_down_pool(self, detail):
+        engine = SkallaEngine(partition_round_robin(detail, 3),
+                              transport="process")
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                engine.execute(query(), ALL_OPTIMIZATIONS)
+                transport = engine.transport
+                if transport.name != "process" or transport.degraded:
+                    pytest.skip("process transport unavailable here")
+                transport.invalidate()
+                assert not transport._workers
+                result = engine.execute(query(), ALL_OPTIMIZATIONS)
+                assert result.relation.num_rows > 0
+        finally:
+            engine.close()
+
+    def test_base_transport_invalidate_is_noop(self, detail):
+        engine = SkallaEngine(partition_round_robin(detail, 3))
+        engine.execute(query(), ALL_OPTIMIZATIONS)
+        engine.transport.invalidate([0])  # part of the contract, no-op
+        engine.transport.invalidate(None)
+        after = engine.execute(query(), ALL_OPTIMIZATIONS)
+        assert after.relation.num_rows > 0
+
+
+class TestCrossTransportParityAfterAppends:
+    @pytest.mark.parametrize("transport", ["inprocess", "thread", "process"])
+    def test_results_match_centralized_after_appends(self, detail,
+                                                     transport):
+        engine = SkallaEngine(partition_round_robin(detail, 3),
+                              transport=transport)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                engine.execute(query(), ALL_OPTIMIZATIONS)
+                engine.append(0, rows_for([1], offset=20_000))
+                engine.append(2, rows_for([4], offset=30_000))
+                engine.append(0, rows_for([3], offset=40_000))
+                result = engine.execute(query(), ALL_OPTIMIZATIONS)
+                total = Relation.concat(
+                    [engine.fragment(sid) for sid in engine.site_ids])
+        finally:
+            engine.close()
+        expected = query().evaluate_centralized(total)
+        assert result.relation.multiset_equals(expected)
+        assert float(np.sum(total.column("v"))) == pytest.approx(
+            sum(row["total"] for row in result.relation.to_dicts()))

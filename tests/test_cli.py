@@ -74,6 +74,27 @@ class TestQuery:
         assert main(["query", str(flow_dir), "SELECT nothing"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_query_cache_counters(self, flow_dir, capsys):
+        assert main(["query", str(flow_dir), self.SQL,
+                     "--cache", "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out
+        assert "hit(s)" in out and "miss(es)" in out
+        assert "delta merge(s)" in out
+        assert "0 site scan(s)" in out  # second run is fully warm
+
+    def test_query_cache_explain(self, flow_dir, capsys):
+        assert main(["query", str(flow_dir), self.SQL,
+                     "--cache", "--cache-budget-mb", "8",
+                     "--repeat", "2", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "sub-aggregate cache:" in out
+
+    def test_query_no_cache_is_silent(self, flow_dir, capsys):
+        assert main(["query", str(flow_dir), self.SQL, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" not in out
+
     def test_correlated_query(self, flow_dir, capsys):
         sql = ("SELECT SourceAS, COUNT(*) AS c, SUM(NumBytes) AS s "
                "FROM Flow GROUP BY SourceAS "
