@@ -1,6 +1,7 @@
 # Convenience targets; `make ci` runs exactly what GitHub Actions runs.
 
-.PHONY: ci lint test bench bench-cache
+.PHONY: ci lint test coverage test-differential bench bench-cache \
+	bench-parallel
 
 ci:
 	sh scripts/ci.sh all
@@ -11,9 +12,24 @@ lint:
 test:
 	sh scripts/ci.sh test
 
+# Tier-1 suite under pytest-cov with the CI fail-under gate (skips with
+# a notice when pytest-cov is not installed).
+coverage:
+	sh scripts/ci.sh coverage
+
+# The differential oracle harness at full scale: 200 randomized plans
+# per transport under three distinct seeds.
+test-differential:
+	sh scripts/ci.sh differential
+
 bench:
 	sh scripts/ci.sh bench
 
 # Full-scale cache benchmark (regenerates benchmarks/results/ext_cache.txt).
 bench-cache:
 	PYTHONPATH=src python -m pytest benchmarks/bench_ext_cache.py -q
+
+# Full-scale scatter/hedging benchmark (regenerates
+# benchmarks/results/ext_parallel*.txt).
+bench-parallel:
+	PYTHONPATH=src python -m pytest benchmarks/bench_ext_parallel.py -q

@@ -2,13 +2,21 @@
 # The single CI entrypoint.  The GitHub workflow and local `make ci`
 # both run this script, so the two can never drift apart.
 #
-#   scripts/ci.sh lint    ruff over src/, tests/, benchmarks/ (skipped
-#                         with a notice when ruff is not installed)
-#   scripts/ci.sh test    the tier-1 suite: PYTHONPATH=src pytest -x -q
-#   scripts/ci.sh bench   the transport and cache benchmarks as smoke
-#                         tests, at a reduced row count so they finish
-#                         in seconds
-#   scripts/ci.sh all     lint + test + bench (the default)
+#   scripts/ci.sh lint          ruff over src/, tests/, benchmarks/
+#                               (skipped with a notice when ruff is not
+#                               installed)
+#   scripts/ci.sh test          the tier-1 suite: PYTHONPATH=src pytest -x -q
+#   scripts/ci.sh coverage      tier-1 suite under pytest-cov with a
+#                               fail-under gate (skipped with a notice
+#                               when pytest-cov is not installed)
+#   scripts/ci.sh differential  the oracle harness at 200 examples per
+#                               transport, re-run under three distinct
+#                               seeds (REPRO_TEST_SEED)
+#   scripts/ci.sh bench         the transport, cache, and parallel-dispatch
+#                               benchmarks as smoke tests, at a reduced
+#                               row count so they finish in seconds
+#   scripts/ci.sh all           lint + test + differential + bench
+#                               (the default)
 #
 # Exit code: non-zero as soon as any stage fails.
 
@@ -33,6 +41,35 @@ tests() {
     "$PYTHON" -m pytest -x -q
 }
 
+# Coverage floor enforced when pytest-cov is available (the GitHub
+# workflow installs it; local runs without it skip with a notice, same
+# convention as the ruff lint stage).  The floor is a ratchet: raise it
+# as coverage grows, never lower it to make a PR pass.
+COVERAGE_FLOOR=${COVERAGE_FLOOR:-75}
+
+coverage() {
+    if "$PYTHON" -c "import pytest_cov" >/dev/null 2>&1; then
+        echo "== coverage: tier-1 suite, fail-under ${COVERAGE_FLOOR}% =="
+        "$PYTHON" -m pytest -x -q \
+            --cov=repro --cov-report=term-missing:skip-covered \
+            --cov-fail-under="$COVERAGE_FLOOR"
+    else
+        echo "== coverage: pytest-cov not installed, skipping" \
+             "(pip install pytest-cov) =="
+    fi
+}
+
+# The differential oracle harness at full scale: 200 randomized plans
+# per transport, repeated under three distinct seeds so one lucky seed
+# cannot hide an ordering/merge bug.
+differential() {
+    for seed in 2002 31337 777; do
+        echo "== differential: 200 examples/transport, seed $seed =="
+        REPRO_TEST_SEED=$seed REPRO_DIFFERENTIAL_EXAMPLES=200 \
+            "$PYTHON" -m pytest tests/test_differential.py -x -q
+    done
+}
+
 bench() {
     echo "== bench: transport smoke =="
     REPRO_BENCH_ROWS=${REPRO_BENCH_ROWS:-8000} \
@@ -42,13 +79,20 @@ bench() {
     REPRO_BENCH_ROWS=${REPRO_BENCH_ROWS:-8000} \
         "$PYTHON" -m pytest benchmarks/bench_ext_cache.py -x -q \
         --benchmark-disable
+    echo "== bench: parallel dispatch smoke =="
+    REPRO_BENCH_ROWS=${REPRO_BENCH_ROWS:-8000} \
+        "$PYTHON" -m pytest benchmarks/bench_ext_parallel.py -x -q \
+        --benchmark-disable
 }
 
 stage=${1:-all}
 case "$stage" in
-    lint)  lint ;;
-    test)  tests ;;
-    bench) bench ;;
-    all)   lint; tests; bench ;;
-    *)     echo "usage: scripts/ci.sh [lint|test|bench|all]" >&2; exit 2 ;;
+    lint)         lint ;;
+    test)         tests ;;
+    coverage)     coverage ;;
+    differential) differential ;;
+    bench)        bench ;;
+    all)          lint; tests; differential; bench ;;
+    *)  echo "usage: scripts/ci.sh" \
+            "[lint|test|coverage|differential|bench|all]" >&2; exit 2 ;;
 esac

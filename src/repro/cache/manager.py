@@ -27,6 +27,8 @@ Lookup outcomes per site request:
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -76,7 +78,13 @@ class SubAggregateCache:
     full_recomputes_after_append: int = 0
     #: modeled wire bytes that never moved thanks to hits/deltas
     bytes_saved: int = 0
+    #: HITs demoted by a gather-time version check (append raced a round)
+    stale_hits_averted: int = 0
+    #: populate() calls refused because the site version moved in flight
+    populate_races: int = 0
     _appended_sites: set = field(default_factory=set)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False, compare=False)
 
     def __post_init__(self):
         if self.store is None:
@@ -88,46 +96,70 @@ class SubAggregateCache:
 
     def on_append(self, site_id: SiteId, rows: Relation) -> int:
         """Bump the site's fragment version, retaining the delta."""
-        self._appended_sites.add(site_id)
-        return self.log.record_append(site_id, rows)
+        with self._lock:
+            self._appended_sites.add(site_id)
+            return self.log.record_append(site_id, rows)
 
     def version(self, site_id: SiteId) -> int:
-        return self.log.version(site_id)
+        with self._lock:
+            return self.log.version(site_id)
 
     # -- lookup ------------------------------------------------------------
 
     def decide(self, request: SiteRequest) -> CacheDecision:
         """Classify one site request as hit / delta-mergeable / miss."""
         fingerprint = fingerprint_request(request)
-        current = self.log.version(request.site_id)
-        entry = self.store.get(fingerprint)
-        if entry is None:
+        with self._lock:
+            current = self.log.version(request.site_id)
+            entry = self.store.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return CacheDecision(request, MISS, fingerprint, current)
+            if entry.version == current:
+                self.hits += 1
+                entry.hits += 1
+                return CacheDecision(request, HIT, fingerprint, current,
+                                     entry=entry)
+            if delta_mergeable(request):
+                delta = self.log.deltas_between(
+                    request.site_id, entry.version, current)
+                if delta is not None:
+                    return CacheDecision(request, DELTA, fingerprint,
+                                         current, entry=entry, delta=delta)
+            # Stale and not upgradable: the entry can never become current
+            # again (versions only grow), so free its budget now.
+            self.store.drop(fingerprint)
             self.misses += 1
+            self.full_recomputes_after_append += 1
             return CacheDecision(request, MISS, fingerprint, current)
-        if entry.version == current:
-            self.hits += 1
-            entry.hits += 1
-            return CacheDecision(request, HIT, fingerprint, current,
-                                 entry=entry)
-        if delta_mergeable(request):
-            delta = self.log.deltas_between(request.site_id, entry.version,
-                                            current)
-            if delta is not None:
-                return CacheDecision(request, DELTA, fingerprint, current,
-                                     entry=entry, delta=delta)
-        # Stale and not upgradable: the entry can never become current
-        # again (versions only grow), so free its budget now.
-        self.store.drop(fingerprint)
-        self.misses += 1
-        self.full_recomputes_after_append += 1
-        return CacheDecision(request, MISS, fingerprint, current)
+
+    def revalidate(self, decision: CacheDecision) -> bool:
+        """Whether a HIT decision is still serving the current version.
+
+        Classification happens before a round is scattered; an
+        :meth:`on_append` can land while the round is in flight.  The
+        engine calls this at **gather time** — immediately before a HIT
+        is served — so a stale hit is demoted and re-decided instead of
+        silently answering with a pre-append snapshot.
+        """
+        assert decision.outcome == HIT
+        with self._lock:
+            still_current = (self.log.version(decision.site_id)
+                             == decision.current_version)
+            if not still_current:
+                self.stale_hits_averted += 1
+                # undo the optimistic hit counted by decide()
+                self.hits -= 1
+                self.misses += 1
+            return still_current
 
     # -- fulfillment -------------------------------------------------------
 
     def fulfill_hit(self, decision: CacheDecision) -> Relation:
         """The cached sub-result (immutable; shared by reference)."""
         assert decision.entry is not None
-        self.bytes_saved += decision.entry.relation.wire_bytes()
+        with self._lock:
+            self.bytes_saved += decision.entry.relation.wire_bytes()
         return decision.entry.relation
 
     def apply_delta(self, decision: CacheDecision, key: Sequence[str],
@@ -145,28 +177,47 @@ class SubAggregateCache:
         merged, merge_seconds = merge_sub_results(
             decision.request, decision.entry.relation, delta_result,
             key, detail_schema)
-        self.store.upgrade(decision.entry, decision.current_version, merged)
-        self.delta_merges += 1
-        # Only the delta sub-aggregate travels instead of the full one.
-        self.bytes_saved += max(
-            0, merged.wire_bytes() - delta_result.wire_bytes())
+        with self._lock:
+            self.store.upgrade(decision.entry, decision.current_version,
+                               merged)
+            self.delta_merges += 1
+            # Only the delta sub-aggregate travels instead of the full one.
+            self.bytes_saved += max(
+                0, merged.wire_bytes() - delta_result.wire_bytes())
         return merged, delta_result, site_seconds, merge_seconds
 
     def populate(self, decision: CacheDecision,
-                 relation: Relation) -> None:
-        """Store a freshly computed sub-result at the current version."""
-        self.store.put(decision.fingerprint, decision.request.site_id,
-                       decision.current_version, relation)
+                 relation: Relation) -> bool:
+        """Store a freshly computed sub-result at the decision's version.
+
+        Refuses (returning ``False``) when the site's fragment version
+        moved while the round was in flight: the computed relation's
+        snapshot is then unknowable — it may or may not include the
+        racing append — and caching it under *either* version risks a
+        later delta merge double-applying (or dropping) rows.  The next
+        cold round repopulates safely.
+        """
+        with self._lock:
+            if (self.log.version(decision.site_id)
+                    != decision.current_version):
+                self.populate_races += 1
+                return False
+            self.store.put(decision.fingerprint, decision.request.site_id,
+                           decision.current_version, relation)
+            return True
 
     # -- retention ---------------------------------------------------------
 
     def prune_deltas(self) -> None:
         """Drop retained deltas no live entry can still consume."""
-        for site_id in list(self._appended_sites):
-            self.log.prune_below(site_id, self.store.min_version(site_id))
+        with self._lock:
+            for site_id in list(self._appended_sites):
+                self.log.prune_below(site_id,
+                                     self.store.min_version(site_id))
 
     def clear(self) -> None:
-        self.store.clear()
+        with self._lock:
+            self.store.clear()
 
     # -- introspection -----------------------------------------------------
 
@@ -180,6 +231,8 @@ class SubAggregateCache:
                 self.full_recomputes_after_append,
             "bytes_saved": self.bytes_saved,
             "retained_delta_bytes": self.log.retained_bytes(),
+            "stale_hits_averted": self.stale_hits_averted,
+            "populate_races": self.populate_races,
         })
         return stats
 

@@ -96,6 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "site, real serialized bytes)")
     query.add_argument("--streaming", action="store_true",
                        help="incremental synchronization")
+    query.add_argument("--max-inflight", type=int, default=None,
+                       help="bound on concurrently dispatched site calls "
+                            "per round (default: backend-chosen; 1 forces "
+                            "sequential dispatch)")
+    query.add_argument("--hedge", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="straggler hedging: re-dispatch sites past a "
+                            "median-derived deadline once, first response "
+                            "wins (default on; --no-hedge disables)")
     query.add_argument("--cache", action=argparse.BooleanOptionalAction,
                        default=False,
                        help="enable the coordinator-side sub-aggregate "
@@ -187,7 +196,8 @@ def _resolve_flags(name: str) -> OptimizationFlags:
 
 def _cmd_query(args) -> int:
     engine = load_warehouse(args.warehouse)
-    engine.use_transport(args.transport)
+    engine.use_transport(args.transport, max_inflight=args.max_inflight,
+                         hedge=args.hedge)
     if args.cache:
         engine.enable_cache(budget_mb=args.cache_budget_mb)
     compiled = compile_query(args.sql, engine.detail_schema)
@@ -219,6 +229,13 @@ def _cmd_query(args) -> int:
               f"serialized; {metrics.real_seconds:.3f}s measured; "
               f"{metrics.retries} retry(ies), "
               f"{metrics.worker_respawns} respawn(s)")
+    if metrics.sum_site_wall_seconds > 0.0:
+        print(f"dispatch: critical path {metrics.critical_path_seconds:.3f}s "
+              f"vs sequential {metrics.sum_site_wall_seconds:.3f}s "
+              f"(speedup bound {metrics.parallel_speedup_bound:.2f}x, "
+              f"skew {metrics.skew_ratio:.2f}x); "
+              f"hedges {metrics.hedges_issued} issued / "
+              f"{metrics.hedges_won} won")
     if metrics.cache_enabled:
         print(f"cache: {metrics.cache_hits} hit(s), "
               f"{metrics.cache_misses} miss(es), "

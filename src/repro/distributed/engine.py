@@ -25,8 +25,14 @@ measured.  See DESIGN.md §5 for why this preserves the paper's shapes.
 Site execution is delegated to a pluggable **transport**
 (:mod:`repro.distributed.transport`): in-process (default), thread pool,
 or one OS worker process per site exchanging serialized bytes.  The
-transport owns retries/backoff/deadlines; the engine composes results
-and records modeled *and* real cost side by side.
+transport owns retries/backoff/deadlines *and* round dispatch: parallel
+backends scatter every round's site requests concurrently (bounded by
+``max_inflight``), gather responses as they complete, and — with
+hedging on — give stragglers past a median-derived deadline one
+idempotent re-dispatch (first response wins; see
+docs/PARALLELISM.md).  The engine composes results and records modeled
+*and* real cost side by side, including per-site latency distributions,
+critical-path vs sum-of-sites time, skew ratios, and hedge counters.
 """
 
 from __future__ import annotations
@@ -95,7 +101,9 @@ class SkallaEngine:
                  retry_policy: RetryPolicy | None = None,
                  transport_options: Mapping[str, object] | None = None,
                  cache: "bool | SubAggregateCache" = False,
-                 cache_budget_mb: float = 64.0):
+                 cache_budget_mb: float = 64.0,
+                 max_inflight: int | None = None,
+                 hedge: "bool | object" = True):
         if not partitions:
             raise PlanError("a warehouse needs at least one site")
         schemas = {fragment.schema for fragment in partitions.values()}
@@ -126,6 +134,12 @@ class SkallaEngine:
             transport = "thread" if parallel_sites else DEFAULT_TRANSPORT
         self._transport_spec = transport
         self._transport_options = dict(transport_options or {})
+        #: bound on concurrently dispatched site calls per round
+        #: (``None`` = backend default; 1 forces sequential dispatch).
+        self.max_inflight = max_inflight
+        #: straggler hedging: ``True`` (default policy), ``False``, or a
+        #: :class:`~repro.distributed.transport.HedgePolicy`.
+        self.hedge = hedge
         self._transport: Transport | None = None
         #: optional sub-aggregate result cache (``None`` = disabled).
         self._cache: SubAggregateCache | None = None
@@ -177,9 +191,11 @@ class SkallaEngine:
             if isinstance(spec, Transport):
                 self._transport = spec
             else:
+                options = dict(self._transport_options)
+                options.setdefault("max_inflight", self.max_inflight)
+                options.setdefault("hedge", self.hedge)
                 self._transport = create_transport(
-                    spec, self.sites, retry=self.retry_policy,
-                    **self._transport_options)
+                    spec, self.sites, retry=self.retry_policy, **options)
         return self._transport
 
     @property
@@ -470,11 +486,23 @@ class SkallaEngine:
                        uplink_note: str) -> dict[SiteId, SiteResponse]:
         """Serve one round through the cache, then the transport.
 
-        Misses go to the transport exactly as before (and populate the
-        cache afterwards); hits are answered from the store with no site
-        scan and no transfer; delta-mergeable stale entries are upgraded
-        by evaluating the round over only the retained delta rows — only
-        the delta sub-aggregate travels (``delta_<kind>`` messages).
+        Misses go to the transport (scattered concurrently, gathered as
+        they complete) and populate the cache afterwards; hits are
+        answered from the store with no site scan and no transfer;
+        delta-mergeable stale entries are upgraded by evaluating the
+        round over only the retained delta rows — only the delta
+        sub-aggregate travels (``delta_<kind>`` messages).
+
+        Cache freshness is enforced **at gather time**, not dispatch
+        time: hit/miss classification happened before the scatter, and
+        an :meth:`append` may land while the round is in flight.  Each
+        HIT is therefore re-validated against the site's *current*
+        fragment version before it is served (a stale hit is demoted and
+        re-decided), and :meth:`SubAggregateCache.populate` itself
+        refuses to store a response whose site version moved during the
+        flight — a freshly computed relation of unknowable snapshot must
+        never be cached under the old version, or a later delta merge
+        would double-apply the append.
         """
         misses = [request for request in requests
                   if self._needs_dispatch(decisions, request.site_id)]
@@ -487,45 +515,76 @@ class SkallaEngine:
         for request in requests:
             site_id = request.site_id
             decision = decisions[site_id] if decisions is not None else None
-            if decision is None or decision.outcome == MISS:
-                response = outputs[site_id]
-                if decision is not None:
-                    phase.cache_misses += 1
-                    self._cache.populate(decision, response.relation)
-                network.send(relation_message(
-                    site_id, COORDINATOR, uplink_kind, response.relation,
-                    round_index, uplink_note,
-                    real_bytes=response.response_bytes or None))
-            elif decision.outcome == HIT:
-                relation = self._cache.fulfill_hit(decision)
-                response = SiteResponse(site_id=site_id, relation=relation,
-                                        compute_seconds=0.0)
-                phase.cache_hits += 1
-                phase.cache_bytes_saved += (relation.wire_bytes()
-                                            + ENVELOPE_BYTES)
-            else:  # DELTA: incremental maintenance (Theorem 1 over
-                # the {old fragment, appended delta} partition)
-                assert decision.outcome == DELTA
-                site = self.sites[site_id]
-                merged, delta_result, delta_seconds, merge_seconds = \
-                    self._cache.apply_delta(decision, key,
-                                            self.detail_schema,
-                                            site.slowdown)
-                if self.compute_model is not None:
-                    delta_seconds = self.compute_model.seconds(
-                        decision.delta.num_rows, base_rows) * site.slowdown
-                response = SiteResponse(site_id=site_id, relation=merged,
-                                        compute_seconds=delta_seconds)
-                phase.cache_delta_merges += 1
-                phase.coordinator_seconds += merge_seconds
-                network.send(relation_message(
-                    site_id, COORDINATOR, f"delta_{uplink_kind}",
-                    delta_result, round_index,
-                    f"delta {uplink_note} (incremental maintenance)"))
-                phase.cache_bytes_saved += max(
-                    0, merged.wire_bytes() - delta_result.wire_bytes())
-            responses[site_id] = response
+            responses[site_id] = self._serve_one(
+                request, decision, outputs, metrics, phase, network,
+                base_rows, round_index, key, uplink_kind, uplink_note)
         return responses
+
+    def _serve_one(self, request: SiteRequest,
+                   decision: "CacheDecision | None",
+                   outputs: dict[SiteId, SiteResponse],
+                   metrics: QueryMetrics, phase: PhaseMetrics,
+                   network: SimulatedNetwork, base_rows: int,
+                   round_index: int, key: Sequence[str],
+                   uplink_kind: str, uplink_note: str) -> SiteResponse:
+        """Fulfill one site's round from the gathered outputs or cache."""
+        site_id = request.site_id
+        # Gather-time version check: a HIT classified before the
+        # scatter may have been invalidated by an append that landed
+        # while the round was in flight.  Re-decide until the decision
+        # is current (versions only grow, so this converges).
+        while (decision is not None and decision.outcome == HIT
+               and not self._cache.revalidate(decision)):
+            decision = self._cache.decide(request)
+        if decision is None or decision.outcome == MISS:
+            response = outputs.get(site_id)
+            if response is None:
+                # demoted at gather time: the pre-scatter dispatch did
+                # not cover this site, so ask the transport now
+                late = self._run_on_sites(metrics, phase, network,
+                                          [request], base_rows=base_rows)
+                phase.site_scans += 1
+                response = late[site_id]
+            if decision is not None:
+                phase.cache_misses += 1
+                self._cache.populate(decision, response.relation)
+            network.send(relation_message(
+                site_id, COORDINATOR, uplink_kind, response.relation,
+                round_index, uplink_note,
+                real_bytes=response.response_bytes or None))
+            return response
+        if decision.outcome == HIT:
+            relation = self._cache.fulfill_hit(decision)
+            response = SiteResponse(site_id=site_id, relation=relation,
+                                    compute_seconds=0.0)
+            phase.cache_hits += 1
+            phase.cache_bytes_saved += (relation.wire_bytes()
+                                        + ENVELOPE_BYTES)
+            return response
+        # DELTA: incremental maintenance (Theorem 1 over the
+        # {old fragment, appended delta} partition).  The delta is a
+        # snapshot taken at decision time, so a concurrent append
+        # cannot tear it — the upgraded entry simply sits one (or more)
+        # versions behind and the next lookup continues the chain.
+        assert decision.outcome == DELTA
+        site = self.sites[site_id]
+        merged, delta_result, delta_seconds, merge_seconds = \
+            self._cache.apply_delta(decision, key, self.detail_schema,
+                                    site.slowdown)
+        if self.compute_model is not None:
+            delta_seconds = self.compute_model.seconds(
+                decision.delta.num_rows, base_rows) * site.slowdown
+        response = SiteResponse(site_id=site_id, relation=merged,
+                                compute_seconds=delta_seconds)
+        phase.cache_delta_merges += 1
+        phase.coordinator_seconds += merge_seconds
+        network.send(relation_message(
+            site_id, COORDINATOR, f"delta_{uplink_kind}",
+            delta_result, round_index,
+            f"delta {uplink_note} (incremental maintenance)"))
+        phase.cache_bytes_saved += max(
+            0, merged.wire_bytes() - delta_result.wire_bytes())
+        return response
 
     def _run_on_sites(self, metrics: QueryMetrics, phase: PhaseMetrics,
                       network: SimulatedNetwork,
@@ -546,12 +605,27 @@ class SkallaEngine:
         """
         outputs = self.transport.run_round(requests)
         round_bytes = 0
-        round_wall = 0.0
+        max_wall = 0.0
         for response in outputs.values():
             metrics.retries += response.retries
             metrics.worker_respawns += response.respawns
             round_bytes += response.request_bytes + response.response_bytes
-            round_wall = max(round_wall, response.wall_seconds)
+            max_wall = max(max_wall, response.wall_seconds)
+        stats = self.transport.last_round_stats
+        if stats is not None:
+            round_wall = stats.round_wall_seconds
+            phase.site_wall_seconds.update(stats.site_wall)
+            if not phase.dispatch:
+                phase.dispatch = stats.dispatch
+            phase.hedges_issued += stats.hedges_issued
+            phase.hedges_won += stats.hedges_won
+            phase.hedges_wasted += stats.hedges_wasted
+        else:
+            round_wall = max_wall
+            for site_id, response in outputs.items():
+                phase.site_wall_seconds[site_id] = max(
+                    phase.site_wall_seconds.get(site_id, 0.0),
+                    response.wall_seconds)
         phase.real_seconds += round_wall
         phase.real_bytes += round_bytes
         network.note_real_transfer(round_bytes, round_wall)

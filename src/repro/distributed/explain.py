@@ -38,6 +38,29 @@ def explain_analyze(result: ExecutionResult) -> str:
             f"{phase.coordinator_seconds:>8.4f} "
             f"{phase.communication_seconds:>8.4f} "
             f"{phase.total_seconds:>8.4f}")
+    if metrics.sum_site_wall_seconds > 0.0:
+        lines.append("")
+        lines.append("parallel dispatch:")
+        dispatches = {phase.dispatch for phase in metrics.phases
+                      if phase.dispatch}
+        if dispatches:
+            lines.append(f"  dispatch       : "
+                         f"{', '.join(sorted(dispatches))}")
+        lines.append(f"  critical path  : "
+                     f"{metrics.critical_path_seconds:.4f}s "
+                     f"(slowest site per round)")
+        lines.append(f"  sum of sites   : "
+                     f"{metrics.sum_site_wall_seconds:.4f}s "
+                     f"(sequential dispatch would pay this)")
+        lines.append(f"  speedup bound  : "
+                     f"{metrics.parallel_speedup_bound:.2f}x")
+        lines.append(f"  worst skew     : {metrics.skew_ratio:.2f}x "
+                     f"(max/mean site latency)")
+        if metrics.hedges_issued:
+            lines.append(
+                f"  hedges         : {metrics.hedges_issued} issued, "
+                f"{metrics.hedges_won} won, "
+                f"{metrics.hedges_wasted} wasted")
     if metrics.cache_enabled:
         lines.append("")
         lines.append("sub-aggregate cache:")

@@ -10,6 +10,10 @@ no distributed state to repair.  Two injection layers exercise that:
   requests, then recovers; drives the transport retry loop without any
   OS machinery (works under every transport, including inside worker
   processes, since sites are pickled whole).
+* :class:`SlowSite` — a site that really sleeps before serving, so
+  wall-clock skew and the hedged straggler re-dispatch path can be
+  exercised deterministically (``slow_calls`` makes the slowness
+  transient: the hedged duplicate is fast).
 * :class:`ProcessFaultSpec` — **process-level** faults for the
   multiprocess transport: kill the worker (``os._exit``) or hang it
   past its call deadline on the N-th request.  The parent observes a
@@ -66,6 +70,48 @@ class FlakySite(SkallaSite):
     def execute_step(self, step, base_relation, ship_attrs, base_query,
                      independent_reduction):
         self._maybe_fail("step")
+        return super().execute_step(step, base_relation, ship_attrs,
+                                    base_query, independent_reduction)
+
+
+class SlowSite(SkallaSite):
+    """A site that *really* sleeps before serving — a wall-clock straggler.
+
+    Unlike the engine's ``site_slowdowns`` (which only scales the
+    *reported* compute seconds), this injects measurable latency into
+    the dispatch path, so scatter-gather skew, critical-path accounting
+    and hedging all see it.
+
+    ``slow_calls`` bounds how many requests are slow: with ``None``
+    every request sleeps (a chronically slow site); with ``N`` only the
+    first N sleep (a transient straggler — a hedged duplicate issued
+    after the N-th call starts is served at full speed, which is the
+    scenario hedging wins).
+    """
+
+    def __init__(self, site_id: SiteId, fragment: Relation,
+                 delay_seconds: float = 0.1,
+                 slow_calls: int | None = None,
+                 slowdown: float = 1.0):
+        super().__init__(site_id, fragment, slowdown)
+        if delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        self.delay_seconds = delay_seconds
+        self.slow_calls = slow_calls
+        self.calls = 0
+
+    def _maybe_sleep(self) -> None:
+        self.calls += 1
+        if self.slow_calls is None or self.calls <= self.slow_calls:
+            time.sleep(self.delay_seconds)
+
+    def evaluate_base(self, base_query):
+        self._maybe_sleep()
+        return super().evaluate_base(base_query)
+
+    def execute_step(self, step, base_relation, ship_attrs, base_query,
+                     independent_reduction):
+        self._maybe_sleep()
         return super().execute_step(step, base_relation, ship_attrs,
                                     base_query, independent_reduction)
 

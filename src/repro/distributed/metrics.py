@@ -37,10 +37,22 @@ class PhaseMetrics:
     site_seconds: float = 0.0
     coordinator_seconds: float = 0.0
     communication_seconds: float = 0.0
-    #: measured wall-clock of the round's site calls (0 = in-process).
+    #: measured wall-clock of the round's dispatch (scatter start →
+    #: last winning response; sequential dispatch sums the calls).
     real_seconds: float = 0.0
     #: real serialized bytes moved by the transport for this round.
     real_bytes: int = 0
+    #: measured per-site latency (seconds; the raw distribution behind
+    #: the skew numbers).  Scatter rounds measure from the scatter
+    #: instant (queue wait included); sequential rounds record each
+    #: call's own duration.
+    site_wall_seconds: dict[int, float] = field(default_factory=dict)
+    #: how the round was dispatched ("scatter" / "sequential" / "").
+    dispatch: str = ""
+    #: hedged straggler re-dispatches this round issued / won / wasted.
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    hedges_wasted: int = 0
     #: full-fragment site scans actually dispatched this round (cache
     #: hits and delta merges do not scan the fragment).
     site_scans: int = 0
@@ -56,6 +68,28 @@ class PhaseMetrics:
         return (self.site_seconds + self.coordinator_seconds
                 + self.communication_seconds)
 
+    # -- per-site latency distribution -------------------------------------
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Slowest site's measured latency — the round's lower bound."""
+        return max(self.site_wall_seconds.values(), default=0.0)
+
+    @property
+    def sum_site_wall_seconds(self) -> float:
+        """What strictly sequential dispatch would have paid."""
+        return sum(self.site_wall_seconds.values())
+
+    @property
+    def skew_ratio(self) -> float:
+        """max/mean measured site latency (1.0 = perfectly balanced)."""
+        if not self.site_wall_seconds:
+            return 1.0
+        mean = self.sum_site_wall_seconds / len(self.site_wall_seconds)
+        if mean <= 0.0:
+            return 1.0
+        return self.critical_path_seconds / mean
+
     def as_dict(self) -> dict[str, object]:
         """JSON-ready export of this phase (modeled + real + cache)."""
         return {
@@ -66,6 +100,16 @@ class PhaseMetrics:
             "total_seconds": round(self.total_seconds, 6),
             "real_seconds": round(self.real_seconds, 6),
             "real_bytes": self.real_bytes,
+            "dispatch": self.dispatch,
+            "site_wall_seconds": {str(site): round(wall, 6)
+                                  for site, wall
+                                  in sorted(self.site_wall_seconds.items())},
+            "critical_path_seconds": round(self.critical_path_seconds, 6),
+            "sum_site_wall_seconds": round(self.sum_site_wall_seconds, 6),
+            "skew_ratio": round(self.skew_ratio, 4),
+            "hedges_issued": self.hedges_issued,
+            "hedges_won": self.hedges_won,
+            "hedges_wasted": self.hedges_wasted,
             "site_scans": self.site_scans,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -115,8 +159,49 @@ class QueryMetrics:
     @property
     def real_seconds(self) -> float:
         """Measured wall-clock of all site rounds (serialization + IPC
-        included).  0 under the in-process transport."""
+        included; scatter rounds count their gather makespan)."""
         return sum(phase.real_seconds for phase in self.phases)
+
+    # -- parallel dispatch / straggler accounting ---------------------------
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Sum over rounds of the slowest site's measured latency —
+        the wall-clock floor no dispatch strategy can beat."""
+        return sum(phase.critical_path_seconds for phase in self.phases)
+
+    @property
+    def sum_site_wall_seconds(self) -> float:
+        """Sum over rounds of every site's measured latency — what
+        strictly sequential dispatch pays."""
+        return sum(phase.sum_site_wall_seconds for phase in self.phases)
+
+    @property
+    def skew_ratio(self) -> float:
+        """Worst per-round max/mean site latency (1.0 = balanced)."""
+        return max((phase.skew_ratio for phase in self.phases),
+                   default=1.0)
+
+    @property
+    def parallel_speedup_bound(self) -> float:
+        """sum-of-sites / critical-path: the speedup ceiling concurrent
+        dispatch can extract from this execution's rounds."""
+        critical = self.critical_path_seconds
+        if critical <= 0.0:
+            return 1.0
+        return self.sum_site_wall_seconds / critical
+
+    @property
+    def hedges_issued(self) -> int:
+        return sum(phase.hedges_issued for phase in self.phases)
+
+    @property
+    def hedges_won(self) -> int:
+        return sum(phase.hedges_won for phase in self.phases)
+
+    @property
+    def hedges_wasted(self) -> int:
+        return sum(phase.hedges_wasted for phase in self.phases)
 
     # -- real wire traffic (multiprocess transport) ------------------------
 
@@ -190,6 +275,13 @@ class QueryMetrics:
             "transport": self.transport,
             "real_seconds": round(self.real_seconds, 6),
             "real_bytes": self.real_bytes,
+            "critical_path_seconds": round(self.critical_path_seconds, 6),
+            "sum_site_wall_seconds": round(self.sum_site_wall_seconds, 6),
+            "skew_ratio": round(self.skew_ratio, 4),
+            "parallel_speedup_bound": round(self.parallel_speedup_bound, 4),
+            "hedges_issued": self.hedges_issued,
+            "hedges_won": self.hedges_won,
+            "hedges_wasted": self.hedges_wasted,
             "worker_respawns": self.worker_respawns,
             "site_scans": self.site_scans,
             "cache_enabled": self.cache_enabled,

@@ -31,6 +31,8 @@ from typing import Mapping
 from repro.errors import PlanError
 from repro.distributed.transport.base import (
     RetryPolicy, SiteRequest, SiteResponse, Transport, perform_request)
+from repro.distributed.transport.scatter import (
+    HedgePolicy, RoundStats, scatter_gather, sequential_round)
 from repro.distributed.transport.inprocess import (
     InProcessTransport, ThreadTransport)
 from repro.distributed.transport.process import MultiprocessTransport
@@ -66,9 +68,11 @@ def create_transport(name: str, sites, retry: RetryPolicy | None = None,
 
 __all__ = [
     "DEFAULT_TRANSPORT",
+    "HedgePolicy",
     "InProcessTransport",
     "MultiprocessTransport",
     "RetryPolicy",
+    "RoundStats",
     "SiteRequest",
     "SiteResponse",
     "ThreadTransport",
@@ -76,4 +80,6 @@ __all__ = [
     "TRANSPORTS",
     "create_transport",
     "perform_request",
+    "scatter_gather",
+    "sequential_round",
 ]

@@ -22,7 +22,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.errors import PlanError, SiteFailure
 from repro.relational.relation import Relation
@@ -164,12 +164,29 @@ class Transport(abc.ABC):
 
     def __init__(self, sites: Mapping[SiteId, "SkallaSite"],
                  retry: RetryPolicy | None = None,
-                 seed: int | None = None):
+                 seed: int | None = None,
+                 max_inflight: int | None = None,
+                 hedge: "object | bool | None" = None):
+        # Imported here: scatter builds on SiteRequest/SiteResponse from
+        # this module, so a module-scope import would be circular.
+        from repro.distributed.transport.scatter import normalize_hedge
         #: Live mapping of site id → site; looked up at call time so
         #: callers may swap sites (e.g. fault-injection stand-ins)
         #: after construction.
         self.sites = sites
         self.retry = retry or RetryPolicy()
+        if max_inflight is not None and max_inflight < 1:
+            raise PlanError("max_inflight must be at least 1")
+        #: Bound on concurrently dispatched site calls per round
+        #: (``None`` = backend default).  1 forces sequential dispatch.
+        self.max_inflight = max_inflight
+        #: Straggler-hedging policy for parallel backends (``None`` =
+        #: hedging off; sequential backends ignore it).
+        self.hedge_policy = normalize_hedge(hedge)
+        #: Dispatch telemetry of the most recent :meth:`run_round`
+        #: (read by the engine right after the round; per-transport,
+        #: and the engine runs its rounds serially).
+        self.last_round_stats = None
         self._rng = random.Random(seed)
         self._lock = threading.Lock()  # per-transport, never shared
         self._started = False
@@ -208,9 +225,11 @@ class Transport(abc.ABC):
     def run_round(self, requests: Sequence[SiteRequest],
                   ) -> dict[SiteId, SiteResponse]:
         """Execute one round of requests; default is sequential."""
+        from repro.distributed.transport.scatter import sequential_round
         self._ensure_started()
-        return {request.site_id: self.call(request)
-                for request in requests}
+        responses, stats = sequential_round(self.call, requests)
+        self.last_round_stats = stats
+        return responses
 
     def call(self, request: SiteRequest) -> SiteResponse:
         """One site call with retries, backoff + jitter, and deadlines.
@@ -257,12 +276,3 @@ class Transport(abc.ABC):
     def describe(self) -> str:
         return (f"{self.name} transport "
                 f"(max_retries={self.retry.max_retries})")
-
-
-def run_round_threaded(transport: Transport,
-                       requests: Sequence[SiteRequest],
-                       submit: Callable) -> dict[SiteId, SiteResponse]:
-    """Fan a round out over an executor's ``submit``; preserves errors."""
-    futures = [(request.site_id, submit(transport.call, request))
-               for request in requests]
-    return {site_id: future.result() for site_id, future in futures}

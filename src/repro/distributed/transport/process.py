@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import threading
 import time
 import warnings
+from collections import defaultdict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
 
@@ -34,8 +36,9 @@ from repro.errors import SiteFailure, TransportError
 from repro.relational.io import decode_relation, encode_relation
 from repro.distributed.messages import SiteId
 from repro.distributed.transport.base import (
-    RetryPolicy, SiteRequest, SiteResponse, Transport, run_round_threaded)
+    RetryPolicy, SiteRequest, SiteResponse, Transport, perform_request)
 from repro.distributed.transport.inprocess import InProcessTransport
+from repro.distributed.transport.scatter import scatter_gather
 from repro.distributed.transport.worker import CALL, INIT, SHUTDOWN, serve
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -107,16 +110,29 @@ class MultiprocessTransport(Transport):
                  seed: int | None = None,
                  start_method: str | None = None,
                  fault_specs: Mapping[SiteId, "ProcessFaultSpec"]
-                 | None = None):
+                 | None = None,
+                 max_inflight: int | None = None,
+                 hedge: "object | bool | None" = None):
         if retry is None:
             retry = RetryPolicy(base_delay=0.02, max_delay=0.5)
-        super().__init__(sites, retry=retry, seed=seed)
+        super().__init__(sites, retry=retry, seed=seed,
+                         max_inflight=max_inflight, hedge=hedge)
         self._context = multiprocessing.get_context(
             start_method or _default_start_method())
         self._workers: dict[SiteId, _Worker] = {}
+        #: Serializes pipe use per site: a hedged round may leave its
+        #: losing primary blocked on the worker's connection; the next
+        #: round's call to that site must wait for the frame exchange
+        #: to finish rather than interleave on the same pipe.
+        self._pipe_locks: defaultdict[SiteId, threading.Lock] = \
+            defaultdict(threading.Lock)
         self._fault_specs = dict(fault_specs or {})
         self._spawned_once: set[SiteId] = set()
         self._fallback: InProcessTransport | None = None
+        #: set while close() tears the pool down — a late scatter thread
+        #: (hedged round losers keep draining their pipes after the round
+        #: resolves) must not respawn into a dying pool.
+        self._closing = False
         #: one-time setup traffic (site fragments shipped to workers);
         #: reported separately from per-round wire bytes.
         self.setup_bytes = 0
@@ -128,6 +144,7 @@ class MultiprocessTransport(Transport):
     def start(self) -> None:
         if self._started:
             return
+        self._closing = False
         if self._fallback is None and not self._workers:
             try:
                 for site_id in sorted(self.sites):
@@ -144,15 +161,21 @@ class MultiprocessTransport(Transport):
         super().start()
 
     def close(self) -> None:
+        # Flag first: a hedged round's losing primary may still be
+        # blocked on its pipe in a background thread and must not
+        # respawn a worker into the pool we are about to drain.
+        self._closing = True
         if self._fallback is not None:
             self._fallback.close()
-        for worker in self._workers.values():
+        workers = list(self._workers.values())
+        self._workers.clear()
+        for worker in workers:
             try:
                 worker.connection.send_bytes(
                     pickle.dumps({"kind": SHUTDOWN}))
             except (BrokenPipeError, OSError):
                 pass
-        for worker in self._workers.values():
+        for worker in workers:
             worker.process.join(SHUTDOWN_GRACE)
             if worker.process.is_alive():
                 worker.kill()
@@ -161,7 +184,6 @@ class MultiprocessTransport(Transport):
                     worker.connection.close()
                 except OSError:  # pragma: no cover
                     pass
-        self._workers.clear()
         super().close()
 
     def invalidate(self, site_ids: Sequence[SiteId] | None = None) -> None:
@@ -184,9 +206,10 @@ class MultiprocessTransport(Transport):
                 worker.kill()
 
     def _teardown_workers(self) -> None:
-        for worker in self._workers.values():
-            worker.kill()
+        workers = list(self._workers.values())
         self._workers.clear()
+        for worker in workers:
+            worker.kill()
 
     @property
     def degraded(self) -> bool:
@@ -238,6 +261,9 @@ class MultiprocessTransport(Transport):
         worker = self._workers.pop(site_id, None)
         if worker is not None:
             worker.kill()
+        if self._closing:
+            raise TransportError(
+                f"transport closing; not respawning site {site_id}")
         self._workers[site_id] = self._spawn(site_id)
         with self._lock:
             self.total_respawns += 1
@@ -248,23 +274,55 @@ class MultiprocessTransport(Transport):
                   ) -> dict[SiteId, SiteResponse]:
         self._ensure_started()
         if self._fallback is not None:
-            return self._fallback.run_round(requests)
-        if len(requests) <= 1:
-            return {request.site_id: self.call(request)
-                    for request in requests}
+            responses = self._fallback.run_round(requests)
+            self.last_round_stats = self._fallback.last_round_stats
+            return responses
+        if len(requests) <= 1 or self.max_inflight == 1:
+            return super().run_round(requests)  # sequential, with stats
         # Each call blocks on its own pipe; fan out on threads so the
-        # worker processes genuinely run concurrently.
+        # worker processes genuinely run concurrently.  The pool is
+        # per-round; hedged rounds may resolve before every losing
+        # primary has drained its pipe, so shutdown must not wait —
+        # the per-site pipe locks keep late frames ordered.
         from concurrent.futures import ThreadPoolExecutor
-        with ThreadPoolExecutor(
-                max_workers=min(32, len(requests)),
-                thread_name_prefix="skalla-pipe") as pool:
-            return run_round_threaded(self, requests, pool.submit)
+        workers = min(self.max_inflight or 32, len(requests))
+        pool = ThreadPoolExecutor(max_workers=workers + 2,
+                                  thread_name_prefix="skalla-pipe")
+        try:
+            responses, stats = scatter_gather(
+                self.call, requests, pool.submit,
+                hedge=self.hedge_policy, hedge_call=self.local_call)
+        finally:
+            pool.shutdown(wait=False)
+        self.last_round_stats = stats
+        return responses
+
+    def local_call(self, request: SiteRequest) -> SiteResponse:
+        """Serve one request from the coordinator's live site copy.
+
+        Used for hedged straggler re-dispatch: the worker's fragment is
+        a pickled snapshot *of this copy*, so the result is
+        bit-identical to what the worker would return, without touching
+        (and possibly double-using) the straggler's pipe.
+        """
+        started = time.perf_counter()
+        relation, seconds = perform_request(
+            self._site(request.site_id), request)
+        return SiteResponse(site_id=request.site_id, relation=relation,
+                            compute_seconds=seconds,
+                            wall_seconds=time.perf_counter() - started)
 
     def _invoke(self, request: SiteRequest) -> SiteResponse:
         if self._fallback is not None:
             return self._fallback._invoke(request)
         site_id = request.site_id
         started = time.perf_counter()
+        with self._pipe_locks[site_id]:
+            return self._invoke_locked(request, started)
+
+    def _invoke_locked(self, request: SiteRequest,
+                       started: float) -> SiteResponse:
+        site_id = request.site_id
         worker = self._workers.get(site_id)
         if worker is None or not worker.alive():
             try:

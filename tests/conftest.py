@@ -1,8 +1,19 @@
-"""Shared fixtures: small deterministic data sets and warehouses."""
+"""Shared fixtures: small deterministic data sets and warehouses.
+
+Randomized suites (fuzz, property, differential) take their entropy
+from one knob — ``REPRO_TEST_SEED`` (see ``tests/seeding.py``).  The
+active seed is echoed into every failure report so reruns are a
+one-liner; hypothesis gets a registered profile with
+``print_blob=True`` for the same reason.
+"""
 
 from __future__ import annotations
 
 import pytest
+
+from hypothesis import settings
+
+from tests.seeding import active_seed
 
 from repro.data.flows import generate_flows, router_as_ranges
 from repro.data.tpch import generate_tpcr
@@ -12,6 +23,29 @@ from repro.distributed.engine import SkallaEngine
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.types import DataType
+
+
+settings.register_profile("repro", print_blob=True, deadline=None)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def repro_seed() -> int:
+    """The suite-wide deterministic seed (``REPRO_TEST_SEED`` env)."""
+    return active_seed()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Echo the active seed on every test failure."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        report.sections.append(
+            ("randomized-test seed",
+             f"active seed {active_seed()} — rerun this test with "
+             f"REPRO_TEST_SEED={active_seed()} (env) to reproduce, or "
+             f"set a different value to explore"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,208 @@
+"""Sub-aggregate cache vs in-flight appends: race regression tests.
+
+Hit/miss classification happens *before* a round is scattered; with
+concurrent dispatch an :meth:`SkallaEngine.append` can land while the
+round is in flight.  Two races must never corrupt results:
+
+* **stale HIT** — an entry classified HIT is invalidated mid-flight.
+  The engine re-validates every HIT at *gather time* and demotes it
+  (``SubAggregateCache.revalidate``); serving the pre-append snapshot
+  would silently drop the appended rows from the answer.
+* **poisoned populate** — a response computed for a MISS lands after
+  the site's version moved.  Whether the computation saw the appended
+  rows is unknowable, so ``populate`` refuses to store it; caching it
+  under either version would make a later delta merge double-apply
+  (or lose) the append.
+
+Both are tested at the cache-API level (deterministic interleaving)
+and through the engine with a transport that injects the append at the
+worst possible moment.
+"""
+
+import pytest
+
+from repro.relational.aggregates import count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.core.builder import QueryBuilder, agg
+from repro.cache import DELTA, HIT, MISS, SubAggregateCache
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.partition import partition_round_robin
+from repro.distributed.plan import NO_OPTIMIZATIONS
+from repro.distributed.transport import SiteRequest
+from repro.distributed.transport.inprocess import InProcessTransport
+
+
+@pytest.fixture()
+def detail():
+    return Relation.from_dicts([
+        {"g": i % 4, "v": float(i)} for i in range(400)])
+
+
+def new_rows(start, count=40):
+    return Relation.from_dicts([
+        {"g": i % 4, "v": float(1000 + start + i)} for i in range(count)])
+
+
+def simple_query():
+    return (QueryBuilder()
+            .base("g")
+            .gmdj([count_star("n"), agg("sum", "v", "s")], r.g == b.g)
+            .build())
+
+
+def base_request(site_id, query):
+    return SiteRequest(site_id=site_id, kind="base",
+                       base_query=query.base)
+
+
+# ---------------------------------------------------------------------------
+# Cache-API level: deterministic interleavings
+# ---------------------------------------------------------------------------
+
+class TestCacheApiRaces:
+    def test_hit_demoted_when_append_lands_in_flight(self, detail):
+        cache = SubAggregateCache()
+        query = simple_query()
+        request = base_request(0, query)
+        miss = cache.decide(request)
+        assert miss.outcome == MISS
+        assert cache.populate(miss, detail)  # warm the entry
+
+        decision = cache.decide(request)
+        assert decision.outcome == HIT
+        assert cache.revalidate(decision)  # nothing raced: still good
+
+        # the round is "in flight" — an append lands now
+        cache.on_append(0, new_rows(0))
+        assert not cache.revalidate(decision)
+        assert cache.stats()["stale_hits_averted"] == 1
+        # re-deciding resolves to the delta-merge path, never the
+        # stale snapshot
+        fresh = cache.decide(request)
+        assert fresh.outcome == DELTA
+
+    def test_populate_refused_when_version_moved_in_flight(self, detail):
+        cache = SubAggregateCache()
+        request = base_request(0, simple_query())
+        decision = cache.decide(request)
+        assert decision.outcome == MISS
+
+        # the site call is in flight when the append lands
+        cache.on_append(0, new_rows(0))
+        assert not cache.populate(decision, detail)
+        assert cache.stats()["populate_races"] == 1
+        # nothing was stored: the next lookup is a clean miss, not a
+        # hit on a relation of unknowable snapshot
+        assert cache.decide(request).outcome == MISS
+
+    def test_populate_succeeds_when_no_append_raced(self, detail):
+        cache = SubAggregateCache()
+        request = base_request(0, simple_query())
+        decision = cache.decide(request)
+        assert cache.populate(decision, detail)
+        assert cache.decide(request).outcome == HIT
+        assert cache.stats()["populate_races"] == 0
+
+    def test_hit_counters_net_out_after_demotion(self, detail):
+        cache = SubAggregateCache()
+        request = base_request(0, simple_query())
+        cache.populate(cache.decide(request), detail)
+        decision = cache.decide(request)
+        hits_before = cache.stats()["hits"]
+        cache.on_append(0, new_rows(0))
+        assert not cache.revalidate(decision)
+        # the optimistic hit was rebooked as a miss
+        assert cache.stats()["hits"] == hits_before - 1
+
+
+# ---------------------------------------------------------------------------
+# Engine level: append injected at the worst moment of a round
+# ---------------------------------------------------------------------------
+
+class AppendDuringRoundTransport(InProcessTransport):
+    """Lands an append right when the first round is in flight.
+
+    ``run_round`` fires after classification (decisions are frozen) and
+    before responses are gathered — exactly the window a concurrent
+    append exploits.  The append goes through ``SkallaEngine.append``,
+    so fragment, cache version, and delta log all move together.
+    """
+
+    name = "append-during-round"
+
+    def __init__(self, sites, engine, rows, retry=None, **options):
+        super().__init__(sites, retry=retry, **options)
+        self._engine = engine
+        self._rows = rows
+        self.fired = False
+
+    def run_round(self, requests):
+        if not self.fired:
+            self.fired = True
+            self._engine.append(0, self._rows)
+        return super().run_round(requests)
+
+
+class TestEngineRaces:
+    def test_mid_flight_append_never_caches_poisoned_entry(self, detail):
+        partitions = partition_round_robin(detail, 3)
+        engine = SkallaEngine(partitions, cache=True)
+        rows = new_rows(0)
+        transport = AppendDuringRoundTransport(engine.sites, engine, rows)
+        engine.use_transport(transport)
+        query = simple_query()
+
+        result = engine.execute(query, NO_OPTIMIZATIONS)
+        # the appended rows were ingested before site 0's fragment was
+        # scanned, so the answer reflects them
+        reference = query.evaluate_centralized(
+            engine.total_detail_relation())
+        assert result.relation.multiset_equals(reference)
+        # site 0's response must NOT have been cached: its version
+        # moved mid-flight
+        assert engine.cache.stats()["populate_races"] >= 1
+
+        # warm run: still correct, and site 0 re-scans (its entry was
+        # refused) while the untouched sites hit
+        warm = engine.execute(query, NO_OPTIMIZATIONS)
+        assert warm.relation.multiset_equals(reference)
+        assert warm.metrics.cache_hits >= 1
+        assert warm.metrics.site_scans >= 1
+        engine.close()
+
+    def test_gather_time_revalidation_serves_fresh_rows(self, detail):
+        """A warm HIT invalidated mid-flight is recomputed, not served."""
+        partitions = partition_round_robin(detail, 3)
+        engine = SkallaEngine(partitions, cache=True)
+        query = simple_query()
+        engine.execute(query, NO_OPTIMIZATIONS)  # warm every site
+
+        rows = new_rows(100)
+        transport = AppendDuringRoundTransport(engine.sites, engine, rows)
+        engine.use_transport(transport)
+        # Fully warm cache: no misses, so the injected transport never
+        # fires — emulate the in-flight append by hooking the *hit*
+        # path instead: append right after classification.
+        decisions_seen = []
+        original_classify = engine._classify
+
+        def classify_then_append(requests):
+            decisions = original_classify(requests)
+            if not transport.fired:
+                transport.fired = True
+                engine.append(0, rows)
+            decisions_seen.append(decisions)
+            return decisions
+
+        engine._classify = classify_then_append
+        result = engine.execute(query, NO_OPTIMIZATIONS)
+        engine._classify = original_classify
+
+        reference = query.evaluate_centralized(
+            engine.total_detail_relation())
+        # served from post-append state — the stale snapshot would be
+        # missing the appended rows' contribution
+        assert result.relation.multiset_equals(reference)
+        assert engine.cache.stats()["stale_hits_averted"] >= 1
+        engine.close()

@@ -1,0 +1,265 @@
+"""Differential/property oracle harness for distributed execution.
+
+Randomized GMDJ plans (hypothesis — seeded via ``REPRO_TEST_SEED``,
+shrinkable, reproducible from the printed blob) are executed on the
+distributed :class:`SkallaEngine` and compared **bit-identically**
+(``multiset_equals``) against the single-site oracle
+``GmdjExpression.evaluate_centralized`` over the same detail rows.
+
+Coverage axes:
+
+* all three transports — ``inprocess`` (fresh random data + random
+  partitioning per example), ``thread`` and ``process`` (fixed
+  module-scoped warehouses; each example draws only a plan, so the
+  process pool spawns once, not per example);
+* in-order vs deliberately *out-of-order* gather (a shuffling
+  transport that serves each round's requests in a random order —
+  Theorem 1 synchronization must not care who answers first);
+* with and without the sub-aggregate cache (cold + warm runs must
+  both match the oracle);
+* with and without group-reduction optimizations.
+
+Example counts scale with ``REPRO_DIFFERENTIAL_EXAMPLES`` (default 25
+per test for tier-1 speed; CI and ``make test-differential`` run the
+full 200 per transport under three distinct seeds).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.seeding import active_seed, seeded
+
+from repro.core.builder import QueryBuilder, agg
+from repro.data.flows import generate_flows
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.partition import partition_round_robin
+from repro.distributed.plan import OptimizationFlags
+from repro.distributed.transport.inprocess import InProcessTransport
+from repro.relational.aggregates import count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+#: examples per hypothesis test (CI cranks this to 200).
+EXAMPLES = int(os.environ.get("REPRO_DIFFERENTIAL_EXAMPLES", "25"))
+
+DETAIL_SCHEMA = Schema.of(("g", DataType.INT64), ("h", DataType.INT64),
+                          ("v", DataType.FLOAT64))
+
+#: attribute pool for random plans over the flow warehouse.
+FLOW_GROUPS = ["SourceAS", "DestAS", "RouterId"]
+FLOW_MEASURES = ["NumBytes", "NumPackets"]
+
+FLAG_CHOICES = [
+    OptimizationFlags(),
+    OptimizationFlags(coalesce=True),
+    OptimizationFlags(group_reduction_independent=True),
+    OptimizationFlags.all(),
+]
+
+
+class ShufflingTransport(InProcessTransport):
+    """Serves each round's requests in a random order.
+
+    The engine consumes responses keyed by site id, and Theorem 1
+    synchronization is order-insensitive — so a permuted completion
+    order (what a real scatter produces) must never change results.
+    The permutation is drawn from a dedicated RNG so runs stay
+    reproducible under ``REPRO_TEST_SEED``.
+    """
+
+    name = "shuffling"
+
+    def __init__(self, sites, retry=None, seed=None, **options):
+        super().__init__(sites, retry=retry, **options)
+        self._order = random.Random(seed if seed is not None
+                                    else active_seed())
+
+    def run_round(self, requests):
+        shuffled = list(requests)
+        self._order.shuffle(shuffled)
+        return super().run_round(shuffled)
+
+
+# ---------------------------------------------------------------------------
+# Plan strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def small_details(draw, min_rows=1, max_rows=80):
+    rows = draw(st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 3),
+                  st.floats(-1000, 1000, allow_nan=False, width=32)),
+        min_size=min_rows, max_size=max_rows))
+    return Relation.from_rows(DETAIL_SCHEMA, rows)
+
+
+def _aggregates(draw, measure_pool, index):
+    """One round's aggregate list over ``measure_pool`` columns."""
+    specs = [count_star(f"n{index}")]
+    for position, func in enumerate(draw(st.lists(
+            st.sampled_from(["sum", "min", "max", "avg"]),
+            min_size=0, max_size=2))):
+        column = draw(st.sampled_from(measure_pool))
+        specs.append(agg(func, column, f"x{index}_{position}"))
+    return specs
+
+
+@st.composite
+def synthetic_plans(draw):
+    """A 1–2 round GMDJ expression over the g/h/v schema."""
+    base_attrs = draw(st.sampled_from([("g",), ("g", "h")]))
+    builder = QueryBuilder().base(*base_attrs)
+    num_rounds = draw(st.integers(1, 2))
+    for index in range(num_rounds):
+        condition = r.g == b.g
+        if "h" in base_attrs and draw(st.booleans()):
+            condition = condition & (r.h == b.h)
+        variant = draw(st.integers(0, 2))
+        if variant == 1:
+            threshold = draw(st.floats(-500, 500, allow_nan=False,
+                                       width=32))
+            condition = condition & (r.v >= threshold)
+        elif variant == 2 and index > 0:
+            # correlated: compare the detail against a prior round's
+            # aggregate (the paper's multi-round killer feature).
+            condition = condition & (r.v <= b.n0 * 100.0)
+        builder = builder.gmdj(_aggregates(draw, ["v"], index), condition)
+    return builder.build()
+
+
+@st.composite
+def flow_plans(draw):
+    """A 1–2 round GMDJ expression over the flow schema."""
+    attrs = draw(st.lists(st.sampled_from(FLOW_GROUPS), min_size=1,
+                          max_size=2, unique=True))
+    builder = QueryBuilder().base(*attrs)
+    for index in range(draw(st.integers(1, 2))):
+        condition = None
+        for attr in attrs:
+            term = getattr(r, attr) == getattr(b, attr)
+            condition = term if condition is None else condition & term
+        if draw(st.booleans()):
+            measure = draw(st.sampled_from(FLOW_MEASURES))
+            threshold = draw(st.integers(0, 5_000))
+            condition = condition & (getattr(r, measure) >= threshold)
+        builder = builder.gmdj(
+            _aggregates(draw, FLOW_MEASURES, index), condition)
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Fixed warehouses for the pooled transports
+# ---------------------------------------------------------------------------
+
+def _flow_detail() -> Relation:
+    return generate_flows(num_flows=1_200, num_routers=4, num_source_as=8,
+                          num_dest_as=4, seed=active_seed(21))
+
+
+@pytest.fixture(scope="module")
+def flow_detail() -> Relation:
+    return _flow_detail()
+
+
+def _pooled_engine(detail: Relation, transport: str) -> SkallaEngine:
+    partitions = partition_round_robin(detail, 4)
+    return SkallaEngine(partitions, transport=transport, cache=True)
+
+
+@pytest.fixture(scope="module")
+def thread_engine(flow_detail):
+    with _pooled_engine(flow_detail, "thread") as engine:
+        yield engine
+
+
+@pytest.fixture(scope="module")
+def process_engine(flow_detail):
+    with _pooled_engine(flow_detail, "process") as engine:
+        yield engine
+
+
+# ---------------------------------------------------------------------------
+# The differential tests
+# ---------------------------------------------------------------------------
+
+class TestInProcessDifferential:
+    """Fresh random data + partitioning + plan per example."""
+
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_oracle(self, data):
+        detail = data.draw(small_details())
+        expression = data.draw(synthetic_plans())
+        num_sites = data.draw(st.integers(1, 4))
+        assignment = np.array(data.draw(st.lists(
+            st.integers(0, num_sites - 1), min_size=detail.num_rows,
+            max_size=detail.num_rows)))
+        partitions = {site: detail.filter(assignment == site)
+                      for site in range(num_sites)}
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        use_cache = data.draw(st.booleans())
+        reference = expression.evaluate_centralized(detail)
+        engine = SkallaEngine(partitions, cache=use_cache)
+        result = engine.execute(expression, flags)
+        assert result.relation.multiset_equals(reference), \
+            flags.describe()
+        if use_cache:
+            warm = engine.execute(expression, flags)
+            assert warm.relation.multiset_equals(reference)
+
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_out_of_order_gather_matches_oracle(self, data):
+        detail = data.draw(small_details())
+        expression = data.draw(synthetic_plans())
+        num_sites = data.draw(st.integers(2, 4))
+        partitions = partition_round_robin(detail, num_sites)
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        reference = expression.evaluate_centralized(detail)
+        engine = SkallaEngine(partitions, cache=data.draw(st.booleans()))
+        engine.use_transport(ShufflingTransport(
+            engine.sites, seed=data.draw(st.integers(0, 2**16))))
+        result = engine.execute(expression, flags)
+        assert result.relation.multiset_equals(reference), \
+            flags.describe()
+
+
+class PooledDifferentialMixin:
+    """Shared body: fixed warehouse, random plans, scatter dispatch."""
+
+    def run_case(self, engine, data):
+        expression = data.draw(flow_plans())
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        reference = expression.evaluate_centralized(
+            engine.total_detail_relation())
+        cold = engine.execute(expression, flags)
+        assert cold.relation.multiset_equals(reference), flags.describe()
+        # warm rerun through the (always-on) sub-aggregate cache
+        warm = engine.execute(expression, flags)
+        assert warm.relation.multiset_equals(reference), flags.describe()
+
+
+class TestThreadDifferential(PooledDifferentialMixin):
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_oracle(self, thread_engine, data):
+        self.run_case(thread_engine, data)
+
+
+class TestProcessDifferential(PooledDifferentialMixin):
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_oracle(self, process_engine, data):
+        self.run_case(process_engine, data)

@@ -16,6 +16,8 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from tests.seeding import seeded, active_seed
+
 from repro.relational.aggregates import (
     AggregateSpec, count_star, merge_grouped, primitive_reduce)
 from repro.relational.expressions import b, r
@@ -60,6 +62,7 @@ def correlated_query():
 
 
 class TestPartitionInvariance:
+    @seeded
     @settings(max_examples=40, deadline=None)
     @given(data=st.data())
     def test_any_partition_same_result(self, data):
@@ -79,6 +82,7 @@ class TestPartitionInvariance:
             assert result.relation.multiset_equals(reference), \
                 flags.describe()
 
+    @seeded
     @settings(max_examples=25, deadline=None)
     @given(data=st.data())
     def test_theorem2_bound_holds(self, data):
@@ -98,6 +102,7 @@ class TestPartitionInvariance:
 
 
 class TestMergeProperties:
+    @seeded
     @settings(max_examples=60, deadline=None)
     @given(values=st.lists(st.floats(-1e6, 1e6, allow_nan=False, width=32),
                            min_size=0, max_size=30),
@@ -122,6 +127,7 @@ class TestMergeProperties:
                 assert np.isclose(merged, direct, rtol=1e-9, atol=1e-6), \
                     primitive
 
+    @seeded
     @settings(max_examples=40, deadline=None)
     @given(values=st.lists(st.floats(-1e3, 1e3, allow_nan=False, width=32),
                            min_size=1, max_size=40),
@@ -139,6 +145,7 @@ class TestMergeProperties:
 
 
 class TestGroupReductionSoundness:
+    @seeded
     @settings(max_examples=40, deadline=None)
     @given(data=st.data())
     def test_derived_filter_keeps_matching_groups(self, data):
@@ -166,6 +173,7 @@ class TestGroupReductionSoundness:
 
 
 class TestCoalescingEquivalence:
+    @seeded
     @settings(max_examples=30, deadline=None)
     @given(data=st.data())
     def test_random_coalescible_chain(self, data):
@@ -187,6 +195,7 @@ class TestCoalescingEquivalence:
 
 
 class TestRelationProperties:
+    @seeded
     @settings(max_examples=50, deadline=None)
     @given(values=st.lists(st.integers(-5, 5), max_size=50))
     def test_distinct_matches_set(self, values):
@@ -196,6 +205,7 @@ class TestRelationProperties:
         assert set(relation.distinct().column("x").tolist()) == set(values)
         assert relation.distinct().num_rows == len(set(values))
 
+    @seeded
     @settings(max_examples=50, deadline=None)
     @given(values=st.lists(st.integers(-5, 5), max_size=50))
     def test_group_codes_consistent(self, values):
@@ -207,6 +217,7 @@ class TestRelationProperties:
             for j in range(i + 1, len(values)):
                 assert (codes[i] == codes[j]) == (values[i] == values[j])
 
+    @seeded
     @settings(max_examples=30, deadline=None)
     @given(values=st.lists(
         st.tuples(st.integers(0, 3),

@@ -10,6 +10,8 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from tests.seeding import seeded, active_seed
+
 from repro.relational.aggregates import AggregateSpec, count_star
 from repro.relational.expressions import b, r
 from repro.relational.relation import Relation
@@ -43,6 +45,7 @@ def simple_query():
 
 
 class TestHierarchyProperties:
+    @seeded
     @settings(max_examples=20, deadline=None)
     @given(data=st.data())
     def test_random_tree_matches_centralized(self, data):
@@ -63,6 +66,7 @@ class TestHierarchyProperties:
 
 
 class TestHeterogeneousProperties:
+    @seeded
     @settings(max_examples=20, deadline=None)
     @given(data=st.data())
     def test_partition_invariance(self, data):
@@ -97,6 +101,7 @@ class TestHeterogeneousProperties:
 
 
 class TestStreamingProperty:
+    @seeded
     @settings(max_examples=20, deadline=None)
     @given(data=st.data())
     def test_streaming_identical_results(self, data):
@@ -116,6 +121,7 @@ class TestStreamingProperty:
 
 
 class TestPivotProperty:
+    @seeded
     @settings(max_examples=30, deadline=None)
     @given(data=st.data())
     def test_unpivot_then_pivot_identity(self, data):

@@ -13,13 +13,15 @@ schema, then checks the pipeline invariants:
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from tests.seeding import seeded, active_seed
+
 from repro.data.flows import generate_flows
 from repro.relational.aggregates import AggregateSpec, count_star
 from repro.relational.operators import group_by
 from repro.sql.compiler import compile_query, compile_sql
 
 FLOWS = generate_flows(num_flows=800, num_routers=3, num_source_as=8,
-                       num_dest_as=4, seed=13)
+                       num_dest_as=4, seed=active_seed(13))
 
 GROUP_ATTRS = ["SourceAS", "DestAS", "DestPort", "RouterId"]
 MEASURES = ["NumBytes", "NumPackets", "StartTime"]
@@ -71,6 +73,7 @@ def statements(draw):
 
 
 class TestFuzz:
+    @seeded
     @settings(max_examples=60, deadline=None)
     @given(data=statements())
     def test_pipeline_invariants(self, data):
@@ -93,6 +96,7 @@ class TestFuzz:
             diffs = np.diff(values)
             assert np.all(diffs >= 0) or np.all(diffs <= 0)
 
+    @seeded
     @settings(max_examples=30, deadline=None)
     @given(attrs=st.lists(st.sampled_from(GROUP_ATTRS), min_size=1,
                           max_size=2, unique=True),
