@@ -1,7 +1,7 @@
 # Convenience targets; `make ci` runs exactly what GitHub Actions runs.
 
 .PHONY: ci lint test coverage test-differential bench bench-cache \
-	bench-parallel
+	bench-parallel bench-sketches
 
 ci:
 	sh scripts/ci.sh all
@@ -33,3 +33,8 @@ bench-cache:
 # benchmarks/results/ext_parallel*.txt).
 bench-parallel:
 	PYTHONPATH=src python -m pytest benchmarks/bench_ext_parallel.py -q
+
+# Full-scale sketch-traffic benchmark (regenerates
+# benchmarks/results/ext_sketches*.txt).
+bench-sketches:
+	PYTHONPATH=src python -m pytest benchmarks/bench_ext_sketches.py -q

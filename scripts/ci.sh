@@ -12,9 +12,10 @@
 #   scripts/ci.sh differential  the oracle harness at 200 examples per
 #                               transport, re-run under three distinct
 #                               seeds (REPRO_TEST_SEED)
-#   scripts/ci.sh bench         the transport, cache, and parallel-dispatch
-#                               benchmarks as smoke tests, at a reduced
-#                               row count so they finish in seconds
+#   scripts/ci.sh bench         the transport, cache, parallel-dispatch,
+#                               and sketch-traffic benchmarks as smoke
+#                               tests, at a reduced row count so they
+#                               finish in seconds
 #   scripts/ci.sh all           lint + test + differential + bench
 #                               (the default)
 #
@@ -66,7 +67,8 @@ differential() {
     for seed in 2002 31337 777; do
         echo "== differential: 200 examples/transport, seed $seed =="
         REPRO_TEST_SEED=$seed REPRO_DIFFERENTIAL_EXAMPLES=200 \
-            "$PYTHON" -m pytest tests/test_differential.py -x -q
+            "$PYTHON" -m pytest tests/test_differential.py \
+            tests/test_differential_sketches.py -x -q
     done
 }
 
@@ -82,6 +84,10 @@ bench() {
     echo "== bench: parallel dispatch smoke =="
     REPRO_BENCH_ROWS=${REPRO_BENCH_ROWS:-8000} \
         "$PYTHON" -m pytest benchmarks/bench_ext_parallel.py -x -q \
+        --benchmark-disable
+    echo "== bench: sketch traffic smoke =="
+    REPRO_BENCH_ROWS=${REPRO_BENCH_ROWS:-8000} \
+        "$PYTHON" -m pytest benchmarks/bench_ext_sketches.py -x -q \
         --benchmark-disable
 }
 

@@ -19,7 +19,12 @@ the coordinator already applies across sites
 
 * **Non-decomposable aggregates** (holistic ones such as MEDIAN /
   COUNT DISTINCT in exact mode) do not admit sub-/super-aggregate
-  merging at all — full recompute.
+  merging at all — full recompute.  Their *sketched* counterparts
+  (APPROX_MEDIAN / APPROX_PERCENTILE / APPROX_COUNT_DISTINCT,
+  :mod:`repro.sketches`) carry bounded mergeable states and therefore
+  stay on the delta-merge side: ``H(F)`` = sketch-merge of ``H(F_old)``
+  and ``H(Δ)`` is exact sketch semantics, because every sketch is a
+  commutative monoid over multiset union.
 * **Multi-GMDJ steps** (synchronization reduction, Thm. 5): a site
   chains the step's GMDJs locally, *finalizing* earlier aggregates over
   its own fragment so later conditions (e.g. ``r.Price >= b.avg1``) can

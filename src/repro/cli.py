@@ -121,6 +121,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rows to print (default 20)")
     query.add_argument("--explain", action="store_true",
                        help="also print the plan")
+    query.add_argument("--sketch-precision", type=int, default=None,
+                       metavar="P",
+                       help="accuracy/space knob for APPROX_* aggregates "
+                            "(4-18): HyperLogLog uses 2**P registers, the "
+                            "quantile sketch scales its k to match; "
+                            "default leaves each sketch at its built-in "
+                            "default (P=12, k=200)")
 
     explain = commands.add_parser(
         "explain", help="show the distributed plan without executing")
@@ -128,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("sql")
     explain.add_argument("--optimize", choices=sorted(OPTIMIZE_LEVELS),
                          default="all")
+    explain.add_argument("--sketch-precision", type=int, default=None,
+                         metavar="P",
+                         help="accuracy/space knob for APPROX_* "
+                              "aggregates (4-18)")
     return parser
 
 
@@ -200,7 +211,8 @@ def _cmd_query(args) -> int:
                          hedge=args.hedge)
     if args.cache:
         engine.enable_cache(budget_mb=args.cache_budget_mb)
-    compiled = compile_query(args.sql, engine.detail_schema)
+    compiled = compile_query(args.sql, engine.detail_schema,
+                             sketch_precision=args.sketch_precision)
     expression = compiled.expression
     flags = _resolve_flags(args.optimize)
     repeats = max(1, args.repeat)
@@ -243,12 +255,18 @@ def _cmd_query(args) -> int:
               f"{metrics.site_scans} site scan(s); "
               f"{metrics.cache_bytes_saved:,} bytes saved "
               f"[{engine.cache.describe()}]")
+    if metrics.sketch_state_bytes:
+        print(f"sketches: {metrics.sketch_state_bytes:,} state bytes vs "
+              f"{metrics.sketch_exact_bytes:,} exact-shipping bytes "
+              f"({metrics.sketch_compression_ratio:.1f}x)")
     return 0
 
 
 def _cmd_explain(args) -> int:
     engine = load_warehouse(args.warehouse)
-    expression = compile_query(args.sql, engine.detail_schema).expression
+    expression = compile_query(
+        args.sql, engine.detail_schema,
+        sketch_precision=args.sketch_precision).expression
     flags = _resolve_flags(args.optimize)
     plan = build_plan(expression, flags, engine.info,
                       engine.detail_schema, sites=engine.site_ids)

@@ -35,7 +35,8 @@ import numpy as np
 
 from repro.errors import QueryError
 from repro.relational.aggregates import (
-    AggregateSpec, primitive_empty, primitive_grouped, primitive_reduce)
+    AggregateSpec, place_grouped, primitive_empty, primitive_grouped,
+    primitive_reduce)
 from repro.relational.conditions import ConditionAnalysis
 from repro.relational.expressions import evaluate_predicate
 from repro.relational.relation import Relation
@@ -173,14 +174,11 @@ def _evaluate_grouped(aggregates, analysis, base, detail, codes_cache=None):
         values = detail.column(spec.column) if spec.column is not None else None
         if spec.function.decomposable:
             for field in spec.state_fields(detail.schema):
-                grouped = primitive_grouped(field.primitive, detail_codes,
-                                            values, num_groups)
-                empty = primitive_empty(field.primitive)
-                if num_groups:
-                    result = np.where(matched, grouped[gather], empty)
-                else:
-                    result = np.full(num_base, empty)
-                states[field.name] = result.astype(field.dtype.numpy_dtype)
+                grouped = (primitive_grouped(field.primitive, detail_codes,
+                                             values, num_groups)
+                           if num_groups else None)
+                states[field.name] = place_grouped(
+                    field, grouped, matched, gather, num_base)
         else:
             states[f"{spec.alias}__holistic"] = _holistic_grouped(
                 spec, values, detail_codes, num_groups, matched, gather,
@@ -251,9 +249,18 @@ def _evaluate_scan(aggregates, analysis, base, detail, codes_cache=None):
         if spec.function.decomposable:
             fields = spec.state_fields(detail.schema)
             for field in fields:
-                outputs[field.name] = np.full(
-                    num_base, primitive_empty(field.primitive),
-                    dtype=field.dtype.numpy_dtype)
+                empty = primitive_empty(field.primitive)
+                if field.dtype is DataType.BYTES:
+                    # np.full with a bytes fill value goes through a
+                    # fixed-width 'S' intermediate and silently strips
+                    # trailing NUL bytes, corrupting serialized sketch
+                    # states.  fill() on an object array is NUL-safe.
+                    column = np.empty(num_base, dtype=object)
+                    column.fill(empty)
+                else:
+                    column = np.full(num_base, empty,
+                                     dtype=field.dtype.numpy_dtype)
+                outputs[field.name] = column
             fields_by_spec.append((spec, fields))
         else:
             empty = spec.function.compute(None, 0)

@@ -21,7 +21,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import PlanError
-from repro.relational.aggregates import merge_grouped, primitive_empty
+from repro.relational.aggregates import (
+    merge_spec_states_grouped, place_grouped)
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.core.evaluator import finalize_states, match_codes
@@ -98,17 +99,20 @@ class Coordinator:
         current = base
         for gmdj in step.gmdjs:
             merged_states: dict[str, np.ndarray] = {}
-            for field in gmdj.state_fields(self.detail_schema):
-                empty = primitive_empty(field.primitive)
+            for spec in gmdj.all_aggregates:
+                fields = spec.state_fields(self.detail_schema)
                 if num_groups and combined is not None:
-                    per_group = merge_grouped(
-                        field.primitive, h_codes, combined.column(field.name),
+                    columns = {field.name: combined.column(field.name)
+                               for field in fields}
+                    per_group = merge_spec_states_grouped(
+                        spec, self.detail_schema, h_codes, columns,
                         num_groups)
-                    merged = np.where(matched, per_group[gather], empty)
                 else:
-                    merged = np.full(base.num_rows, empty)
-                merged_states[field.name] = merged.astype(
-                    field.dtype.numpy_dtype)
+                    per_group = {field.name: None for field in fields}
+                for field in fields:
+                    merged_states[field.name] = place_grouped(
+                        field, per_group[field.name], matched, gather,
+                        base.num_rows)
             finalized = finalize_states(gmdj, merged_states,
                                         self.detail_schema)
             current = current.append_columns(

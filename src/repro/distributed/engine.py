@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.errors import PartitionError, PlanError, SchemaError
+from repro.relational.aggregates import sketch_primitive
 from repro.relational.expressions import Expr, evaluate_predicate
 from repro.relational.relation import Relation
 from repro.cache import DELTA, HIT, MISS, SubAggregateCache
@@ -437,6 +438,8 @@ class SkallaEngine:
                 response = outputs[site_id]
                 site_seconds.append(response.compute_seconds)
                 sub_results.append(response.relation)
+            self._account_sketch_bytes(phase, step, step_participants,
+                                       sub_results)
 
             if streaming:
                 network.end_phase()  # bytes are already logged; timing
@@ -460,6 +463,40 @@ class SkallaEngine:
             self._cache.prune_deltas()
         result = coordinator.final_result()
         return ExecutionResult(result, metrics, plan)
+
+    # -- sketch traffic accounting ------------------------------------------------
+
+    def _account_sketch_bytes(self, phase: PhaseMetrics, step,
+                              step_participants: Sequence[SiteId],
+                              sub_results: Sequence[Relation]) -> None:
+        """Record sketch uplink vs the exact-shipping counterfactual.
+
+        ``sketch_state_bytes`` sums the serialized sketch blobs in the
+        round's sub-results — the coordinator-side state the sites ship
+        (bounded by groups x sketch size, *independent of fragment
+        rows*).  ``sketch_exact_bytes`` is what exact evaluation of the
+        same holistic aggregates would have cost on the uplink: every
+        participating site shipping its raw detail values (8 B each) per
+        sketched aggregate, which grows linearly with the fact table.
+        """
+        sketch_columns: list[str] = []
+        for gmdj in step.gmdjs:
+            for spec in gmdj.all_aggregates:
+                for state in spec.state_fields(self.detail_schema):
+                    if sketch_primitive(state.primitive) is not None:
+                        sketch_columns.append(state.name)
+        if not sketch_columns:
+            return
+        for sub_result in sub_results:
+            present = set(sub_result.schema.names)
+            for name in sketch_columns:
+                if name in present:
+                    phase.sketch_state_bytes += sum(
+                        len(blob) for blob in sub_result.column(name))
+        fragment_rows = sum(self.sites[site_id].fragment.num_rows
+                            for site_id in step_participants)
+        phase.sketch_exact_bytes += (fragment_rows * 8
+                                     * len(sketch_columns))
 
     # -- cache-aware round fulfilment -------------------------------------------
 

@@ -72,6 +72,15 @@ def explain_analyze(result: ExecutionResult) -> str:
         scans = [f"{phase.name}={phase.site_scans}"
                  for phase in metrics.phases]
         lines.append(f"  scans per phase: {', '.join(scans)}")
+    if metrics.sketch_state_bytes:
+        lines.append("")
+        lines.append("sketch traffic (APPROX_* aggregates):")
+        lines.append(f"  sketch states  : {metrics.sketch_state_bytes:,} B "
+                     f"(bounded by groups x sketch size)")
+        lines.append(f"  exact shipping : {metrics.sketch_exact_bytes:,} B "
+                     f"(raw detail values, grows with |R|)")
+        lines.append(f"  compression    : "
+                     f"{metrics.sketch_compression_ratio:.1f}x")
     lines.append("")
     lines.append("traffic:")
     lines.append(f"  to coordinator : {metrics.bytes_to_coordinator:,} B")

@@ -30,7 +30,8 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.errors import PlanError, QueryError, SchemaError
-from repro.relational.aggregates import primitive_empty, merge_grouped
+from repro.relational.aggregates import (
+    merge_spec_states_grouped, place_grouped)
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.core.evaluator import (
@@ -229,17 +230,19 @@ class HeterogeneousEngine:
         matched = base_codes >= 0
         gather = np.where(matched, base_codes, 0)
         merged_states = {}
-        for field in gmdj.state_fields(detail_schema):
-            empty = primitive_empty(field.primitive)
+        for spec in gmdj.all_aggregates:
+            fields = spec.state_fields(detail_schema)
             if groups and combined is not None:
-                per_group = merge_grouped(field.primitive, h_codes,
-                                          combined.column(field.name),
-                                          groups)
-                values = np.where(matched, per_group[gather], empty)
+                spec_columns = {field.name: combined.column(field.name)
+                                for field in fields}
+                per_group = merge_spec_states_grouped(
+                    spec, detail_schema, h_codes, spec_columns, groups)
             else:
-                values = np.full(base.num_rows, empty)
-            merged_states[field.name] = values.astype(
-                field.dtype.numpy_dtype)
+                per_group = {field.name: None for field in fields}
+            for field in fields:
+                merged_states[field.name] = place_grouped(
+                    field, per_group[field.name], matched, gather,
+                    base.num_rows)
         finalized = finalize_states(gmdj, merged_states, detail_schema)
         return base.append_columns(
             [spec.output_attribute(detail_schema)

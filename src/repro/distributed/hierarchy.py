@@ -42,7 +42,8 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.errors import PlanError, SchemaError
-from repro.relational.aggregates import merge_grouped, primitive_empty
+from repro.relational.aggregates import (
+    merge_spec_states_grouped, place_grouped)
 from repro.relational.expressions import Expr, Or, evaluate_predicate
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -181,13 +182,18 @@ def combine_states_by_key(sub_results: Sequence[Relation],
         if name in state_names:
             continue
         columns[name] = combined.column(name)[first_rows[gather]]
+    matched = base_codes >= 0
     for gmdj in gmdjs:
-        for field in gmdj.state_fields(detail_schema):
-            merged = merge_grouped(field.primitive, h_codes,
-                                   combined.column(field.name), num_groups)
-            empty = primitive_empty(field.primitive)
-            values = np.where(base_codes >= 0, merged[gather], empty)
-            columns[field.name] = values.astype(field.dtype.numpy_dtype)
+        for spec in gmdj.all_aggregates:
+            fields = spec.state_fields(detail_schema)
+            spec_columns = {field.name: combined.column(field.name)
+                            for field in fields}
+            per_group = merge_spec_states_grouped(
+                spec, detail_schema, h_codes, spec_columns, num_groups)
+            for field in fields:
+                columns[field.name] = place_grouped(
+                    field, per_group[field.name], matched, gather,
+                    distinct_keys.num_rows)
     return Relation(combined.schema, columns)
 
 

@@ -62,6 +62,14 @@ class PhaseMetrics:
     cache_delta_merges: int = 0
     #: modeled wire bytes that did not travel thanks to the cache.
     cache_bytes_saved: int = 0
+    #: serialized sketch-state bytes shipped to the coordinator this
+    #: round (the blobs backing APPROX_* aggregates; 0 for exact plans).
+    sketch_state_bytes: int = 0
+    #: counterfactual uplink for the same answers without sketches —
+    #: shipping every scanned site's raw detail values (8 B each) per
+    #: sketched aggregate.  The sketch uplink is bounded by the number
+    #: of groups, the exact-shipping uplink grows with fragment rows.
+    sketch_exact_bytes: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -115,6 +123,8 @@ class PhaseMetrics:
             "cache_misses": self.cache_misses,
             "cache_delta_merges": self.cache_delta_merges,
             "cache_bytes_saved": self.cache_bytes_saved,
+            "sketch_state_bytes": self.sketch_state_bytes,
+            "sketch_exact_bytes": self.sketch_exact_bytes,
         }
 
 
@@ -258,6 +268,26 @@ class QueryMetrics:
         """Modeled wire bytes that never traveled thanks to the cache."""
         return sum(phase.cache_bytes_saved for phase in self.phases)
 
+    # -- sketch traffic -----------------------------------------------------
+
+    @property
+    def sketch_state_bytes(self) -> int:
+        """Serialized sketch blobs shipped to the coordinator (uplink)."""
+        return sum(phase.sketch_state_bytes for phase in self.phases)
+
+    @property
+    def sketch_exact_bytes(self) -> int:
+        """What exact evaluation of the sketched aggregates would have
+        shipped instead: raw detail values from every scanned site."""
+        return sum(phase.sketch_exact_bytes for phase in self.phases)
+
+    @property
+    def sketch_compression_ratio(self) -> float:
+        """exact-shipping bytes / sketch bytes (1.0 when no sketches)."""
+        if self.sketch_state_bytes <= 0:
+            return 1.0
+        return self.sketch_exact_bytes / self.sketch_state_bytes
+
     def summary(self) -> dict[str, object]:
         """A flat dict of the headline numbers (handy for bench tables)."""
         return {
@@ -289,6 +319,10 @@ class QueryMetrics:
             "cache_misses": self.cache_misses,
             "cache_delta_merges": self.cache_delta_merges,
             "cache_bytes_saved": self.cache_bytes_saved,
+            "sketch_state_bytes": self.sketch_state_bytes,
+            "sketch_exact_bytes": self.sketch_exact_bytes,
+            "sketch_compression_ratio": round(
+                self.sketch_compression_ratio, 4),
         }
 
     def as_dict(self) -> dict[str, object]:

@@ -9,23 +9,39 @@ aggregate being decomposable, in the sense of Gray et al. [12], into
   followed by a *finalize* step producing the user-visible value.
 
 Every aggregate here is described by a list of :class:`StateField`
-primitives (``count``, ``sum``, ``min``, ``max``, ``sumsq``) plus a
-finalizer.  Distributive aggregates (COUNT, SUM, MIN, MAX) have a single
-state; algebraic ones (AVG, VAR, STDDEV) have several.  Holistic
-aggregates (MEDIAN, COUNT DISTINCT) cannot be decomposed — they evaluate
-centrally but raise :class:`~repro.errors.AggregateError` when a
-distributed plan asks for their state fields.
+primitives (``count``, ``sum``, ``min``, ``max``, ``sumsq``, ``m2``,
+plus the sketch primitives ``hll<p>``/``kll<k>``) and a finalizer.
+Distributive aggregates (COUNT, SUM, MIN, MAX) have a single state;
+algebraic ones (AVG, VAR, STDDEV) have several.  *Exact* holistic
+aggregates (MEDIAN, COUNT DISTINCT) cannot be decomposed — they
+evaluate centrally but raise :class:`~repro.errors.AggregateError` when
+a distributed plan asks for their state fields.  Their *approximate*
+counterparts (APPROX_COUNT_DISTINCT, APPROX_MEDIAN, APPROX_PERCENTILE)
+**are** decomposable: the state is a bounded mergeable sketch
+(:mod:`repro.sketches`) serialized into a BYTES column, so Theorem-1
+synchronization and Theorem-2's traffic bound apply unchanged.
 
-Empty-group semantics (the engine has no NULLs):
+VAR/STDDEV use the numerically stable ``(count, sum, m2)`` state with
+``m2 = Σ (x − mean)²`` merged by Chan et al.'s pairwise formula — the
+textbook ``E[x²] − E[x]²`` form cancels catastrophically on
+large-magnitude measures (1e9-offset values lose *all* significant
+digits in float64).  Because the m2 merge needs the sibling count/sum
+columns, :class:`VarFunction` declares ``composite_merge`` and the
+engine's merge paths go through :func:`merge_spec_states_grouped`
+instead of merging each primitive independently.
 
-* ``count`` → 0;
+Empty-group semantics (the engine represents SQL NULL as NaN):
+
+* ``count`` / ``count_distinct``-style → 0;
 * ``sum``   → 0 (of the column type);
-* ``min``/``max``/``avg``/``var``/``stddev``/``median`` → NaN (these
-  always produce FLOAT64 output columns).
+* ``min``/``max``/``avg``/``var``/``stddev``/``median``/percentiles →
+  NaN (these always produce FLOAT64 output columns), rendered as
+  ``NULL`` by presentation layers.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -34,35 +50,126 @@ import numpy as np
 from repro.errors import AggregateError, SchemaError
 from repro.relational.schema import Attribute, Schema
 from repro.relational.types import DataType
+from repro.sketches.hll import (
+    DEFAULT_PRECISION as HLL_DEFAULT_PRECISION, HyperLogLog,
+    MAX_PRECISION as HLL_MAX_PRECISION, MIN_PRECISION as HLL_MIN_PRECISION)
+from repro.sketches.kll import (
+    DEFAULT_K as KLL_DEFAULT_K, MAX_K as KLL_MAX_K, MIN_K as KLL_MIN_K,
+    QuantileSketch)
 
 # ---------------------------------------------------------------------------
 # Distributive primitives
 # ---------------------------------------------------------------------------
 
+def _reduce_m2(values: np.ndarray) -> float:
+    """``Σ (x − mean)²`` — the shifted/centered second moment."""
+    if not len(values):
+        return 0.0
+    floats = values.astype(np.float64)
+    deviations = floats - floats.mean()
+    return float(np.square(deviations).sum())
+
+
 #: name -> (empty value, reduce over values, merge two states)
-_PRIMITIVES: dict[str, tuple[object, Callable, Callable]] = {
+_PRIMITIVES: dict[str, tuple[object, Callable, Callable | None]] = {
     "count": (0, lambda v: len(v), np.add),
     "sum": (0, lambda v: v.sum() if len(v) else 0, np.add),
     "sumsq": (0.0, lambda v: float(np.square(v, dtype=np.float64).sum()),
               np.add),
+    # m2 has no standalone merge: it needs the sibling count/sum columns
+    # (Chan's formula) — see VarFunction.merge_grouped_states.
+    "m2": (0.0, _reduce_m2, None),
     "min": (np.nan, lambda v: float(v.min()) if len(v) else np.nan, np.fmin),
     "max": (np.nan, lambda v: float(v.max()) if len(v) else np.nan, np.fmax),
 }
 
 
+# -- sketch primitives (dynamic names: "hll<p>" / "kll<k>") -----------------
+
+def sketch_primitive(name: str) -> tuple[str, int] | None:
+    """Parse a sketch primitive name into ``(kind, parameter)``.
+
+    ``"hll12"`` → ``("hll", 12)`` (HyperLogLog, precision ``p``);
+    ``"kll200"`` → ``("kll", 200)`` (quantile sketch, parameter ``k``).
+    Returns ``None`` for non-sketch primitive names.  Encoding the
+    parameter in the primitive — and therefore in the state-column name
+    — means every process that sees a state column knows exactly how to
+    deserialize and merge it: nothing rides on ambient configuration.
+    """
+    for kind in ("hll", "kll"):
+        if name.startswith(kind) and name[len(kind):].isdigit():
+            return kind, int(name[len(kind):])
+    return None
+
+
+def _new_sketch(kind: str, parameter: int):
+    if kind == "hll":
+        return HyperLogLog(parameter)
+    return QuantileSketch(parameter)
+
+
+def _sketch_from_bytes(kind: str, buffer: bytes):
+    if kind == "hll":
+        return HyperLogLog.from_bytes(buffer)
+    return QuantileSketch.from_bytes(buffer)
+
+
+@functools.lru_cache(maxsize=64)
+def _empty_sketch_bytes(kind: str, parameter: int) -> bytes:
+    return _new_sketch(kind, parameter).to_bytes()
+
+
+def _merge_sketch_bytes(kind: str, parameter: int, left: bytes,
+                        right: bytes) -> bytes:
+    empty = _empty_sketch_bytes(kind, parameter)
+    if left == empty:
+        return right
+    if right == empty:
+        return left
+    merged = _sketch_from_bytes(kind, left).merge(
+        _sketch_from_bytes(kind, right))
+    return merged.to_bytes()
+
+
 def primitive_empty(name: str) -> object:
     """The state value of an empty multiset for primitive ``name``."""
+    sketch = sketch_primitive(name)
+    if sketch is not None:
+        return _empty_sketch_bytes(*sketch)
     return _PRIMITIVES[name][0]
 
 
 def primitive_reduce(name: str, values: np.ndarray) -> object:
     """Reduce a vector of input values to a single state value."""
+    sketch = sketch_primitive(name)
+    if sketch is not None:
+        return _new_sketch(*sketch).update(values).to_bytes()
     return _PRIMITIVES[name][1](values)
 
 
 def primitive_merge(name: str, left, right):
     """Merge two state values (or state arrays, elementwise)."""
-    return _PRIMITIVES[name][2](left, right)
+    sketch = sketch_primitive(name)
+    if sketch is not None:
+        kind, parameter = sketch
+        if isinstance(left, bytes) and isinstance(right, bytes):
+            return _merge_sketch_bytes(kind, parameter, left, right)
+        left_array = np.asarray(left, dtype=object).reshape(-1)
+        right_array = np.asarray(right, dtype=object).reshape(-1)
+        merged = np.empty(max(len(left_array), len(right_array)),
+                          dtype=object)
+        for index in range(len(merged)):
+            merged[index] = _merge_sketch_bytes(
+                kind, parameter, left_array[index % len(left_array)],
+                right_array[index % len(right_array)])
+        return merged
+    merge = _PRIMITIVES[name][2]
+    if merge is None:
+        raise AggregateError(
+            f"primitive {name!r} has no standalone merge; it merges "
+            f"jointly with its sibling state columns "
+            f"(see merge_spec_states_grouped)")
+    return merge(left, right)
 
 
 def primitive_grouped(name: str, codes: np.ndarray, values: np.ndarray | None,
@@ -86,12 +193,40 @@ def primitive_grouped(name: str, codes: np.ndarray, values: np.ndarray | None,
     if name == "sumsq":
         squares = np.square(values.astype(np.float64))
         return np.bincount(codes, weights=squares, minlength=num_groups)
+    if name == "m2":
+        floats = values.astype(np.float64)
+        counts = np.bincount(codes, minlength=num_groups).astype(np.float64)
+        sums = np.bincount(codes, weights=floats, minlength=num_groups)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            means = np.where(counts > 0, sums / counts, 0.0)
+        deviations = floats - means[codes]
+        return np.bincount(codes, weights=np.square(deviations),
+                           minlength=num_groups)
     if name in ("min", "max"):
         result = np.full(num_groups, np.nan)
         ufunc = np.fmin if name == "min" else np.fmax
         ufunc.at(result, codes, values.astype(np.float64))
         return result
+    sketch = sketch_primitive(name)
+    if sketch is not None:
+        return _sketch_grouped(sketch, codes, values, num_groups)
     raise AggregateError(f"unknown primitive {name!r}")
+
+
+def _sketch_grouped(sketch: tuple[str, int], codes: np.ndarray,
+                    values: np.ndarray, num_groups: int) -> np.ndarray:
+    """Build one serialized sketch per group (object array of bytes)."""
+    kind, parameter = sketch
+    per_group = np.empty(num_groups, dtype=object)
+    per_group.fill(_empty_sketch_bytes(kind, parameter))
+    if len(codes):
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+        for group in np.split(order, boundaries):
+            per_group[codes[group[0]]] = _new_sketch(
+                kind, parameter).update(values[group]).to_bytes()
+    return per_group
 
 
 def merge_grouped(name: str, codes: np.ndarray, states: np.ndarray,
@@ -115,6 +250,21 @@ def merge_grouped(name: str, codes: np.ndarray, states: np.ndarray,
         ufunc = np.fmin if name == "min" else np.fmax
         ufunc.at(merged, codes, states.astype(np.float64))
         return merged
+    sketch = sketch_primitive(name)
+    if sketch is not None:
+        kind, parameter = sketch
+        merged = np.empty(num_groups, dtype=object)
+        merged.fill(_empty_sketch_bytes(kind, parameter))
+        for position in range(len(codes)):
+            code = codes[position]
+            merged[code] = _merge_sketch_bytes(kind, parameter,
+                                               merged[code],
+                                               states[position])
+        return merged
+    if name == "m2":
+        raise AggregateError(
+            "m2 has no standalone merge (Chan's formula needs count/sum); "
+            "use merge_spec_states_grouped")
     raise AggregateError(f"unknown primitive {name!r}")
 
 
@@ -126,7 +276,64 @@ def primitive_dtype(name: str, input_dtype: DataType | None) -> DataType:
         if input_dtype is None:
             raise AggregateError("sum requires an input column")
         return input_dtype
+    if sketch_primitive(name) is not None:
+        return DataType.BYTES
     return DataType.FLOAT64
+
+
+def place_grouped(field: "StateField", per_group: np.ndarray | None,
+                  matched: np.ndarray, gather: np.ndarray,
+                  num_rows: int) -> np.ndarray:
+    """Scatter per-group state values onto base rows (BYTES-safe).
+
+    ``per_group`` holds one merged/reduced state per group (``None``
+    when there are no groups at all); unmatched rows receive the
+    primitive's empty value.  BYTES columns take the masked-assignment
+    path: ``np.where``/``np.full`` with a ``bytes`` scalar would build a
+    fixed-width ``'S'`` array and silently strip trailing NUL bytes —
+    corrupting serialized sketches.
+    """
+    empty = primitive_empty(field.primitive)
+    if field.dtype is DataType.BYTES:
+        placed = np.empty(num_rows, dtype=object)
+        placed.fill(empty)
+        if per_group is not None and len(per_group):
+            indices = np.flatnonzero(matched)
+            placed[indices] = per_group[gather[indices]]
+        return placed
+    if per_group is not None and len(per_group):
+        placed = np.where(matched, per_group[gather], empty)
+    else:
+        placed = np.full(num_rows, empty, dtype=np.float64)
+    if (field.dtype is DataType.INT64
+            and np.asarray(placed).dtype.kind == "f"):
+        placed = np.round(placed)
+    return placed.astype(field.dtype.numpy_dtype)
+
+
+def merge_spec_states_grouped(spec: "AggregateSpec", detail_schema: Schema,
+                              codes: np.ndarray,
+                              columns: Mapping[str, np.ndarray],
+                              num_groups: int) -> dict[str, np.ndarray]:
+    """Per-group Theorem-1 merge of *all* state columns of one spec.
+
+    ``columns`` maps state-column names to the incoming (stacked)
+    sub-aggregate arrays; the result maps the same names to per-group
+    merged arrays.  Functions with ``composite_merge`` (VAR/STDDEV's
+    Chan-formula m2) merge their fields jointly; everything else merges
+    field-by-field through :func:`merge_grouped`.
+    """
+    fields = spec.state_fields(detail_schema)
+    function = spec.function
+    if function.composite_merge:
+        by_primitive = {field.primitive: columns[field.name]
+                        for field in fields}
+        merged = function.merge_grouped_states(codes, by_primitive,
+                                               num_groups)
+        return {field.name: merged[field.primitive] for field in fields}
+    return {field.name: merge_grouped(field.primitive, codes,
+                                      columns[field.name], num_groups)
+            for field in fields}
 
 
 # ---------------------------------------------------------------------------
@@ -156,6 +363,35 @@ class AggregateFunction:
     decomposable: bool = True
     #: whether an input column is required (COUNT(*) has none)
     requires_column: bool = True
+    #: whether the state columns must merge jointly (cross-field
+    #: formulas like Chan's m2 merge) instead of primitive-by-primitive
+    composite_merge: bool = False
+
+    def configured(self, param: float | None = None,
+                   precision: int | None = None) -> "AggregateFunction":
+        """A variant configured with a call parameter / sketch precision.
+
+        Most functions take neither and reject both; sketch aggregates
+        override this to return a configured instance.  Configuration
+        always flows through the :class:`AggregateSpec` (which travels
+        by pickle to worker processes), never through mutable module
+        state — so every process derives identical state-column names
+        and merge behaviour.
+        """
+        if param is not None:
+            raise AggregateError(
+                f"{self.name.upper()} takes no parameter")
+        if precision is not None:
+            raise AggregateError(
+                f"{self.name.upper()} has no sketch precision")
+        return self
+
+    def merge_grouped_states(self, codes: np.ndarray,
+                             states: Mapping[str, np.ndarray],
+                             num_groups: int) -> dict[str, np.ndarray]:
+        """Joint per-group merge of all state columns (composite only)."""
+        raise AggregateError(
+            f"{self.name.upper()} does not declare composite_merge")
 
     def output_dtype(self, input_dtype: DataType | None) -> DataType:
         raise NotImplementedError
@@ -263,9 +499,19 @@ class AvgFunction(AggregateFunction):
 
 
 class VarFunction(AggregateFunction):
-    """Population variance via (sum, sumsq, count) — algebraic."""
+    """Population variance via the stable ``(count, sum, m2)`` state.
+
+    ``m2 = Σ (x − mean)²`` is computed *centered* per partition and
+    merged with Chan et al.'s pairwise formula — never through the
+    catastrophically-cancelling ``E[x²] − E[x]²`` identity, which loses
+    every significant digit on large-magnitude measures (e.g. TPC-R
+    prices offset to 1e9).  The three primitives remain mergeable
+    Theorem-1 state columns; only their merge is *joint* (the m2 merge
+    needs the sibling counts and sums), hence ``composite_merge``.
+    """
 
     name = "var"
+    composite_merge = True
 
     def output_dtype(self, input_dtype):
         if input_dtype is None or not input_dtype.is_numeric:
@@ -273,14 +519,37 @@ class VarFunction(AggregateFunction):
         return DataType.FLOAT64
 
     def state_primitives(self):
-        return ("sum", "sumsq", "count")
+        return ("count", "sum", "m2")
+
+    def merge_grouped_states(self, codes, states, num_groups):
+        """Chan's parallel-variance merge, vectorized over groups.
+
+        ``M2 = Σ_i M2_i + Σ_i n_i (mean_i − mean)²`` — every term is
+        non-negative, so merged variances cannot go (more than
+        round-off) negative, unlike the sumsq formulation.
+        """
+        counts = states["count"].astype(np.float64)
+        sums = states["sum"].astype(np.float64)
+        m2s = states["m2"].astype(np.float64)
+        counts_merged = np.bincount(codes, weights=counts,
+                                    minlength=num_groups)
+        sums_merged = np.bincount(codes, weights=sums, minlength=num_groups)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            means_merged = np.where(counts_merged > 0,
+                                    sums_merged / counts_merged, 0.0)
+            means = np.where(counts > 0, sums / counts, 0.0)
+        deviations = means - means_merged[codes]
+        m2_merged = np.bincount(
+            codes, weights=m2s + counts * np.square(deviations),
+            minlength=num_groups)
+        return {"count": np.round(counts_merged).astype(np.int64),
+                "sum": sums_merged, "m2": m2_merged}
 
     def finalize(self, states):
         counts = states["count"].astype(np.float64)
         with np.errstate(divide="ignore", invalid="ignore"):
-            mean = states["sum"].astype(np.float64) / counts
-            mean_square = states["sumsq"].astype(np.float64) / counts
-            return np.where(counts > 0, mean_square - mean * mean, np.nan)
+            return np.where(counts > 0,
+                            states["m2"].astype(np.float64) / counts, np.nan)
 
 
 class StdDevFunction(VarFunction):
@@ -288,8 +557,19 @@ class StdDevFunction(VarFunction):
 
     name = "stddev"
 
+    #: round-off tolerance: with the m2 formulation a variance can only
+    #: go negative by accumulated floating-point noise, never by
+    #: cancellation — anything more negative than this is a real bug
+    #: and surfaces as NaN instead of being silently masked to 0.
+    NEGATIVE_VARIANCE_TOLERANCE = -1e-9
+
     def finalize(self, states):
-        return np.sqrt(np.maximum(super().finalize(states), 0.0))
+        variance = super().finalize(states)
+        variance = np.where(
+            (variance < 0.0) & (variance >= self.NEGATIVE_VARIANCE_TOLERANCE),
+            0.0, variance)
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(variance)
 
 
 class MedianFunction(AggregateFunction):
@@ -334,12 +614,121 @@ class CountDistinctFunction(AggregateFunction):
         return int(len(np.unique(values)))
 
 
+class ApproxCountDistinctFunction(AggregateFunction):
+    """APPROX_COUNT_DISTINCT via a HyperLogLog state column.
+
+    Decomposable: the per-group state is a serialized
+    :class:`~repro.sketches.hll.HyperLogLog` whose merge (register-wise
+    max) is exactly the sketch of the union — so the distributed
+    estimate is *bit-identical* to the centralized one, and Theorem 2's
+    bounded-traffic guarantee extends to the distinct-count workload.
+    Relative error ≈ ``1.04/sqrt(2**p)`` (documented bound ``3/sqrt(2**p)``).
+    """
+
+    name = "approx_count_distinct"
+
+    def __init__(self, precision: int = HLL_DEFAULT_PRECISION):
+        if not HLL_MIN_PRECISION <= int(precision) <= HLL_MAX_PRECISION:
+            raise AggregateError(
+                f"APPROX_COUNT_DISTINCT precision must be in "
+                f"[{HLL_MIN_PRECISION}, {HLL_MAX_PRECISION}], "
+                f"got {precision}")
+        self.precision = int(precision)
+
+    def configured(self, param=None, precision=None):
+        if param is not None:
+            raise AggregateError(
+                "APPROX_COUNT_DISTINCT takes no parameter")
+        if precision is None or int(precision) == self.precision:
+            return self
+        return ApproxCountDistinctFunction(precision)
+
+    def output_dtype(self, input_dtype):
+        if input_dtype is None:
+            raise AggregateError(
+                "APPROX_COUNT_DISTINCT requires an input column")
+        return DataType.INT64
+
+    def state_primitives(self):
+        return (f"hll{self.precision}",)
+
+    def finalize(self, states):
+        key = f"hll{self.precision}"
+        return np.fromiter(
+            (int(round(HyperLogLog.from_bytes(buffer).estimate()))
+             for buffer in states[key]),
+            dtype=np.int64, count=len(states[key]))
+
+
+class ApproxPercentileFunction(AggregateFunction):
+    """APPROX_PERCENTILE(col, q) via a KLL-style quantile sketch.
+
+    Decomposable: the per-group state is a serialized
+    :class:`~repro.sketches.kll.QuantileSketch`; merges are Theorem-1
+    super-aggregation.  The returned value's *rank* is within the
+    sketch's documented ``rank_error_bound(k, n)`` of ``q``.
+    """
+
+    name = "approx_percentile"
+    default_param: float = 0.5
+
+    def __init__(self, q: float | None = None, k: int = KLL_DEFAULT_K):
+        if q is None:
+            q = self.default_param
+        if not 0.0 <= float(q) <= 1.0:
+            raise AggregateError(
+                f"{self.name.upper()} fraction must be in [0, 1], got {q}")
+        if not KLL_MIN_K <= int(k) <= KLL_MAX_K:
+            raise AggregateError(
+                f"{self.name.upper()} sketch parameter k must be in "
+                f"[{KLL_MIN_K}, {KLL_MAX_K}], got {k}")
+        self.q = float(q)
+        self.k = int(k)
+
+    def configured(self, param=None, precision=None):
+        q = self.q if param is None else param
+        k = self.k if precision is None else precision
+        if q == self.q and k == self.k:
+            return self
+        return type(self)(q, k)
+
+    def output_dtype(self, input_dtype):
+        if input_dtype is None or not input_dtype.is_numeric:
+            raise AggregateError(
+                f"{self.name.upper()} requires a numeric input column")
+        return DataType.FLOAT64
+
+    def state_primitives(self):
+        return (f"kll{self.k}",)
+
+    def finalize(self, states):
+        key = f"kll{self.k}"
+        return np.fromiter(
+            (QuantileSketch.from_bytes(buffer).quantile(self.q)
+             for buffer in states[key]),
+            dtype=np.float64, count=len(states[key]))
+
+
+class ApproxMedianFunction(ApproxPercentileFunction):
+    """APPROX_MEDIAN — APPROX_PERCENTILE at q = 0.5."""
+
+    name = "approx_median"
+
+    def configured(self, param=None, precision=None):
+        if param is not None:
+            raise AggregateError(
+                "APPROX_MEDIAN takes no parameter "
+                "(use APPROX_PERCENTILE for other fractions)")
+        return super().configured(None, precision)
+
+
 _FUNCTIONS: dict[str, AggregateFunction] = {
     function.name: function
     for function in (CountFunction(), SumFunction(), MinFunction(),
                      MaxFunction(), AvgFunction(), VarFunction(),
                      StdDevFunction(), MedianFunction(),
-                     CountDistinctFunction())}
+                     CountDistinctFunction(), ApproxCountDistinctFunction(),
+                     ApproxMedianFunction(), ApproxPercentileFunction())}
 
 
 def aggregate_function(name: str) -> AggregateFunction:
@@ -370,21 +759,30 @@ class AggregateSpec:
     ``column`` is ``None`` for COUNT(*).  ``alias`` names the output
     attribute in the GMDJ result (the paper's ``f_ij R_c_ij`` columns,
     which it renames to shorthands like ``cnt1``).
+
+    ``param`` carries a function call parameter (the quantile fraction
+    of ``APPROX_PERCENTILE(col, q)``); ``precision`` carries the sketch
+    precision (HLL ``p`` / KLL ``k``).  Both live on the *spec* — which
+    is pickled into site requests — so worker processes reconstruct the
+    exact same configured function and state-column layout as the
+    coordinator, with no reliance on shared module state.
     """
 
     func: str
     column: str | None
     alias: str
+    param: float | None = None
+    precision: int | None = None
 
     def __post_init__(self):
-        aggregate_function(self.func)  # validate the name eagerly
-        function = aggregate_function(self.func)
+        function = self.function  # validates name, param, and precision
         if function.requires_column and self.column is None:
             raise AggregateError(f"{self.func.upper()} requires an input column")
 
     @property
     def function(self) -> AggregateFunction:
-        return aggregate_function(self.func)
+        return aggregate_function(self.func).configured(
+            param=self.param, precision=self.precision)
 
     def output_attribute(self, detail_schema: Schema) -> Attribute:
         """The finalized output attribute this spec contributes."""
@@ -410,6 +808,8 @@ class AggregateSpec:
 
     def __repr__(self):  # pragma: no cover - cosmetic
         target = "*" if self.column is None else self.column
+        if self.param is not None:
+            target = f"{target}, {self.param:g}"
         return f"{self.func}({target}) -> {self.alias}"
 
 

@@ -48,17 +48,25 @@ _PARSERS = {
     DataType.FLOAT64: float,
     DataType.STRING: str,
     DataType.BOOL: lambda text: text == "True",
+    DataType.BYTES: bytes.fromhex,  # hex text keeps the CSV printable
 }
 
 
 def write_csv(relation: Relation, path: str | Path) -> None:
     """Write ``relation`` to ``path`` with a typed header row."""
     path = Path(path)
+    bytes_positions = [position
+                       for position, attribute in enumerate(relation.schema)
+                       if attribute.dtype is DataType.BYTES]
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(f"{attribute.name}:{attribute.dtype.value}"
                         for attribute in relation.schema)
         for row in relation.iter_rows():
+            if bytes_positions:
+                row = list(row)
+                for position in bytes_positions:
+                    row[position] = row[position].hex()
             writer.writerow(row)
 
 
@@ -108,6 +116,7 @@ _DTYPE_CODES = {
     DataType.FLOAT64: 1,
     DataType.STRING: 2,
     DataType.BOOL: 3,
+    DataType.BYTES: 4,
 }
 _CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
 
@@ -133,8 +142,11 @@ def encode_relation(relation: Relation) -> bytes:
         parts.append(struct.pack("<B", _DTYPE_CODES[attribute.dtype]))
     for attribute in relation.schema:
         array = relation.column(attribute.name)
-        if attribute.dtype is DataType.STRING:
-            encoded = [str(value).encode("utf-8") for value in array]
+        if attribute.dtype in (DataType.STRING, DataType.BYTES):
+            if attribute.dtype is DataType.STRING:
+                encoded = [str(value).encode("utf-8") for value in array]
+            else:
+                encoded = [bytes(value) for value in array]
             offsets = np.zeros(len(encoded) + 1, dtype=np.uint32)
             if encoded:
                 np.cumsum([len(blob) for blob in encoded],
@@ -186,7 +198,7 @@ def decode_relation(data: bytes) -> Relation:
     schema = Schema(attributes)
     columns: dict[str, np.ndarray] = {}
     for attribute in attributes:
-        if attribute.dtype is DataType.STRING:
+        if attribute.dtype in (DataType.STRING, DataType.BYTES):
             width = (nrows + 1) * 4
             if cursor + width > len(view):
                 raise SchemaError(
@@ -201,9 +213,10 @@ def decode_relation(data: bytes) -> Relation:
             blob = bytes(view[cursor:cursor + blob_len])
             cursor += blob_len
             values = np.empty(nrows, dtype=object)
+            decode = attribute.dtype is DataType.STRING
             for index in range(nrows):
-                values[index] = blob[offsets[index]:offsets[index + 1]] \
-                    .decode("utf-8")
+                piece = blob[offsets[index]:offsets[index + 1]]
+                values[index] = piece.decode("utf-8") if decode else piece
             columns[attribute.name] = values
         else:
             if attribute.dtype is DataType.BOOL:

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.errors import SchemaError
 from repro.relational.schema import Attribute, Schema
-from repro.relational.types import coerce_array, infer_type
+from repro.relational.types import DataType, coerce_array, infer_type
 
 
 class Relation:
@@ -140,8 +140,18 @@ class Relation:
         return [dict(zip(names, row)) for row in self.iter_rows()]
 
     def wire_bytes(self) -> int:
-        """Size of this relation under the network cost model's wire format."""
-        return self._nrows * self._schema.row_wire_width()
+        """Size of this relation under the network cost model's wire format.
+
+        Fixed-width columns cost ``row_wire_width`` per row; BYTES columns
+        (serialized sketch states) additionally cost their actual payload
+        lengths, so sketch traffic is accounted at its true size.
+        """
+        total = self._nrows * self._schema.row_wire_width()
+        for attribute in self._schema:
+            if attribute.dtype is DataType.BYTES:
+                total += int(sum(len(value)
+                                 for value in self._columns[attribute.name]))
+        return total
 
     # -- core operations --------------------------------------------------------
 
@@ -359,5 +369,9 @@ def _to_scalar(value: object) -> object:
 
 def _format_cell(value: object) -> str:
     if isinstance(value, float):
+        if value != value:  # NaN encodes SQL NULL (empty-group aggregate)
+            return "NULL"
         return f"{value:.4f}"
+    if isinstance(value, bytes):
+        return f"<{len(value)} B>"
     return str(value)

@@ -30,6 +30,8 @@ class DataType(enum.Enum):
     FLOAT64 = "float64"
     STRING = "string"
     BOOL = "bool"
+    #: opaque variable-width byte strings — serialized sketch states.
+    BYTES = "bytes"
 
     @property
     def numpy_dtype(self) -> np.dtype:
@@ -56,6 +58,7 @@ _NUMPY_DTYPES = {
     DataType.FLOAT64: np.dtype(np.float64),
     DataType.STRING: np.dtype(object),
     DataType.BOOL: np.dtype(np.bool_),
+    DataType.BYTES: np.dtype(object),
 }
 
 _WIRE_WIDTHS = {
@@ -63,6 +66,9 @@ _WIRE_WIDTHS = {
     DataType.FLOAT64: 8,
     DataType.STRING: 24,
     DataType.BOOL: 1,
+    # BYTES values are variable-width: the fixed part models the per-value
+    # offset word; Relation.wire_bytes() adds the actual payload lengths.
+    DataType.BYTES: 4,
 }
 
 
@@ -80,6 +86,8 @@ def infer_type(value: object) -> DataType:
         return DataType.FLOAT64
     if isinstance(value, str):
         return DataType.STRING
+    if isinstance(value, bytes):
+        return DataType.BYTES
     raise SchemaError(f"cannot infer a column datatype for value {value!r} "
                       f"of type {type(value).__name__}")
 

@@ -1,0 +1,51 @@
+"""Mergeable sketches for distributed holistic aggregates.
+
+Skalla's Theorem 2 bounds coordinator traffic only because every
+sub-aggregate is bounded; exact MEDIAN and COUNT DISTINCT are holistic
+(Gray et al.'s taxonomy) and have no bounded state.  The sketches in
+this package restore the traffic bound for those workloads: each is a
+**commutative-monoid** summary — a bounded-size state with
+
+* ``update(values)`` — absorb a vector of detail values,
+* ``merge(other)``   — combine two states (pure; operands untouched),
+* ``estimate(...)``  — finalize to the user-visible value,
+* ``to_bytes()`` / ``from_bytes(buf)`` — canonical serialization,
+
+so a serialized sketch slots directly into the engine's decomposable
+aggregate machinery: sites build per-group sketches over their
+fragment, ship the (fixed-size) states, and the coordinator's Theorem-1
+synchronization merges them exactly like any algebraic state column.
+
+Accuracy / space contracts (see ``docs/SKETCHES.md`` for derivations):
+
+==========================  ==========================  =================
+sketch                      standard error              state size
+==========================  ==========================  =================
+:class:`HyperLogLog` (p)    ~1.04 / sqrt(2**p) rel.     <= 2**p + 5 B
+:class:`QuantileSketch` (k) rank eps ~ O(1/k)           ~3k float64 items
+==========================  ==========================  =================
+
+Both sketches hash / compact **deterministically** (no process-seeded
+randomness), so the same detail values produce bit-identical states in
+every worker process, across transports, and across gather orders.
+"""
+
+from repro.sketches.hashing import hash64
+from repro.sketches.hll import HyperLogLog
+from repro.sketches.kll import QuantileSketch
+
+
+def kll_k_for_precision(precision: int) -> int:
+    """Map the single user-facing ``--sketch-precision p`` to a KLL k.
+
+    ``k = 2**p / 20`` (clamped to the valid range) makes the quantile
+    sketch's worst-case state roughly match the HLL register array at
+    the same precision — one knob scales both sketch families together.
+    p=12 (the default) gives k≈204, close to the literature's k=200.
+    """
+    from repro.sketches.kll import MAX_K, MIN_K
+    return max(MIN_K, min(MAX_K, (1 << precision) // 20))
+
+
+__all__ = ["HyperLogLog", "QuantileSketch", "hash64",
+           "kll_k_for_precision"]

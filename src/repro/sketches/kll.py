@@ -1,0 +1,221 @@
+"""KLL-style mergeable quantile sketch (Karnin-Lang-Liberty 2016,
+compactor hierarchy) with **deterministic** alternating-parity
+compaction.
+
+State: a hierarchy of compactors; level ``i`` holds items of weight
+``2**i``.  When a level overflows its capacity (geometric in the level
+depth: ``cap(i) ~ k * (2/3)**(top - i)``, floor 2) it sorts its items,
+promotes every second one to level ``i+1``, and discards the rest.
+Classic KLL flips a random coin to decide which half survives; here
+the coin is a per-level parity bit that alternates on every
+compaction, which keeps the first-order error cancellation *and* makes
+the sketch a pure function of its input multiset and merge tree — the
+property the differential oracle exploits to demand bit-identical
+states across transports, gather orders, and cache cold/warm runs.
+
+Merging concatenates levels pairwise, XORs the parity bits (XOR is
+commutative, so merge order cannot leak into the state), then
+re-compresses.  Exact ``min``/``max`` ride along so ``quantile(0)``
+and ``quantile(1)`` are exact.
+
+Accuracy: normalized rank error ``eps <= rank_error_bound(k, n)``
+~ ``2 * log2(2 + n/k) / k`` (deterministic worst case; typical error is
+an order of magnitude smaller).  Space: ~``3k`` float64 items
+(capacities form a geometric series with ratio 2/3), independent of
+``n`` up to the ``log2(n/k)`` level count.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+_MAGIC = b"KL"
+_VERSION = 1
+_HEADER = struct.Struct("<2sBHQBdd")  # magic, ver, k, count, levels, min, max
+_LEVEL = struct.Struct("<BI")         # parity, item count
+
+MIN_K = 8
+MAX_K = 65_535
+DEFAULT_K = 200
+
+
+def rank_error_bound(k: int, n: int) -> float:
+    """Documented worst-case normalized rank error for ``n`` updates."""
+    if n <= k:
+        return 0.0  # below capacity the sketch is exact
+    return min(0.5, 2.0 * math.log2(2.0 + n / k) / k)
+
+
+class QuantileSketch:
+    """Mergeable rank/quantile sketch with ~``3k`` items of state."""
+
+    __slots__ = ("k", "count", "minimum", "maximum", "_levels", "_parities")
+
+    def __init__(self, k: int = DEFAULT_K):
+        if not MIN_K <= k <= MAX_K:
+            raise ValueError(
+                f"QuantileSketch k must be in [{MIN_K}, {MAX_K}], got {k}")
+        self.k = int(k)
+        self.count = 0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._levels: list[list[float]] = [[]]
+        self._parities: list[int] = [0]
+
+    # -- compactor hierarchy -----------------------------------------------
+
+    def _capacity(self, level: int, height: int) -> int:
+        return max(2, int(math.ceil(self.k * (2.0 / 3.0)
+                                    ** (height - 1 - level))))
+
+    def _compact(self, level: int) -> None:
+        items = sorted(self._levels[level])
+        keep: list[float] = []
+        if len(items) % 2:
+            keep.append(items.pop())  # unpaired largest stays put
+        promoted = items[self._parities[level]::2]
+        self._parities[level] ^= 1
+        self._levels[level] = keep
+        if level + 1 == len(self._levels):
+            self._levels.append([])
+            self._parities.append(0)
+        self._levels[level + 1].extend(promoted)
+
+    def _compress(self) -> None:
+        while True:
+            height = len(self._levels)
+            for level, items in enumerate(self._levels):
+                if len(items) > self._capacity(level, height):
+                    self._compact(level)
+                    break
+            else:
+                return
+
+    # -- construction ------------------------------------------------------
+
+    def update(self, values) -> "QuantileSketch":
+        """Absorb a vector of numeric detail values; returns ``self``."""
+        array = np.asarray(values, dtype=np.float64)
+        if len(array) == 0:
+            return self
+        self.count += len(array)
+        self.minimum = min(self.minimum, float(array.min()))
+        self.maximum = max(self.maximum, float(array.max()))
+        level_zero = self._levels[0]
+        for start in range(0, len(array), self.k):
+            level_zero.extend(array[start:start + self.k].tolist())
+            self._compress()
+            level_zero = self._levels[0]
+        return self
+
+    # -- monoid ------------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Combine two sketches (pure; operands are not mutated)."""
+        if other.k != self.k:
+            raise ValueError(
+                f"cannot merge QuantileSketch(k={self.k}) with k={other.k}")
+        merged = QuantileSketch(self.k)
+        merged.count = self.count + other.count
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        height = max(len(self._levels), len(other._levels))
+        merged._levels = []
+        merged._parities = []
+        for level in range(height):
+            items: list[float] = []
+            parity = 0
+            if level < len(self._levels):
+                items.extend(self._levels[level])
+                parity ^= self._parities[level]
+            if level < len(other._levels):
+                items.extend(other._levels[level])
+                parity ^= other._parities[level]
+            merged._levels.append(items)
+            merged._parities.append(parity)
+        merged._compress()
+        return merged
+
+    # -- queries -----------------------------------------------------------
+
+    def rank(self, value: float) -> float:
+        """Estimated fraction of updates ``<= value`` (NaN when empty)."""
+        if self.count == 0:
+            return math.nan
+        total = 0
+        for level, items in enumerate(self._levels):
+            weight = 1 << level
+            total += weight * sum(1 for item in items if item <= value)
+        return total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (exact at ``q`` in {0, 1})."""
+        if self.count == 0:
+            return math.nan
+        if q <= 0.0:
+            return self.minimum
+        if q >= 1.0:
+            return self.maximum
+        weighted = sorted(
+            (item, 1 << level)
+            for level, items in enumerate(self._levels)
+            for item in items)
+        target = q * self.count
+        cumulative = 0
+        for item, weight in weighted:
+            cumulative += weight
+            if cumulative >= target:
+                return item
+        return self.maximum
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def estimate(self, q: float = 0.5) -> float:
+        """Uniform-contract finalizer: the ``q``-quantile (default median)."""
+        return self.quantile(q)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding (per-level items serialized sorted)."""
+        chunks = [_HEADER.pack(_MAGIC, _VERSION, self.k, self.count,
+                               len(self._levels), self.minimum, self.maximum)]
+        for level, items in enumerate(self._levels):
+            chunks.append(_LEVEL.pack(self._parities[level], len(items)))
+            chunks.append(np.array(sorted(items),
+                                   dtype=np.float64).tobytes())
+        return b"".join(chunks)
+
+    @classmethod
+    def from_bytes(cls, buffer: bytes) -> "QuantileSketch":
+        magic, version, k, count, height, lo, hi = _HEADER.unpack_from(
+            buffer, 0)
+        if magic != _MAGIC or version != _VERSION:
+            raise ValueError(f"not a QuantileSketch state: {buffer[:8]!r}")
+        sketch = cls(k)
+        sketch.count = count
+        sketch.minimum = lo
+        sketch.maximum = hi
+        sketch._levels = []
+        sketch._parities = []
+        offset = _HEADER.size
+        for __ in range(height):
+            parity, size = _LEVEL.unpack_from(buffer, offset)
+            offset += _LEVEL.size
+            items = np.frombuffer(buffer, dtype=np.float64, count=size,
+                                  offset=offset)
+            offset += size * 8
+            sketch._levels.append(items.tolist())
+            sketch._parities.append(parity)
+        if not sketch._levels:
+            sketch._levels = [[]]
+            sketch._parities = [0]
+        return sketch
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (f"QuantileSketch(k={self.k}, n={self.count}, "
+                f"levels={len(self._levels)})")

@@ -79,15 +79,22 @@ class AggCall(SqlExpr):
 
     func: str
     column: str | None  # None for COUNT(*)
+    #: optional numeric argument, e.g. APPROX_PERCENTILE(x, 0.9)
+    param: float | None = None
 
 
 @dataclass(frozen=True)
 class AggregateItem:
-    """``FUNC(column|*) AS alias`` in a select or compute list."""
+    """``FUNC(column|* [, number]) AS alias`` in a select/compute list.
+
+    The optional second argument carries a function parameter such as
+    the quantile of ``APPROX_PERCENTILE(amount, 0.9)``.
+    """
 
     func: str
     column: str | None  # None for COUNT(*)
     alias: str
+    param: float | None = None
 
 
 @dataclass(frozen=True)

@@ -40,13 +40,34 @@ from repro.sql.parser import parse
 _COMPARISON_OPS = {"==", "!=", "<", "<=", ">", ">="}
 
 
+def _spec_precision(func: str, sketch_precision: int | None) -> int | None:
+    """Per-function precision from the single ``--sketch-precision p``.
+
+    HyperLogLog takes ``p`` directly; the quantile sketch's ``k`` is
+    derived so both families scale from one knob (see
+    :func:`repro.sketches.kll_k_for_precision`).  Exact aggregates
+    ignore the setting entirely.
+    """
+    if sketch_precision is None:
+        return None
+    if func == "approx_count_distinct":
+        return sketch_precision
+    if func in ("approx_median", "approx_percentile"):
+        from repro.sketches import kll_k_for_precision
+        return kll_k_for_precision(sketch_precision)
+    return None
+
+
 def compile_statement(statement: SelectStatement,
-                      detail_schema: Schema) -> GmdjExpression:
+                      detail_schema: Schema,
+                      sketch_precision: int | None = None,
+                      ) -> GmdjExpression:
     """Compile a parsed statement against the detail relation's schema.
 
-    Statements with computed select items must go through
-    :func:`compile_query`, which materializes their hidden aggregates
-    and derived columns.
+    ``sketch_precision`` tunes the APPROX_* aggregates' accuracy/space
+    trade-off (defaults apply when None).  Statements with computed
+    select items must go through :func:`compile_query`, which
+    materializes their hidden aggregates and derived columns.
     """
     if statement.computed:
         raise ParseError(
@@ -69,7 +90,10 @@ def compile_statement(statement: SelectStatement,
     alias_names: set[str] = set()
 
     def build_round(aggregates, condition_ast) -> Gmdj:
-        specs = [AggregateSpec(item.func, item.column, item.alias)
+        specs = [AggregateSpec(item.func, item.column, item.alias,
+                               param=item.param,
+                               precision=_spec_precision(item.func,
+                                                         sketch_precision))
                  for item in aggregates]
         terms: list[Expr] = list(key_equality)
         if where_expr is not None:
@@ -152,16 +176,19 @@ class CompiledQuery:
             self.expression.evaluate_centralized(detail))
 
 
-def compile_query(source: str, detail_schema: Schema) -> CompiledQuery:
+def compile_query(source: str, detail_schema: Schema,
+                  sketch_precision: int | None = None) -> CompiledQuery:
     """Parse and compile a full statement, presentation clauses and
-    computed select expressions included."""
+    computed select expressions included.  ``sketch_precision`` tunes
+    the APPROX_* aggregates (see :func:`_spec_precision`)."""
     statement = parse(source)
     if statement.cube:
         raise ParseError(
             "GROUP BY CUBE statements compile to multiple expressions; "
             "use repro.sql.cube_support.compile_cube")
     statement, derived, hidden = _materialize_computed(statement)
-    expression = compile_statement(statement, detail_schema)
+    expression = compile_statement(statement, detail_schema,
+                                   sketch_precision=sketch_precision)
     output_names = (frozenset(expression.output_schema(detail_schema).names)
                     | {alias for alias, __ in derived}) - set(hidden)
 
@@ -188,20 +215,21 @@ def _materialize_computed(statement: SelectStatement,
     """
     if not statement.computed:
         return statement, (), ()
-    call_alias: dict[tuple[str, str | None], str] = {
-        (item.func, item.column): item.alias
+    call_alias: dict[tuple[str, str | None, float | None], str] = {
+        (item.func, item.column, item.param): item.alias
         for item in statement.aggregates}
     hidden: list[AggregateItem] = []
     used_aliases = {item.alias for item in statement.aggregates}
 
     def alias_for(call: AggCall) -> str:
-        key = (call.func, call.column)
+        key = (call.func, call.column, call.param)
         if key not in call_alias:
             index = len(hidden)
             while f"__c{index}" in used_aliases:
                 index += 1
             name = f"__c{index}"
-            hidden.append(AggregateItem(call.func, call.column, name))
+            hidden.append(AggregateItem(call.func, call.column, name,
+                                        call.param))
             call_alias[key] = name
             used_aliases.add(name)
         return call_alias[key]
@@ -271,7 +299,8 @@ def _resolve_output_expr(expr: SqlExpr,
     raise ParseError(f"cannot compile expression node {expr!r}")
 
 
-def compile_sql(source: str, detail_schema: Schema) -> GmdjExpression:
+def compile_sql(source: str, detail_schema: Schema,
+                sketch_precision: int | None = None) -> GmdjExpression:
     """Parse and compile, returning the bare GMDJ expression.
 
     Statements with presentation clauses (HAVING/ORDER BY/LIMIT) must go
@@ -285,7 +314,8 @@ def compile_sql(source: str, detail_schema: Schema) -> GmdjExpression:
             "statement has presentation clauses or computed select "
             "expressions; use compile_query, which returns a "
             "CompiledQuery with a post_process step")
-    return compile_statement(statement, detail_schema)
+    return compile_statement(statement, detail_schema,
+                             sketch_precision=sketch_precision)
 
 
 # ---------------------------------------------------------------------------

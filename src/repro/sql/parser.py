@@ -13,8 +13,10 @@ Grammar (informal)::
                    | agg_call AS ident          -- plain aggregate
                    | sum AS ident               -- computed expression
     agg_list      := aggregate ("," aggregate)*
-    aggregate     := ident "(" ("*" | ident) ")" AS ident
-    agg_call      := ident "(" ("*" | ident) ")"   -- inside select exprs
+    aggregate     := ident "(" agg_args ")" AS ident
+    agg_call      := ident "(" agg_args ")"        -- inside select exprs
+    agg_args      := ("*" | ident) ["," ["-"] number]
+                     -- e.g. APPROX_PERCENTILE(amount, 0.9)
     condition     := disjunction
     disjunction   := conjunction (OR conjunction)*
     conjunction   := unary (AND unary)*
@@ -192,7 +194,7 @@ class _Parser:
                 alias = self._expect_ident().text
                 if isinstance(expr, AggCall):
                     aggregates.append(AggregateItem(expr.func, expr.column,
-                                                    alias))
+                                                    alias, expr.param))
                 else:
                     computed.append(ComputedItem(expr, alias))
             elif isinstance(expr, Name):
@@ -210,8 +212,12 @@ class _Parser:
             raise ParseError("the select list needs grouping attributes")
         return tuple(group_attrs), tuple(aggregates), tuple(computed)
 
-    def _agg_call(self) -> AggCall:
-        func = self._expect_ident().text.lower()
+    def _agg_arguments(self) -> tuple[str | None, float | None]:
+        """``( "*" | ident ["," number] )`` — shared by both call forms.
+
+        The optional numeric second argument parameterizes the
+        aggregate, e.g. the quantile of ``APPROX_PERCENTILE(x, 0.9)``.
+        """
         self._expect_punct("(")
         token = self._peek()
         if token.kind == OP and token.text == "*":
@@ -219,22 +225,35 @@ class _Parser:
             column = None
         else:
             column = self._expect_ident().text
+        param = None
+        if self._match_punct(","):
+            token = self._peek()
+            negative = token.kind == OP and token.text == "-"
+            if negative:
+                self._advance()
+                token = self._peek()
+            if token.kind != NUMBER:
+                raise ParseError(
+                    f"an aggregate's second argument must be a number, "
+                    f"found {token.text!r}", token.position)
+            self._advance()
+            param = float(token.text)
+            if negative:
+                param = -param
         self._expect_punct(")")
-        return AggCall(func, column)
+        return column, param
+
+    def _agg_call(self) -> AggCall:
+        func = self._expect_ident().text.lower()
+        column, param = self._agg_arguments()
+        return AggCall(func, column, param)
 
     def _aggregate(self) -> AggregateItem:
         func = self._expect_ident().text.lower()
-        self._expect_punct("(")
-        token = self._peek()
-        if token.kind == OP and token.text == "*":
-            self._advance()
-            column = None
-        else:
-            column = self._expect_ident().text
-        self._expect_punct(")")
+        column, param = self._agg_arguments()
         self._expect_keyword("AS")
         alias = self._expect_ident().text
-        return AggregateItem(func, column, alias)
+        return AggregateItem(func, column, alias, param)
 
     # -- expressions ----------------------------------------------------------------
 

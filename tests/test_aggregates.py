@@ -11,6 +11,7 @@ from repro.relational.aggregates import (
 from repro.relational.aggregates import AggregateFunction
 from repro.relational.schema import Schema
 from repro.relational.types import DataType
+from tests.seeding import active_seed
 
 DETAIL = Schema.of(("x", DataType.INT64), ("y", DataType.FLOAT64),
                    ("s", DataType.STRING))
@@ -182,3 +183,168 @@ class TestSpecs:
         with pytest.raises(SchemaError, match="not in the detail"):
             validate_aggregate_list(
                 [AggregateSpec("sum", "zz", "s")], DETAIL, [])
+
+
+class TestNullSemantics:
+    """NaN-as-NULL consistency: every ratio-style aggregate finalizes an
+    empty group to NaN (rendered ``NULL``); counting aggregates give 0,
+    matching SQL's COUNT-over-empty = 0 / AVG-over-empty = NULL split."""
+
+    def test_var_finalize_empty_group_is_nan(self):
+        function = aggregate_function("var")
+        result = function.finalize({"count": np.array([0]),
+                                    "sum": np.array([0.0]),
+                                    "m2": np.array([0.0])})
+        assert np.isnan(result[0])
+
+    def test_stddev_finalize_empty_group_is_nan(self):
+        function = aggregate_function("stddev")
+        result = function.finalize({"count": np.array([0]),
+                                    "sum": np.array([0.0]),
+                                    "m2": np.array([0.0])})
+        assert np.isnan(result[0])
+
+    def test_approx_median_empty_group_is_nan(self):
+        from repro.relational.aggregates import primitive_empty
+        function = aggregate_function("approx_median")
+        key = function.state_primitives()[0]
+        empty = np.array([primitive_empty(key)], dtype=object)
+        assert np.isnan(function.finalize({key: empty})[0])
+
+    def test_approx_count_distinct_empty_group_is_zero(self):
+        from repro.relational.aggregates import primitive_empty
+        function = aggregate_function("approx_count_distinct")
+        key = function.state_primitives()[0]
+        empty = np.array([primitive_empty(key)], dtype=object)
+        assert function.finalize({key: empty})[0] == 0
+
+    def test_nan_renders_as_null(self):
+        from repro.relational.relation import Relation
+        relation = Relation.from_dicts([{"g": 1, "a": float("nan")}])
+        rendered = relation.pretty()
+        assert "NULL" in rendered and "nan" not in rendered
+
+    def test_stddev_clamps_round_off_negatives_only(self):
+        function = aggregate_function("stddev")
+        states = {"count": np.array([4, 4]),
+                  "sum": np.array([0.0, 0.0]),
+                  "m2": np.array([-1e-12, -1e-3])}
+        result = function.finalize(states)
+        assert result[0] == 0.0          # round-off noise -> clamped
+        assert np.isnan(result[1])       # genuinely negative -> surfaced
+
+
+class TestVarianceStability:
+    """Regression for the catastrophic-cancellation VAR/STDDEV bug.
+
+    Data ``1e9 + U(0,1)`` has true variance ~1/12; the old
+    ``sumsq/n − mean²`` finalize subtracts two ~1e18 numbers whose
+    difference is ~0.08 — beyond float64's ~15.9 significant digits —
+    so it returned garbage (often negative, masked to 0 by the old
+    ``sqrt(max(·, 0))``).  The shifted/m2 formulation agrees with
+    ``np.var`` to at least 6 significant digits across 1, 2, and 8
+    partitions.
+    """
+
+    OFFSET = 1.0e9
+
+    def _values(self, n=4096):
+        rng = np.random.default_rng(active_seed())
+        return self.OFFSET + rng.random(n)
+
+    @staticmethod
+    def _old_formula_partitioned(values, num_parts):
+        """The pre-fix pipeline: per-partition (count, sum, sumsq)
+        states, additive merge, ``sumsq/n − mean²`` finalize."""
+        parts = np.array_split(values, num_parts)
+        count = float(sum(len(part) for part in parts))
+        total = float(sum(part.sum() for part in parts))
+        sumsq = float(sum(np.square(part).sum() for part in parts))
+        mean = total / count
+        return sumsq / count - mean * mean
+
+    def _new_formula_partitioned(self, values, num_parts):
+        """The fixed pipeline, exercised through the real machinery:
+        per-partition grouped states + merge_spec_states_grouped."""
+        from repro.relational.aggregates import (
+            merge_spec_states_grouped, primitive_grouped)
+        from repro.relational.schema import Schema
+        from repro.relational.types import DataType
+        schema = Schema.of(("y", DataType.FLOAT64))
+        spec = AggregateSpec("var", "y", "v")
+        parts = np.array_split(values, num_parts)
+        columns = {field.name: np.array(
+                       [primitive_grouped(field.primitive,
+                                          np.zeros(len(part), dtype=np.int64),
+                                          part, 1)[0]
+                        for part in parts])
+                   for field in spec.state_fields(schema)}
+        codes = np.zeros(num_parts, dtype=np.int64)
+        merged = merge_spec_states_grouped(spec, schema, codes, columns, 1)
+        return float(spec.function.finalize(
+            {field.primitive: merged[field.name]
+             for field in spec.state_fields(schema)})[0])
+
+    @pytest.mark.parametrize("num_parts", [1, 2, 8])
+    def test_distributed_var_matches_numpy(self, num_parts):
+        values = self._values()
+        expected = float(np.var(values))
+        result = self._new_formula_partitioned(values, num_parts)
+        assert abs(result - expected) / expected < 1e-6  # >= 6 sig. digits
+
+    @pytest.mark.parametrize("num_parts", [1, 2, 8])
+    def test_old_formula_fails_on_offset_data(self, num_parts):
+        """The discriminator: the naive formulation must NOT meet the
+        6-digit bar on this data — proving the test would have caught
+        the bug."""
+        values = self._values()
+        expected = float(np.var(values))
+        naive = self._old_formula_partitioned(values, num_parts)
+        assert abs(naive - expected) / expected > 1e-6
+
+    def test_distributed_stddev_matches_numpy(self):
+        from repro.relational.aggregates import (
+            merge_spec_states_grouped, primitive_grouped)
+        values = self._values()
+        var = self._new_formula_partitioned(values, 8)
+        assert abs(np.sqrt(var) - np.std(values)) / np.std(values) < 1e-6
+
+
+class TestApproxSpecs:
+    def test_state_field_names_carry_parameters(self):
+        spec = AggregateSpec("approx_count_distinct", "x", "a",
+                             precision=10)
+        assert [f.name for f in spec.state_fields(DETAIL)] == ["a__hll10"]
+        spec = AggregateSpec("approx_percentile", "y", "p",
+                             param=0.9, precision=64)
+        assert [f.name for f in spec.state_fields(DETAIL)] == ["p__kll64"]
+
+    def test_state_dtype_is_bytes(self):
+        spec = AggregateSpec("approx_median", "y", "m")
+        field = spec.state_fields(DETAIL)[0]
+        assert field.dtype is DataType.BYTES
+
+    def test_approx_aggregates_are_decomposable(self):
+        for func in ("approx_count_distinct", "approx_median",
+                     "approx_percentile"):
+            assert aggregate_function(func).decomposable
+
+    def test_percentile_param_validation(self):
+        with pytest.raises(AggregateError, match="fraction"):
+            AggregateSpec("approx_percentile", "y", "p", param=1.5)
+        with pytest.raises(AggregateError, match="k must be"):
+            AggregateSpec("approx_percentile", "y", "p", precision=4)
+
+    def test_hll_precision_validation(self):
+        with pytest.raises(AggregateError):
+            AggregateSpec("approx_count_distinct", "x", "a", precision=3)
+        with pytest.raises(AggregateError):
+            AggregateSpec("approx_count_distinct", "x", "a", precision=19)
+
+    def test_median_rejects_param(self):
+        with pytest.raises(AggregateError, match="no parameter"):
+            AggregateSpec("approx_median", "y", "m", param=0.9)
+
+    def test_exact_functions_reject_param(self):
+        with pytest.raises(AggregateError, match="no parameter"):
+            AggregateSpec("sum", "y", "s", param=2.0)

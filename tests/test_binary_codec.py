@@ -16,6 +16,11 @@ ALL_TYPES = Schema([
     Attribute("b", DataType.BOOL),
 ])
 
+WITH_BYTES = Schema([
+    Attribute("k", DataType.INT64),
+    Attribute("blob", DataType.BYTES),
+])
+
 
 def roundtrip(relation: Relation) -> Relation:
     return decode_relation(encode_relation(relation))
@@ -79,6 +84,87 @@ class TestRoundTrip:
         decoded = roundtrip(relation)
         assert decoded.num_rows == count
         assert decoded.multiset_equals(relation)
+
+
+class TestNullAndNonFinite:
+    """NaN-as-NULL and ±inf must survive the codec *bit-exactly*.
+
+    The engine has no NULL representation of its own: an aggregate over
+    an empty group finalizes to NaN (AVG, VAR, APPROX_MEDIAN) and the
+    presentation layer prints it as ``NULL``.  For the process transport
+    to agree with the in-process one, the SKRL FLOAT64 path must carry
+    those NaNs (and infinities) through without normalizing them.
+    """
+
+    def test_nan_inf_bit_patterns_preserved(self):
+        schema = Schema([Attribute("f", DataType.FLOAT64)])
+        values = [float("nan"), float("inf"), float("-inf"),
+                  -0.0, 5e-324, 1.0]
+        relation = Relation.from_rows(schema, [[v] for v in values])
+        decoded = roundtrip(relation)
+        before = relation.column("f").view(np.uint64)
+        after = decoded.column("f").view(np.uint64)
+        assert np.array_equal(before, after)  # bit-for-bit, NaN included
+
+    def test_all_nan_column(self):
+        schema = Schema([Attribute("f", DataType.FLOAT64)])
+        relation = Relation.from_rows(
+            schema, [[float("nan")] for __ in range(17)])
+        decoded = roundtrip(relation)
+        assert np.isnan(decoded.column("f")).all()
+
+    def test_empty_relation_roundtrip_repeatedly(self):
+        # empty sub-results flow through transports constantly
+        empty = Relation.empty(ALL_TYPES)
+        assert encode_relation(empty) == encode_relation(roundtrip(empty))
+
+    def test_nan_prints_as_null(self):
+        schema = Schema([Attribute("f", DataType.FLOAT64)])
+        relation = Relation.from_rows(schema, [[float("nan")], [2.0]])
+        rendered = roundtrip(relation).pretty()
+        assert "NULL" in rendered
+        assert "nan" not in rendered
+
+
+class TestBytesColumns:
+    """BYTES columns (serialized sketch states) through the codec."""
+
+    def test_roundtrip_blobs(self):
+        rows = [[1, b""], [2, b"\x00\x01\x02"], [3, b"\xff" * 300],
+                [4, bytes(range(256))]]
+        relation = Relation.from_rows(WITH_BYTES, rows)
+        decoded = roundtrip(relation)
+        assert list(decoded.column("blob")) == [row[1] for row in rows]
+        assert decoded.schema.dtype("blob") is DataType.BYTES
+
+    def test_empty_bytes_relation(self):
+        decoded = roundtrip(Relation.empty(WITH_BYTES))
+        assert decoded.num_rows == 0
+        assert decoded.schema.dtype("blob") is DataType.BYTES
+
+    def test_sketch_state_roundtrip_bit_identical(self):
+        from repro.sketches import HyperLogLog, QuantileSketch
+        hll = HyperLogLog(10)
+        hll.update(np.arange(5000, dtype=np.int64))
+        kll = QuantileSketch(64)
+        kll.update(np.linspace(0.0, 1.0, 3000))
+        relation = Relation.from_rows(
+            WITH_BYTES, [[0, hll.to_bytes()], [1, kll.to_bytes()]])
+        decoded = roundtrip(relation)
+        assert decoded.column("blob")[0] == hll.to_bytes()
+        assert decoded.column("blob")[1] == kll.to_bytes()
+        # a decoded state is still usable
+        revived = HyperLogLog.from_bytes(decoded.column("blob")[0])
+        assert revived.estimate() == hll.estimate()
+
+    def test_wire_bytes_counts_blob_payload(self):
+        small = Relation.from_rows(WITH_BYTES, [[0, b"xy"]])
+        large = Relation.from_rows(WITH_BYTES, [[0, b"x" * 1000]])
+        assert large.wire_bytes() - small.wire_bytes() == 998
+
+    def test_deterministic_encoding_with_bytes(self):
+        relation = Relation.from_rows(WITH_BYTES, [[7, b"state"]])
+        assert encode_relation(relation) == encode_relation(relation)
 
 
 class TestMalformedPayloads:

@@ -102,10 +102,19 @@ def small_details(draw, min_rows=1, max_rows=80):
 
 
 def _aggregates(draw, measure_pool, index):
-    """One round's aggregate list over ``measure_pool`` columns."""
+    """One round's aggregate list over ``measure_pool`` columns.
+
+    ``approx_count_distinct`` joins the exact pool because HyperLogLog's
+    register-max merge is *partition-insensitive*: the distributed
+    estimate is bit-identical to the centralized oracle's, so it can
+    share the ``multiset_equals`` comparison.  (The quantile sketch is
+    deterministic but partition-*sensitive* — its differential coverage
+    lives in ``test_differential_sketches.py`` with an ε oracle.)
+    """
     specs = [count_star(f"n{index}")]
     for position, func in enumerate(draw(st.lists(
-            st.sampled_from(["sum", "min", "max", "avg"]),
+            st.sampled_from(["sum", "min", "max", "avg",
+                             "approx_count_distinct"]),
             min_size=0, max_size=2))):
         column = draw(st.sampled_from(measure_pool))
         specs.append(agg(func, column, f"x{index}_{position}"))

@@ -1,0 +1,271 @@
+"""Differential coverage for the APPROX_* sketch aggregates.
+
+The exact-aggregate differential harness (``test_differential.py``)
+compares distributed execution *bit-identically* against the
+centralized oracle.  Sketches need a split oracle:
+
+* **ε oracle vs exact.**  ``APPROX_COUNT_DISTINCT`` must land within
+  the documented three-sigma HLL bound
+  (:func:`repro.sketches.hll.relative_error_bound`);
+  ``APPROX_MEDIAN``/``APPROX_PERCENTILE`` estimates must sit within the
+  documented normalized *rank* interval
+  (:func:`repro.sketches.kll.rank_error_bound`) of the exact order
+  statistics — checked as a rank-containment property, not a value
+  delta, because that is what the sketch actually guarantees.
+
+* **bit-identity on a fixed partitioning.**  KLL compaction is
+  deterministic but *partition-sensitive*, so the distributed estimate
+  need not equal the centralized one bit-wise.  What MUST hold: for one
+  fixed partitioning, every transport (inprocess/thread/process), every
+  gather order (``ShufflingTransport``), and cache cold vs warm produce
+  float-bit-identical finalized sketch columns.  (HLL is additionally
+  partition-insensitive and is covered bit-identically vs the oracle in
+  ``test_differential.py``.)
+
+* **NaN = NULL consistency.**  A GMDJ round that matches nothing
+  finalizes ``APPROX_MEDIAN`` to NaN on every transport, and the
+  presentation layer renders it as ``NULL``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.seeding import active_seed, seeded
+from tests.test_differential import ShufflingTransport
+
+from repro.core.builder import QueryBuilder, agg
+from repro.data.flows import generate_flows
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.partition import partition_round_robin
+from repro.distributed.plan import OptimizationFlags
+from repro.relational.aggregates import AggregateSpec, count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+from repro.sketches.hll import (
+    DEFAULT_PRECISION as HLL_P, relative_error_bound)
+from repro.sketches.kll import DEFAULT_K as KLL_K, rank_error_bound
+
+EXAMPLES = int(os.environ.get("REPRO_DIFFERENTIAL_EXAMPLES", "25"))
+
+DETAIL_SCHEMA = Schema.of(("g", DataType.INT64), ("v", DataType.FLOAT64))
+
+
+def sketch_plan(q: float = 0.75):
+    """base(g) ⋈ one GMDJ carrying every sketch aggregate."""
+    return (QueryBuilder().base("g").gmdj([
+        count_star("n"),
+        agg("approx_count_distinct", "v", "acd"),
+        agg("approx_median", "v", "amed"),
+        AggregateSpec("approx_percentile", "v", "pq", param=q),
+    ], r.g == b.g).build())
+
+
+def assert_rank_contained(values: np.ndarray, estimate: float, q: float,
+                          eps: float) -> None:
+    """``estimate`` must cover normalized rank ``q`` within ``eps``.
+
+    This is the KLL contract: the returned value's rank interval
+    ``[lo, hi]`` (ties widen it) intersects ``[q - eps, q + eps]``,
+    with a ``1/n`` slack for rank discreteness.
+    """
+    ordered = np.sort(values)
+    n = len(ordered)
+    lo = np.searchsorted(ordered, estimate, side="left") / n
+    hi = np.searchsorted(ordered, estimate, side="right") / n
+    slack = eps + 1.0 / n + 1e-12
+    assert lo - slack <= q <= hi + slack, (
+        f"estimate {estimate} has rank [{lo}, {hi}], "
+        f"target {q} ± {eps} (n={n})")
+
+
+def float_columns_bit_equal(left: Relation, right: Relation,
+                            key: str, columns: list[str]) -> bool:
+    """Float columns compared *bit-for-bit* (NaN included) after
+    aligning both relations on ``key`` — stricter than the 9-significant
+    -digit tolerance of ``multiset_equals``."""
+    lorder = np.argsort(left.column(key), kind="stable")
+    rorder = np.argsort(right.column(key), kind="stable")
+    if not np.array_equal(left.column(key)[lorder],
+                          right.column(key)[rorder]):
+        return False
+    for name in columns:
+        lbits = np.asarray(left.column(name),
+                           dtype=np.float64)[lorder].view(np.uint64)
+        rbits = np.asarray(right.column(name),
+                           dtype=np.float64)[rorder].view(np.uint64)
+        if not np.array_equal(lbits, rbits):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# ε oracle: distributed sketches vs exact order statistics
+# ---------------------------------------------------------------------------
+
+class TestEpsilonOracle:
+    """Random data + partitioning; estimates within documented bounds."""
+
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_within_documented_bounds(self, data):
+        rows = data.draw(st.lists(
+            st.tuples(st.integers(0, 3),
+                      st.floats(-1e6, 1e6, allow_nan=False, width=32)),
+            min_size=1, max_size=120))
+        detail = Relation.from_rows(DETAIL_SCHEMA, rows)
+        num_sites = data.draw(st.integers(1, 4))
+        assignment = np.array(data.draw(st.lists(
+            st.integers(0, num_sites - 1), min_size=detail.num_rows,
+            max_size=detail.num_rows)))
+        partitions = {site: detail.filter(assignment == site)
+                      for site in range(num_sites)}
+        q = data.draw(st.sampled_from([0.1, 0.25, 0.75, 0.9]))
+        engine = SkallaEngine(partitions, cache=data.draw(st.booleans()))
+        result = engine.execute(sketch_plan(q), OptimizationFlags.all())
+        by_group = {row["g"]: row for row in result.relation.to_dicts()}
+        for key, indices in detail.group_indices(["g"]).items():
+            values = detail.column("v")[indices]
+            row = by_group[key[0]]
+            assert row["n"] == len(values)
+            exact_distinct = len(np.unique(values))
+            assert abs(row["acd"] - exact_distinct) <= max(
+                1.0, relative_error_bound(HLL_P) * exact_distinct)
+            eps = rank_error_bound(KLL_K, len(values))
+            assert_rank_contained(values, row["amed"], 0.5, eps)
+            assert_rank_contained(values, row["pq"], q, eps)
+
+    def test_bounds_hold_past_compaction(self):
+        """A group large enough to force KLL compaction and HLL density
+        still satisfies the documented error bounds."""
+        rng = np.random.default_rng(active_seed(7))
+        n = 20_000
+        detail = Relation.from_columns(DETAIL_SCHEMA, {
+            "g": np.zeros(n, dtype=np.int64),
+            "v": rng.normal(0.0, 1e4, n),
+        })
+        partitions = partition_round_robin(detail, 4)
+        engine = SkallaEngine(partitions)
+        result = engine.execute(sketch_plan(0.9), OptimizationFlags.all())
+        row = result.relation.to_dicts()[0]
+        values = detail.column("v")
+        exact_distinct = len(np.unique(values))
+        assert abs(row["acd"] - exact_distinct) <= \
+            relative_error_bound(HLL_P) * exact_distinct
+        eps = rank_error_bound(KLL_K, n)
+        assert eps > 0  # compaction actually happened
+        assert_rank_contained(values, row["amed"], 0.5, eps)
+        assert_rank_contained(values, row["pq"], 0.9, eps)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity across transports / gather orders / cache on a fixed split
+# ---------------------------------------------------------------------------
+
+SKETCH_COLUMNS = ["acd", "amed", "pq"]
+
+
+@pytest.fixture(scope="module")
+def flow_detail() -> Relation:
+    return generate_flows(num_flows=1_500, num_routers=4, num_source_as=8,
+                          num_dest_as=4, seed=active_seed(33))
+
+
+def flow_sketch_plan():
+    return (QueryBuilder().base("SourceAS").gmdj([
+        count_star("n"),
+        agg("approx_count_distinct", "NumBytes", "acd"),
+        agg("approx_median", "NumBytes", "amed"),
+        AggregateSpec("approx_percentile", "NumBytes", "pq", param=0.9),
+    ], r.SourceAS == b.SourceAS).build())
+
+
+class TestFixedPartitionBitIdentity:
+    """One partitioning ⇒ one sketch state, however it is executed."""
+
+    def reference(self, flow_detail) -> Relation:
+        partitions = partition_round_robin(flow_detail, 4)
+        engine = SkallaEngine(partitions)
+        return engine.execute(flow_sketch_plan(),
+                              OptimizationFlags.all()).relation
+
+    @pytest.mark.parametrize("transport", ["thread", "process"])
+    def test_pooled_transports_match_inprocess(self, flow_detail,
+                                               transport):
+        reference = self.reference(flow_detail)
+        partitions = partition_round_robin(flow_detail, 4)
+        with SkallaEngine(partitions, transport=transport) as engine:
+            result = engine.execute(flow_sketch_plan(),
+                                    OptimizationFlags.all()).relation
+        assert result.multiset_equals(reference)
+        assert float_columns_bit_equal(result, reference, "SourceAS",
+                                       SKETCH_COLUMNS)
+
+    def test_gather_order_is_irrelevant(self, flow_detail):
+        reference = self.reference(flow_detail)
+        for seed in range(5):
+            partitions = partition_round_robin(flow_detail, 4)
+            engine = SkallaEngine(partitions)
+            engine.use_transport(ShufflingTransport(engine.sites,
+                                                    seed=seed))
+            result = engine.execute(flow_sketch_plan(),
+                                    OptimizationFlags.all()).relation
+            assert float_columns_bit_equal(result, reference, "SourceAS",
+                                           SKETCH_COLUMNS)
+
+    def test_cache_cold_warm_bit_identical(self, flow_detail):
+        partitions = partition_round_robin(flow_detail, 4)
+        engine = SkallaEngine(partitions, cache=True)
+        cold = engine.execute(flow_sketch_plan(),
+                              OptimizationFlags.all()).relation
+        warm = engine.execute(flow_sketch_plan(),
+                              OptimizationFlags.all()).relation
+        assert float_columns_bit_equal(cold, warm, "SourceAS",
+                                       SKETCH_COLUMNS)
+        assert float_columns_bit_equal(cold, self.reference(flow_detail),
+                                       "SourceAS", SKETCH_COLUMNS)
+
+    def test_flags_do_not_change_sketch_bits(self, flow_detail):
+        """Group reduction / coalescing reorder *scheduling*, never the
+        per-fragment sketch contents."""
+        reference = self.reference(flow_detail)
+        for flags in (OptimizationFlags(),
+                      OptimizationFlags(coalesce=True),
+                      OptimizationFlags(group_reduction_independent=True)):
+            partitions = partition_round_robin(flow_detail, 4)
+            result = SkallaEngine(partitions).execute(
+                flow_sketch_plan(), flags).relation
+            assert float_columns_bit_equal(result, reference, "SourceAS",
+                                           SKETCH_COLUMNS), flags.describe()
+
+
+# ---------------------------------------------------------------------------
+# NaN (SQL NULL) consistency across transports
+# ---------------------------------------------------------------------------
+
+class TestNaNConsistency:
+    def empty_match_plan(self):
+        return (QueryBuilder().base("SourceAS").gmdj([
+            count_star("n"),
+            agg("approx_median", "NumBytes", "amed"),
+        ], (r.SourceAS == b.SourceAS) & (r.NumBytes >= 10**15)).build())
+
+    @pytest.mark.parametrize("transport", ["inprocess", "thread",
+                                           "process"])
+    def test_empty_groups_are_nan_everywhere(self, flow_detail,
+                                             transport):
+        partitions = partition_round_robin(flow_detail, 4)
+        with SkallaEngine(partitions, transport=transport) as engine:
+            result = engine.execute(self.empty_match_plan(),
+                                    OptimizationFlags.all()).relation
+        assert (np.asarray(result.column("n")) == 0).all()
+        assert np.isnan(np.asarray(result.column("amed"),
+                                   dtype=np.float64)).all()
+        assert "NULL" in result.pretty()

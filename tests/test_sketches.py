@@ -1,0 +1,355 @@
+"""Unit + accuracy property tests for the mergeable sketches.
+
+Structure mirrors the contract in ``repro/sketches/__init__``:
+
+* uniform ``update / merge / estimate / to_bytes / from_bytes`` surface;
+* monoid laws (commutative, associative, HLL additionally idempotent)
+  checked on *serialized* states, which is what the engine actually
+  merges;
+* documented accuracy bounds — HLL relative error within
+  ``3 / sqrt(2**p)`` and KLL normalized rank error within
+  ``rank_error_bound(k, n)`` — as seeded property tests over many
+  random multisets and partitionings.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.seeding import active_seed, seeded
+
+from repro.sketches import (HyperLogLog, QuantileSketch, hash64,
+                            kll_k_for_precision)
+from repro.sketches.hashing import splitmix64
+from repro.sketches.hll import (
+    MAX_PRECISION as HLL_MAX_P, MIN_PRECISION as HLL_MIN_P,
+    relative_error_bound)
+from repro.sketches.kll import MAX_K, MIN_K, rank_error_bound
+
+
+# ---------------------------------------------------------------------------
+# Hashing
+# ---------------------------------------------------------------------------
+
+class TestHash64:
+    def test_deterministic_across_calls(self):
+        values = np.arange(100, dtype=np.int64)
+        assert np.array_equal(hash64(values), hash64(values))
+
+    def test_negative_zero_equals_positive_zero(self):
+        hashed = hash64(np.array([0.0, -0.0]))
+        assert hashed[0] == hashed[1]
+
+    def test_all_nans_hash_equal(self):
+        quiet = np.frombuffer(struct.pack("<Q", 0x7FF8000000000001),
+                              dtype=np.float64)[0]
+        hashed = hash64(np.array([float("nan"), quiet]))
+        assert hashed[0] == hashed[1]
+
+    def test_int_float_object_kinds(self):
+        assert hash64(np.array([1, 2, 3])).dtype == np.uint64
+        assert hash64(np.array([1.5, 2.5])).dtype == np.uint64
+        assert hash64(np.array(["a", "b"], dtype=object)).dtype == np.uint64
+        assert hash64(np.array([b"x", b"y"], dtype=object)).dtype == \
+            np.uint64
+
+    def test_strings_and_bytes_do_not_collide_by_prefix(self):
+        text = hash64(np.array(["ab"], dtype=object))[0]
+        blob = hash64(np.array([b"ab"], dtype=object))[0]
+        assert text != blob
+
+    def test_splitmix64_known_vector(self):
+        # reference value for seed 0 from the splitmix64 definition
+        out = splitmix64(np.array([0], dtype=np.uint64))[0]
+        assert int(out) == 0xE220A8397B1DCDAF
+
+    def test_unhashable_dtype_raises(self):
+        with pytest.raises(TypeError, match="cannot hash"):
+            hash64(np.zeros(3, dtype=np.complex128))
+
+
+# ---------------------------------------------------------------------------
+# HyperLogLog
+# ---------------------------------------------------------------------------
+
+class TestHyperLogLog:
+    def test_precision_validation(self):
+        with pytest.raises(ValueError, match="precision"):
+            HyperLogLog(HLL_MIN_P - 1)
+        with pytest.raises(ValueError, match="precision"):
+            HyperLogLog(HLL_MAX_P + 1)
+
+    def test_empty_estimate_zero(self):
+        assert HyperLogLog(10).estimate() == 0.0
+
+    def test_exact_for_tiny_cardinalities(self):
+        sketch = HyperLogLog(12).update(np.array([1, 2, 3, 2, 1]))
+        assert round(sketch.estimate()) == 3
+
+    def test_duplicates_do_not_inflate(self):
+        once = HyperLogLog(12).update(np.arange(50))
+        thrice = HyperLogLog(12).update(np.tile(np.arange(50), 3))
+        assert once.estimate() == thrice.estimate()
+
+    def test_sparse_promotes_to_dense(self):
+        sketch = HyperLogLog(6)  # m=64, promotion past 16 entries
+        assert sketch.is_sparse
+        sketch.update(np.arange(500, dtype=np.int64))
+        assert not sketch.is_sparse
+
+    def test_merge_is_union(self):
+        left = HyperLogLog(12).update(np.arange(0, 600))
+        right = HyperLogLog(12).update(np.arange(300, 900))
+        union = HyperLogLog(12).update(np.arange(0, 900))
+        assert left.merge(right).to_bytes() == union.to_bytes()
+
+    def test_merge_commutative_associative_idempotent(self):
+        a = HyperLogLog(10).update(np.arange(0, 400))
+        b = HyperLogLog(10).update(np.arange(200, 700))
+        c = HyperLogLog(10).update(np.arange(650, 1000))
+        assert a.merge(b).to_bytes() == b.merge(a).to_bytes()
+        assert a.merge(b).merge(c).to_bytes() == \
+            a.merge(b.merge(c)).to_bytes()
+        assert a.merge(a).to_bytes() == a.to_bytes()
+
+    def test_merge_does_not_mutate_operands(self):
+        a = HyperLogLog(10).update(np.arange(100))
+        b = HyperLogLog(10).update(np.arange(100, 200))
+        before = (a.to_bytes(), b.to_bytes())
+        a.merge(b)
+        assert (a.to_bytes(), b.to_bytes()) == before
+
+    def test_mismatched_precision_merge_raises(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            HyperLogLog(10).merge(HyperLogLog(11))
+
+    def test_roundtrip_sparse_and_dense(self):
+        sparse = HyperLogLog(12).update(np.arange(10))
+        assert sparse.is_sparse
+        revived = HyperLogLog.from_bytes(sparse.to_bytes())
+        assert revived.to_bytes() == sparse.to_bytes()
+        dense = HyperLogLog(6).update(np.arange(1000))
+        assert not dense.is_sparse
+        revived = HyperLogLog.from_bytes(dense.to_bytes())
+        assert revived.to_bytes() == dense.to_bytes()
+        assert revived.estimate() == dense.estimate()
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not a HyperLogLog"):
+            HyperLogLog.from_bytes(b"XXxxxxxxxxxx")
+
+    def test_sparse_state_is_small(self):
+        sketch = HyperLogLog(14).update(np.arange(8))
+        assert len(sketch.to_bytes()) < 64  # not 2**14
+
+    def test_dense_state_is_bounded(self):
+        sketch = HyperLogLog(10).update(np.arange(100_000))
+        assert len(sketch.to_bytes()) == (1 << 10) + 5
+
+    def test_serialized_update_still_usable(self):
+        sketch = HyperLogLog(12).update(np.arange(100))
+        revived = HyperLogLog.from_bytes(sketch.to_bytes())
+        revived.update(np.arange(100, 200))
+        direct = HyperLogLog(12).update(np.arange(200))
+        assert revived.to_bytes() == direct.to_bytes()
+
+
+class TestHyperLogLogAccuracy:
+    """Documented three-sigma bound: |est - n| <= 3/sqrt(m) * n."""
+
+    @seeded
+    @settings(max_examples=30, deadline=None)
+    @given(cardinality=st.integers(1, 50_000), p=st.integers(8, 14),
+           offset=st.integers(0, 2**32))
+    def test_within_three_sigma(self, cardinality, p, offset):
+        values = np.arange(offset, offset + cardinality, dtype=np.int64)
+        estimate = HyperLogLog(p).update(values).estimate()
+        assert abs(estimate - cardinality) <= max(
+            2.0, relative_error_bound(p) * cardinality)
+
+    @seeded
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_partitioned_union_matches_centralized_bitwise(self, data):
+        """Partition-insensitivity: merging arbitrary splits yields the
+        centralized sketch bit-for-bit (the property that lets HLL share
+        the exact differential oracle)."""
+        n = data.draw(st.integers(1, 3000))
+        parts = data.draw(st.integers(1, 6))
+        values = np.arange(n, dtype=np.int64)
+        assignment = np.array(data.draw(st.lists(
+            st.integers(0, parts - 1), min_size=n, max_size=n)))
+        merged = HyperLogLog(11)
+        for part in range(parts):
+            merged = merged.merge(
+                HyperLogLog(11).update(values[assignment == part]))
+        centralized = HyperLogLog(11).update(values)
+        assert merged.to_bytes() == centralized.to_bytes()
+
+    def test_error_bound_formula(self):
+        assert relative_error_bound(12) == pytest.approx(3.0 / 64.0)
+        assert relative_error_bound(10) > relative_error_bound(14)
+
+
+# ---------------------------------------------------------------------------
+# QuantileSketch (KLL)
+# ---------------------------------------------------------------------------
+
+def rank_of(values: np.ndarray, estimate: float) -> tuple[float, float]:
+    ordered = np.sort(values)
+    n = len(ordered)
+    return (np.searchsorted(ordered, estimate, side="left") / n,
+            np.searchsorted(ordered, estimate, side="right") / n)
+
+
+class TestQuantileSketch:
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            QuantileSketch(MIN_K - 1)
+        with pytest.raises(ValueError, match="k must be"):
+            QuantileSketch(MAX_K + 1)
+
+    def test_empty_quantile_nan(self):
+        sketch = QuantileSketch(64)
+        assert math.isnan(sketch.quantile(0.5))
+        assert math.isnan(sketch.rank(1.0))
+
+    def test_exact_below_capacity(self):
+        values = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        sketch = QuantileSketch(64).update(values)
+        assert sketch.median() == 3.0
+        assert sketch.quantile(0.0) == 1.0
+        assert sketch.quantile(1.0) == 5.0
+
+    def test_min_max_exact_past_compaction(self):
+        rng = np.random.default_rng(active_seed(1))
+        values = rng.normal(size=10_000)
+        sketch = QuantileSketch(32).update(values)
+        assert sketch.quantile(0.0) == values.min()
+        assert sketch.quantile(1.0) == values.max()
+        assert sketch.count == len(values)
+
+    def test_merge_commutative_bitwise(self):
+        rng = np.random.default_rng(active_seed(2))
+        a = QuantileSketch(32).update(rng.normal(size=2000))
+        b = QuantileSketch(32).update(rng.normal(size=1500))
+        assert a.merge(b).to_bytes() == b.merge(a).to_bytes()
+
+    def test_merge_does_not_mutate_operands(self):
+        a = QuantileSketch(16).update(np.arange(500.0))
+        b = QuantileSketch(16).update(np.arange(500.0, 900.0))
+        before = (a.to_bytes(), b.to_bytes())
+        a.merge(b)
+        assert (a.to_bytes(), b.to_bytes()) == before
+
+    def test_mismatched_k_merge_raises(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            QuantileSketch(16).merge(QuantileSketch(32))
+
+    def test_deterministic_state(self):
+        """Same input ⇒ same bytes, in any process: there is no seeded
+        randomness anywhere in the compaction path."""
+        values = np.linspace(0.0, 1.0, 5000)
+        a = QuantileSketch(64).update(values)
+        b = QuantileSketch(64).update(values)
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_roundtrip_bit_identical_and_usable(self):
+        rng = np.random.default_rng(active_seed(3))
+        sketch = QuantileSketch(48).update(rng.normal(size=7000))
+        revived = QuantileSketch.from_bytes(sketch.to_bytes())
+        assert revived.to_bytes() == sketch.to_bytes()
+        assert revived.quantile(0.5) == sketch.quantile(0.5)
+        merged = revived.merge(QuantileSketch(48).update(np.arange(10.0)))
+        assert merged.count == sketch.count + 10
+
+    def test_empty_roundtrip(self):
+        revived = QuantileSketch.from_bytes(QuantileSketch(16).to_bytes())
+        assert revived.count == 0
+        assert math.isnan(revived.quantile(0.5))
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not a QuantileSketch"):
+            QuantileSketch.from_bytes(b"ZZ" + b"\x00" * 30)
+
+    def test_state_size_sublinear(self):
+        small = QuantileSketch(64).update(np.arange(1_000.0))
+        large = QuantileSketch(64).update(np.arange(100_000.0))
+        # 100x the data, state grows only with the log2 level count
+        assert len(large.to_bytes()) < 4 * len(small.to_bytes())
+        assert len(large.to_bytes()) < 64 * 8 * 6  # ~3k items + headers
+
+
+class TestQuantileSketchAccuracy:
+    """Documented bound: normalized rank error <= rank_error_bound(k, n)."""
+
+    @seeded
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_rank_error_within_bound(self, data):
+        n = data.draw(st.integers(1, 20_000))
+        k = data.draw(st.sampled_from([16, 64, 200]))
+        kind = data.draw(st.sampled_from(["uniform", "normal", "sorted",
+                                          "heavy-dup"]))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32)))
+        if kind == "uniform":
+            values = rng.uniform(-1e6, 1e6, n)
+        elif kind == "normal":
+            values = rng.normal(0, 1e3, n)
+        elif kind == "sorted":
+            values = np.sort(rng.uniform(0, 1, n))
+        else:
+            values = rng.integers(0, 10, n).astype(np.float64)
+        sketch = QuantileSketch(k).update(values)
+        eps = rank_error_bound(k, n) + 1.0 / n + 1e-12
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            lo, hi = rank_of(values, sketch.quantile(q))
+            assert lo - eps <= q <= hi + eps, (kind, k, n, q)
+
+    @seeded
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_merged_sketch_respects_bound(self, data):
+        """Merging per-partition sketches must not break the rank bound
+        (the distributed execution path)."""
+        n = data.draw(st.integers(10, 8_000))
+        parts = data.draw(st.integers(2, 5))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32)))
+        values = rng.normal(0, 1.0, n)
+        assignment = rng.integers(0, parts, n)
+        merged = QuantileSketch(64)
+        for part in range(parts):
+            merged = merged.merge(
+                QuantileSketch(64).update(values[assignment == part]))
+        eps = rank_error_bound(64, n) + 1.0 / n + 1e-12
+        for q in (0.25, 0.5, 0.75):
+            lo, hi = rank_of(values, merged.quantile(q))
+            assert lo - eps <= q <= hi + eps
+
+    def test_bound_formula(self):
+        assert rank_error_bound(200, 100) == 0.0  # exact below capacity
+        assert 0.0 < rank_error_bound(200, 100_000) <= 0.5
+        assert rank_error_bound(16, 10**6) == 0.5  # clamped
+
+
+# ---------------------------------------------------------------------------
+# Precision knob
+# ---------------------------------------------------------------------------
+
+class TestPrecisionKnob:
+    def test_default_precision_maps_near_literature_k(self):
+        assert kll_k_for_precision(12) == 204
+
+    def test_clamped_to_valid_range(self):
+        assert kll_k_for_precision(4) == MIN_K
+        assert kll_k_for_precision(18) == (1 << 18) // 20
+        assert MIN_K <= kll_k_for_precision(18) <= MAX_K
+
+    def test_monotone(self):
+        ks = [kll_k_for_precision(p) for p in range(4, 19)]
+        assert ks == sorted(ks)
