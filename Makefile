@@ -1,7 +1,7 @@
 # Convenience targets; `make ci` runs exactly what GitHub Actions runs.
 
 .PHONY: ci lint test coverage test-differential bench bench-cache \
-	bench-parallel bench-sketches
+	bench-parallel bench-sketches bench-service
 
 ci:
 	sh scripts/ci.sh all
@@ -38,3 +38,10 @@ bench-parallel:
 # benchmarks/results/ext_sketches*.txt).
 bench-sketches:
 	PYTHONPATH=src python -m pytest benchmarks/bench_ext_sketches.py -q
+
+# The concurrent serving load gate: smoke-scale run plus baseline
+# comparison, exactly as the service-load CI job runs it.  To refresh
+# the committed baseline (benchmarks/results/ext_service.json):
+#   PYTHONPATH=src python benchmarks/bench_ext_service.py --smoke
+bench-service:
+	sh scripts/ci.sh bench-service

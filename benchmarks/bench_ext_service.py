@@ -1,0 +1,135 @@
+"""Extension — concurrent multi-tenant serving load (the CI gate).
+
+Not a figure from the paper, but its deployment story: a warehouse
+serves many dashboards at once, and Sect. 2's round model makes
+concurrent queries *cooperate* — rounds are pure functions of
+(fragment, shipped structure, step), so one in-flight site scan can
+feed every query that fingerprints to it, and a compiled plan is
+reusable across textually different submissions.
+
+One scenario, two windows (``repro.bench.service_load``): ≥8 closed-
+loop clients over a 4-site process-transport warehouse, cold then warm,
+with an append between the windows and every result checked
+bit-identical to a centralized oracle *while the load runs*.
+
+Asserted (the CI ``service-load`` gate):
+
+* sustained QPS > 0 with zero failures, rejections are allowed but
+  every admitted query must finish;
+* zero oracle mismatches in both windows (concurrency and the append
+  never change answers);
+* cross-query scatter sharing fired: shared-scan consumptions > 0;
+* warm p95 ≤ cold p95 — the plan cache and sub-aggregate cache must
+  not make repeat traffic slower.
+
+Runs as pytest (``pytest benchmarks/bench_ext_service.py``) or as a
+script: ``python benchmarks/bench_ext_service.py --smoke --json out``.
+The full JSON report lands in ``benchmarks/results/ext_service.json``
+(the committed baseline ``scripts/bench_compare.py`` gates against).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.bench.service_load import run_service_benchmark
+
+#: Modest scale so the benchmark doubles as a CI smoke test.
+ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "40000")) // 10
+SMOKE_ROWS = 2000
+CLIENTS = 8
+SITES = 4
+RESULTS = Path(__file__).parent / "results" / "ext_service.json"
+
+
+def run_scenario(rows: int) -> dict[str, object]:
+    return run_service_benchmark(
+        num_rows=rows, num_sites=SITES, clients=CLIENTS, rounds=2,
+        workers=CLIENTS, transport="process", seed=42)
+
+
+def check_scenario(result: dict[str, object]) -> None:
+    """The load/latency gate: raises AssertionError with the evidence."""
+    cold, warm = result["cold"], result["warm"]
+    for window in (cold, warm):
+        assert window["completed"] > 0, window
+        assert window["qps"] > 0, window
+        assert window["failed"] == 0, window["errors"]
+        assert window["mismatches"] == 0, window["errors"]
+    shared = result["snapshot"]["shared_scans"]
+    assert shared["shared_hits"] > 0, shared
+    assert result["snapshot"]["plan_cache"]["hits"] > 0, \
+        result["snapshot"]["plan_cache"]
+    assert warm["latency_p95"] <= cold["latency_p95"], (
+        f"warm p95 {warm['latency_p95']:.4f}s exceeds "
+        f"cold p95 {cold['latency_p95']:.4f}s")
+
+
+def _summary_rows(result: dict[str, object]) -> list[dict[str, object]]:
+    rows = []
+    for window in ("cold", "warm"):
+        numbers = result[window]
+        rows.append({
+            "window": window,
+            "completed": numbers["completed"],
+            "qps": numbers["qps"],
+            "p50_ms": round(numbers["latency_p50"] * 1000, 2),
+            "p95_ms": round(numbers["latency_p95"] * 1000, 2),
+            "failed": numbers["failed"],
+            "mismatches": numbers["mismatches"],
+        })
+    return rows
+
+
+def test_bench_service_load(benchmark, report):
+    """≥8 concurrent clients, 4-site process transport, cold vs warm."""
+    result = benchmark.pedantic(run_scenario, args=(ROWS,),
+                                rounds=1, iterations=1)
+    RESULTS.parent.mkdir(exist_ok=True)
+    RESULTS.write_text(json.dumps(result, indent=2, sort_keys=True))
+    report("ext_service",
+           "Extension — multi-tenant serving "
+           f"({ROWS} rows, {SITES} sites, {CLIENTS} clients, "
+           "process transport, append between windows)",
+           _summary_rows(result),
+           ["window", "completed", "qps", "p50_ms", "p95_ms",
+            "failed", "mismatches"])
+    check_scenario(result)
+    shared = result["snapshot"]["shared_scans"]
+    # the sharing layers visibly fired under this load
+    assert shared["shared_hits"] >= CLIENTS - 1, shared
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"reduced scale ({SMOKE_ROWS} rows) for CI")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="where to write the JSON report "
+                             f"(default {RESULTS})")
+    args = parser.parse_args(argv)
+    rows = SMOKE_ROWS if args.smoke else ROWS
+    result = run_scenario(rows)
+    for row in _summary_rows(result):
+        print(f"{row['window']:<5}: {row['completed']} queries at "
+              f"{row['qps']:.1f} QPS; p50/p95 {row['p50_ms']:.1f}/"
+              f"{row['p95_ms']:.1f} ms; {row['failed']} failed, "
+              f"{row['mismatches']} mismatches")
+    shared = result["snapshot"]["shared_scans"]
+    print(f"shared scans: {shared['shared_hits']} consumed vs "
+          f"{shared['led_scans']} dispatched")
+    target = Path(args.json) if args.json else RESULTS
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(result, indent=2, sort_keys=True))
+    print(f"wrote {target}")
+    check_scenario(result)
+    print("service-load gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Compare a fresh service-benchmark report against the committed baseline.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json FRESH.json [--max-ratio R]
+
+Fails (exit 1) when the fresh run regresses more than ``--max-ratio``
+(default 2.0, overridable via ``BENCH_COMPARE_MAX_RATIO``) on:
+
+* cold or warm latency p95 (fresh may be at most R x baseline), or
+* throughput (fresh QPS may be at most R x *slower* than baseline).
+
+Absolute latencies vary across machines, so the threshold is a loose
+2x by design — the gate exists to catch algorithmic regressions (a lost
+cache tier, serialized scans), not scheduler jitter.  Correctness
+(failures, mismatches) is asserted unconditionally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_MAX_RATIO = float(os.environ.get("BENCH_COMPARE_MAX_RATIO", "2.0"))
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"bench_compare: no such report: {path}")
+    except json.JSONDecodeError as error:
+        sys.exit(f"bench_compare: {path} is not valid JSON: {error}")
+
+
+def compare(baseline: dict, fresh: dict,
+            max_ratio: float = DEFAULT_MAX_RATIO) -> list[str]:
+    """Return the list of violations (empty means the gate passes)."""
+    problems = []
+    for window in ("cold", "warm"):
+        base, new = baseline.get(window), fresh.get(window)
+        if not base or not new:
+            problems.append(f"{window}: window missing from report")
+            continue
+        if new.get("failed"):
+            problems.append(f"{window}: {new['failed']} failed queries")
+        if new.get("mismatches"):
+            problems.append(
+                f"{window}: {new['mismatches']} oracle mismatches")
+        base_p95, new_p95 = base.get("latency_p95", 0), new.get(
+            "latency_p95", 0)
+        if base_p95 > 0 and new_p95 > max_ratio * base_p95:
+            problems.append(
+                f"{window}: p95 regressed {new_p95 / base_p95:.2f}x "
+                f"({base_p95 * 1000:.1f} ms -> {new_p95 * 1000:.1f} ms, "
+                f"limit {max_ratio:.1f}x)")
+        base_qps, new_qps = base.get("qps", 0), new.get("qps", 0)
+        if new_qps > 0 and base_qps > max_ratio * new_qps:
+            problems.append(
+                f"{window}: QPS regressed {base_qps / new_qps:.2f}x "
+                f"({base_qps:.1f} -> {new_qps:.1f}, "
+                f"limit {max_ratio:.1f}x)")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path,
+                        help="committed baseline report (JSON)")
+    parser.add_argument("fresh", type=Path,
+                        help="report from the run under test (JSON)")
+    parser.add_argument("--max-ratio", type=float, default=DEFAULT_MAX_RATIO,
+                        help="maximum tolerated p95/QPS regression factor "
+                             "(default %(default)s)")
+    args = parser.parse_args(argv)
+    baseline, fresh = _load(args.baseline), _load(args.fresh)
+    for window in ("cold", "warm"):
+        base, new = baseline.get(window, {}), fresh.get(window, {})
+        print(f"{window:<5}: p95 {base.get('latency_p95', 0) * 1000:8.1f} ms"
+              f" -> {new.get('latency_p95', 0) * 1000:8.1f} ms | "
+              f"QPS {base.get('qps', 0):7.1f} -> {new.get('qps', 0):7.1f}")
+    problems = compare(baseline, fresh, max_ratio=args.max_ratio)
+    if problems:
+        for problem in problems:
+            print(f"bench_compare: FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: PASS (within {args.max_ratio:.1f}x of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,8 +16,14 @@
 #                               and sketch-traffic benchmarks as smoke
 #                               tests, at a reduced row count so they
 #                               finish in seconds
-#   scripts/ci.sh all           lint + test + differential + bench
-#                               (the default)
+#   scripts/ci.sh bench-service the concurrent serving load gate:
+#                               8 closed-loop clients against a 4-site
+#                               process-transport warehouse, asserted
+#                               error-free and bit-identical, then
+#                               compared against the committed baseline
+#                               (fails on a >2x p95/QPS regression)
+#   scripts/ci.sh all           lint + test + differential + bench +
+#                               bench-service (the default)
 #
 # Exit code: non-zero as soon as any stage fails.
 
@@ -91,14 +97,31 @@ bench() {
         --benchmark-disable
 }
 
+# The serving load/latency gate (satellite of the query-service PR):
+# run the closed-loop benchmark at smoke scale, assert QPS > 0 with no
+# failures or oracle mismatches and warm p95 <= cold p95, then diff the
+# fresh report against the committed baseline.  The fresh JSON is left
+# at benchmarks/results/ext_service_ci.json for artifact upload.
+bench_service() {
+    echo "== bench-service: concurrent serving load gate =="
+    "$PYTHON" benchmarks/bench_ext_service.py --smoke \
+        --json benchmarks/results/ext_service_ci.json
+    echo "== bench-service: compare against committed baseline =="
+    "$PYTHON" scripts/bench_compare.py \
+        benchmarks/results/ext_service.json \
+        benchmarks/results/ext_service_ci.json
+}
+
 stage=${1:-all}
 case "$stage" in
-    lint)         lint ;;
-    test)         tests ;;
-    coverage)     coverage ;;
-    differential) differential ;;
-    bench)        bench ;;
-    all)          lint; tests; differential; bench ;;
+    lint)          lint ;;
+    test)          tests ;;
+    coverage)      coverage ;;
+    differential)  differential ;;
+    bench)         bench ;;
+    bench-service) bench_service ;;
+    all)           lint; tests; differential; bench; bench_service ;;
     *)  echo "usage: scripts/ci.sh" \
-            "[lint|test|coverage|differential|bench|all]" >&2; exit 2 ;;
+            "[lint|test|coverage|differential|bench|bench-service|all]" \
+            >&2; exit 2 ;;
 esac

@@ -1,0 +1,110 @@
+"""The serving benchmark: concurrent clients against one warehouse.
+
+One self-contained, deterministic scenario shared by the CLI
+(``repro bench-serve``) and the committed CI gate
+(``benchmarks/bench_ext_service.py``): build a TPC-R style warehouse,
+wrap it in a :class:`~repro.service.server.QueryService`, and drive it
+with closed-loop clients (:mod:`repro.service.loadgen`) through two
+windows:
+
+* **cold** — empty plan cache, empty sub-aggregate cache.  Every
+  statement's first execution compiles, plans, and scans; concurrent
+  duplicates already share scans through the in-flight registry.
+* **warm** — the same clients replay the same mix.  Compilation is
+  served by the plan cache and site rounds by the sub-aggregate cache,
+  so warm latency must not exceed cold latency (the CI gate asserts
+  ``warm p95 <= cold p95``).
+
+Every result is verified bit-identical to a centralized oracle while
+the load runs, and an append between the windows exercises the
+service's quiesce barrier plus the cache's delta maintenance under
+concurrency.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import build_tpcr_warehouse
+from repro.service.loadgen import run_closed_loop
+from repro.service.server import QueryService
+from repro.sql.compiler import compile_query
+
+#: The statement mix: one heavy group-by, one re-aggregation to a
+#: coarser key, one filtered aggregate — textual duplicates land in the
+#: plan cache's exact tier, the AST tier catches reformatted ones.
+STATEMENTS = (
+    "SELECT CustName, SUM(ExtendedPrice) AS total, COUNT(*) AS n "
+    "FROM tpcr GROUP BY CustName",
+    "SELECT NationKey, AVG(ExtendedPrice) AS avg_price "
+    "FROM tpcr GROUP BY NationKey",
+    "SELECT CustName, SUM(Quantity) AS qty FROM tpcr "
+    "WHERE Discount > 0.02 GROUP BY CustName",
+)
+
+
+def _references(engine, statements) -> dict[str, object]:
+    """Centralized oracle results, deterministically ordered."""
+    detail = engine.total_detail_relation()
+    references = {}
+    for sql in statements:
+        compiled = compile_query(sql, engine.detail_schema)
+        table = compiled.run_centralized(detail)
+        if not compiled.order_by:
+            table = table.sort(list(compiled.expression.key))
+        references[sql] = table
+    return references
+
+
+def run_service_benchmark(num_rows: int = 4000, num_sites: int = 4,
+                          clients: int = 8, rounds: int = 3,
+                          workers: int = 8, transport: str = "process",
+                          seed: int = 42,
+                          append_between_windows: bool = True,
+                          ) -> dict[str, object]:
+    """Run the cold/warm serving scenario; returns the JSON-ready report."""
+    warehouse = build_tpcr_warehouse(
+        num_rows=num_rows, num_sites=num_sites,
+        high_cardinality=False, seed=seed)
+    engine = warehouse.engine
+    if transport != "inprocess":
+        engine.use_transport(transport)
+    statements = list(STATEMENTS)
+    try:
+        with QueryService(engine, workers=workers,
+                          max_queue_depth=max(64, 4 * clients)) as service:
+            references = _references(engine, statements)
+            cold = run_closed_loop(
+                service, statements, clients=clients, rounds=rounds,
+                label="cold", references=references)
+            if append_between_windows:
+                # grow one site mid-benchmark: the barrier quiesces the
+                # service, the caches upgrade by delta, and the oracle
+                # is recomputed for the new fragment state.
+                delta = engine.fragment(0).head(
+                    max(1, engine.fragment(0).num_rows // 100))
+                service.append(0, delta)
+                references = _references(engine, statements)
+            warm = run_closed_loop(
+                service, statements, clients=clients, rounds=rounds,
+                label="warm", references=references)
+            snapshot = service.snapshot()
+    finally:
+        engine.close()
+    return {
+        "config": {
+            "num_rows": num_rows,
+            "num_sites": num_sites,
+            "clients": clients,
+            "rounds": rounds,
+            "workers": workers,
+            "transport": transport,
+            "seed": seed,
+            "statements": len(statements),
+            "append_between_windows": append_between_windows,
+        },
+        "cold": cold.as_dict(),
+        "warm": warm.as_dict(),
+        "snapshot": snapshot,
+    }
+
+
+__all__ = ["STATEMENTS", "run_service_benchmark"]

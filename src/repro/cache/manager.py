@@ -57,6 +57,15 @@ class CacheDecision:
     current_version: int
     entry: CacheEntry | None = None
     delta: Relation | None = None
+    #: snapshot of the entry's (version, relation) at decide time.
+    #: Entries are upgraded **in place** by delta merges, and under a
+    #: concurrent serving layer two queries may hold the same entry —
+    #: fulfillment must therefore work from the classification-time
+    #: snapshot (relations are immutable, so holding the reference is
+    #: safe), never from the live entry, or a racing upgrade would make
+    #: a delta merge double-apply its rows.
+    entry_version: int | None = None
+    entry_relation: Relation | None = None
 
     @property
     def site_id(self) -> SiteId:
@@ -80,6 +89,9 @@ class SubAggregateCache:
     bytes_saved: int = 0
     #: HITs demoted by a gather-time version check (append raced a round)
     stale_hits_averted: int = 0
+    #: shared-scan results a follower query discarded because an append
+    #: raced the leader's flight (the cross-query analogue of the above)
+    shared_stale_averted: int = 0
     #: populate() calls refused because the site version moved in flight
     populate_races: int = 0
     _appended_sites: set = field(default_factory=set)
@@ -119,13 +131,17 @@ class SubAggregateCache:
                 self.hits += 1
                 entry.hits += 1
                 return CacheDecision(request, HIT, fingerprint, current,
-                                     entry=entry)
+                                     entry=entry,
+                                     entry_version=entry.version,
+                                     entry_relation=entry.relation)
             if delta_mergeable(request):
                 delta = self.log.deltas_between(
                     request.site_id, entry.version, current)
                 if delta is not None:
                     return CacheDecision(request, DELTA, fingerprint,
-                                         current, entry=entry, delta=delta)
+                                         current, entry=entry, delta=delta,
+                                         entry_version=entry.version,
+                                         entry_relation=entry.relation)
             # Stale and not upgradable: the entry can never become current
             # again (versions only grow), so free its budget now.
             self.store.drop(fingerprint)
@@ -156,11 +172,17 @@ class SubAggregateCache:
     # -- fulfillment -------------------------------------------------------
 
     def fulfill_hit(self, decision: CacheDecision) -> Relation:
-        """The cached sub-result (immutable; shared by reference)."""
-        assert decision.entry is not None
+        """The cached sub-result (immutable; shared by reference).
+
+        Serves the decision-time snapshot, not the live entry: a
+        concurrent query's delta merge may upgrade the entry in place
+        between classification and fulfillment, and this query's round
+        was classified against the snapshot's version.
+        """
+        assert decision.entry_relation is not None
         with self._lock:
-            self.bytes_saved += decision.entry.relation.wire_bytes()
-        return decision.entry.relation
+            self.bytes_saved += decision.entry_relation.wire_bytes()
+        return decision.entry_relation
 
     def apply_delta(self, decision: CacheDecision, key: Sequence[str],
                     detail_schema: Schema, slowdown: float = 1.0,
@@ -174,17 +196,37 @@ class SubAggregateCache:
         assert decision.entry is not None and decision.delta is not None
         delta_result, site_seconds = evaluate_delta(
             decision.request, decision.delta, slowdown)
+        # Merge from the decide-time snapshot: the live entry may have
+        # been upgraded by a concurrent query since classification, and
+        # merging the delta into an already-upgraded relation would
+        # double-apply the appended rows.
         merged, merge_seconds = merge_sub_results(
-            decision.request, decision.entry.relation, delta_result,
+            decision.request, decision.entry_relation, delta_result,
             key, detail_schema)
         with self._lock:
-            self.store.upgrade(decision.entry, decision.current_version,
-                               merged)
+            if decision.entry.version == decision.entry_version:
+                self.store.upgrade(decision.entry,
+                                   decision.current_version, merged)
+            # else: a concurrent merge already moved the entry forward —
+            # its upgrade is equally valid (same snapshot, same deltas)
+            # and must not be regressed; this query still answers from
+            # its own correctly merged relation.
             self.delta_merges += 1
             # Only the delta sub-aggregate travels instead of the full one.
             self.bytes_saved += max(
                 0, merged.wire_bytes() - delta_result.wire_bytes())
         return merged, delta_result, site_seconds, merge_seconds
+
+    def note_shared_stale(self) -> None:
+        """A follower discarded a stale shared-scan result.
+
+        Called by the engine's cross-query scatter-sharing path when a
+        shared response's fragment version no longer matches at gather
+        time — the same freshness rule :meth:`revalidate` enforces for
+        HITs, extended to shared-scan consumers.
+        """
+        with self._lock:
+            self.shared_stale_averted += 1
 
     def populate(self, decision: CacheDecision,
                  relation: Relation) -> bool:
@@ -232,6 +274,7 @@ class SubAggregateCache:
             "bytes_saved": self.bytes_saved,
             "retained_delta_bytes": self.log.retained_bytes(),
             "stale_hits_averted": self.stale_hits_averted,
+            "shared_stale_averted": self.shared_stale_averted,
             "populate_races": self.populate_races,
         })
         return stats

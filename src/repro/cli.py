@@ -139,6 +139,45 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="P",
                          help="accuracy/space knob for APPROX_* "
                               "aggregates (4-18)")
+
+    serve = commands.add_parser(
+        "serve", help="serve SQL statements from stdin through the "
+                      "multi-tenant query service (one statement per "
+                      "line; 'tenant: SQL' sets the tenant)")
+    serve.add_argument("warehouse")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="concurrent executor threads (default 4)")
+    serve.add_argument("--transport", choices=sorted(TRANSPORTS),
+                       default=DEFAULT_TRANSPORT)
+    serve.add_argument("--max-inflight", type=int, default=None)
+    serve.add_argument("--optimize", choices=sorted(OPTIMIZE_LEVELS),
+                       default="all")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="admission bound; beyond it queries are "
+                            "rejected (default 64)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-query deadline in seconds, enforced at "
+                            "dispatch (default: none)")
+    serve.add_argument("--limit", type=int, default=10,
+                       help="rows to print per result (default 10)")
+    serve.add_argument("--no-share-scans", action="store_true",
+                       help="disable cross-query scatter sharing")
+
+    bench_serve = commands.add_parser(
+        "bench-serve", help="closed-loop serving benchmark: N concurrent "
+                            "clients against a synthetic TPC-R warehouse")
+    bench_serve.add_argument("--rows", type=int, default=4000)
+    bench_serve.add_argument("--sites", type=int, default=4)
+    bench_serve.add_argument("--clients", type=int, default=8)
+    bench_serve.add_argument("--rounds", type=int, default=3,
+                             help="passes each client makes over the "
+                                  "statement mix per window (default 3)")
+    bench_serve.add_argument("--workers", type=int, default=8)
+    bench_serve.add_argument("--transport", choices=sorted(TRANSPORTS),
+                             default="process")
+    bench_serve.add_argument("--seed", type=int, default=42)
+    bench_serve.add_argument("--json", metavar="PATH", default=None,
+                             help="also write the full report as JSON")
     return parser
 
 
@@ -277,6 +316,71 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import QueryService
+    engine = load_warehouse(args.warehouse)
+    engine.use_transport(args.transport, max_inflight=args.max_inflight)
+    flags = _resolve_flags(args.optimize)
+    served = 0
+    try:
+        with QueryService(engine, workers=args.workers,
+                          max_queue_depth=args.max_queue_depth,
+                          flags=flags,
+                          share_scans=not args.no_share_scans) as service:
+            for line in sys.stdin:
+                statement = line.strip()
+                if not statement or statement.startswith("--"):
+                    continue
+                tenant = "default"
+                if ":" in statement and not statement.upper().startswith(
+                        "SELECT"):
+                    tenant, statement = statement.split(":", 1)
+                    tenant, statement = tenant.strip(), statement.strip()
+                try:
+                    result = service.execute(
+                        statement, tenant=tenant,
+                        deadline_seconds=args.deadline)
+                except SkallaError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    continue
+                served += 1
+                print(f"-- query {result.query_id} (tenant {tenant}, "
+                      f"{result.latency_seconds * 1000:.1f} ms, "
+                      f"{'plan-cache hit' if result.plan_cache_hit else 'compiled'})")
+                print(result.relation.pretty(args.limit))
+            print()
+            print(service.describe())
+    finally:
+        engine.close()
+    return 0 if served else 1
+
+
+def _cmd_bench_serve(args) -> int:
+    import json
+    from repro.bench.service_load import run_service_benchmark
+    report = run_service_benchmark(
+        num_rows=args.rows, num_sites=args.sites, clients=args.clients,
+        rounds=args.rounds, workers=args.workers,
+        transport=args.transport, seed=args.seed)
+    for window in ("cold", "warm"):
+        numbers = report[window]
+        print(f"{window:<5}: {numbers['completed']} queries at "
+              f"{numbers['qps']:.1f} QPS; p50/p95 "
+              f"{numbers['latency_p50'] * 1000:.1f}/"
+              f"{numbers['latency_p95'] * 1000:.1f} ms; "
+              f"{numbers['failed']} failed, "
+              f"{numbers['mismatches']} mismatches")
+    shared = report["snapshot"]["shared_scans"]
+    print(f"shared scans: {shared['shared_hits']} consumed vs "
+          f"{shared['led_scans']} dispatched; plan-cache hit rate "
+          f"{report['snapshot']['plan_cache']['hit_rate']:.0%}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
@@ -287,6 +391,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _cmd_stats,
         "query": _cmd_query,
         "explain": _cmd_explain,
+        "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
     }
     try:
         return handlers[args.command](args)

@@ -142,6 +142,13 @@ class SkallaEngine:
         #: :class:`~repro.distributed.transport.HedgePolicy`.
         self.hedge = hedge
         self._transport: Transport | None = None
+        #: optional cross-query in-flight scan registry
+        #: (:class:`~repro.service.shared_scan.InFlightScanRegistry`).
+        #: When set — normally by a QueryService — concurrent executions
+        #: whose rounds share a cache fingerprint at the same fragment
+        #: version dispatch each site scan once.  Requires the
+        #: sub-aggregate cache (the fingerprints are the cache's own).
+        self.scan_registry = None
         #: optional sub-aggregate result cache (``None`` = disabled).
         self._cache: SubAggregateCache | None = None
         if isinstance(cache, SubAggregateCache):
@@ -540,22 +547,102 @@ class SkallaEngine:
         flight — a freshly computed relation of unknowable snapshot must
         never be cached under the old version, or a later delta merge
         would double-apply the append.
+
+        With a :attr:`scan_registry` installed, misses additionally go
+        through cross-query scatter sharing: each miss claims its
+        ``(fingerprint, site, version)`` in the registry, and only claim
+        **leaders** reach the transport — **followers** consume the
+        concurrent leader's response.  Leaders publish before any
+        follower wait, so the cross-engine wait graph is acyclic.
+        Followers apply the same gather-time freshness rule as HITs: a
+        shared response whose fragment version moved is discarded and
+        the request re-decided.
         """
         misses = [request for request in requests
                   if self._needs_dispatch(decisions, request.site_id)]
+        registry = self.scan_registry if decisions is not None else None
         outputs: dict[SiteId, SiteResponse] = {}
-        if misses:
+        follower_tickets: dict[SiteId, object] = {}
+        if registry is not None and misses:
+            leaders = []
+            leader_tickets = {}
+            for request in misses:
+                decision = decisions[request.site_id]
+                ticket = registry.claim(decision.fingerprint,
+                                        request.site_id,
+                                        decision.current_version)
+                if ticket.leader:
+                    leaders.append(request)
+                    leader_tickets[request.site_id] = ticket
+                else:
+                    follower_tickets[request.site_id] = ticket
+            if leaders:
+                try:
+                    outputs = self._run_on_sites(
+                        metrics, phase, network, leaders,
+                        base_rows=base_rows)
+                except BaseException as error:
+                    # followers must not inherit an error this engine's
+                    # retry budget already failed to absorb — they fall
+                    # back to their own dispatch.
+                    for request in leaders:
+                        leader_tickets[request.site_id].fail(error)
+                    raise
+                for request in leaders:
+                    leader_tickets[request.site_id].publish(
+                        outputs[request.site_id])
+            phase.site_scans += len(leaders)
+        elif misses:
             outputs = self._run_on_sites(metrics, phase, network, misses,
                                          base_rows=base_rows)
-        phase.site_scans += len(misses)
+            phase.site_scans += len(misses)
         responses: dict[SiteId, SiteResponse] = {}
         for request in requests:
             site_id = request.site_id
             decision = decisions[site_id] if decisions is not None else None
+            ticket = follower_tickets.get(site_id)
+            if ticket is not None:
+                response = self._consume_shared(ticket, request, phase)
+                if response is not None:
+                    responses[site_id] = response
+                    continue
+                # stale or failed share: decide afresh (the leader may
+                # have populated the cache meanwhile) and serve normally
+                # — a MISS re-decision dispatches late in _serve_one.
+                decision = self._cache.decide(request)
             responses[site_id] = self._serve_one(
                 request, decision, outputs, metrics, phase, network,
                 base_rows, round_index, key, uplink_kind, uplink_note)
         return responses
+
+    def _consume_shared(self, ticket, request: SiteRequest,
+                        phase: PhaseMetrics) -> SiteResponse | None:
+        """Consume a concurrent query's in-flight scan for one site.
+
+        Returns ``None`` when the shared result is unusable — leader
+        failure, wait timeout, or a fragment version that moved while
+        the scan was in flight (the multi-query analogue of a demoted
+        HIT) — in which case the caller re-decides and dispatches.
+        """
+        from repro.service.shared_scan import SharedScanError
+        registry = self.scan_registry
+        try:
+            response = ticket.wait()
+        except SharedScanError:
+            registry.note_fallback()
+            return None
+        if self._cache.version(request.site_id) != ticket.version:
+            registry.note_stale_discard()
+            self._cache.note_shared_stale()
+            phase.shared_scan_stale += 1
+            return None
+        registry.note_shared_hit()
+        phase.shared_scan_hits += 1
+        # The follower's sub-result reuses the leader's dispatch: no
+        # fragment scan and no extra uplink transfer for this query.
+        phase.cache_bytes_saved += (response.relation.wire_bytes()
+                                    + ENVELOPE_BYTES)
+        return response
 
     def _serve_one(self, request: SiteRequest,
                    decision: "CacheDecision | None",

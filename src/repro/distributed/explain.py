@@ -72,6 +72,14 @@ def explain_analyze(result: ExecutionResult) -> str:
         scans = [f"{phase.name}={phase.site_scans}"
                  for phase in metrics.phases]
         lines.append(f"  scans per phase: {', '.join(scans)}")
+    if metrics.shared_scan_hits or metrics.shared_scan_stale:
+        lines.append("")
+        lines.append("cross-query scatter sharing:")
+        lines.append(f"  shared scans   : {metrics.shared_scan_hits} "
+                     f"(consumed from concurrent queries' dispatches)")
+        if metrics.shared_scan_stale:
+            lines.append(f"  stale discards : {metrics.shared_scan_stale} "
+                         f"(append raced the shared flight)")
     if metrics.sketch_state_bytes:
         lines.append("")
         lines.append("sketch traffic (APPROX_* aggregates):")

@@ -60,6 +60,12 @@ class PhaseMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_delta_merges: int = 0
+    #: site scans consumed from another in-flight query's dispatch
+    #: (cross-query scatter sharing; 0 without a scan registry).
+    shared_scan_hits: int = 0
+    #: shared results discarded at gather time because an append raced
+    #: the leader's scan (the follower re-dispatched).
+    shared_scan_stale: int = 0
     #: modeled wire bytes that did not travel thanks to the cache.
     cache_bytes_saved: int = 0
     #: serialized sketch-state bytes shipped to the coordinator this
@@ -123,6 +129,8 @@ class PhaseMetrics:
             "cache_misses": self.cache_misses,
             "cache_delta_merges": self.cache_delta_merges,
             "cache_bytes_saved": self.cache_bytes_saved,
+            "shared_scan_hits": self.shared_scan_hits,
+            "shared_scan_stale": self.shared_scan_stale,
             "sketch_state_bytes": self.sketch_state_bytes,
             "sketch_exact_bytes": self.sketch_exact_bytes,
         }
@@ -268,6 +276,19 @@ class QueryMetrics:
         """Modeled wire bytes that never traveled thanks to the cache."""
         return sum(phase.cache_bytes_saved for phase in self.phases)
 
+    # -- cross-query scatter sharing ----------------------------------------
+
+    @property
+    def shared_scan_hits(self) -> int:
+        """Site scans this query consumed from a concurrent query's
+        in-flight dispatch instead of dispatching its own."""
+        return sum(phase.shared_scan_hits for phase in self.phases)
+
+    @property
+    def shared_scan_stale(self) -> int:
+        """Shared results discarded because an append raced the scan."""
+        return sum(phase.shared_scan_stale for phase in self.phases)
+
     # -- sketch traffic -----------------------------------------------------
 
     @property
@@ -319,6 +340,8 @@ class QueryMetrics:
             "cache_misses": self.cache_misses,
             "cache_delta_merges": self.cache_delta_merges,
             "cache_bytes_saved": self.cache_bytes_saved,
+            "shared_scan_hits": self.shared_scan_hits,
+            "shared_scan_stale": self.shared_scan_stale,
             "sketch_state_bytes": self.sketch_state_bytes,
             "sketch_exact_bytes": self.sketch_exact_bytes,
             "sketch_compression_ratio": round(

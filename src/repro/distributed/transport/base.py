@@ -183,13 +183,27 @@ class Transport(abc.ABC):
         #: Straggler-hedging policy for parallel backends (``None`` =
         #: hedging off; sequential backends ignore it).
         self.hedge_policy = normalize_hedge(hedge)
-        #: Dispatch telemetry of the most recent :meth:`run_round`
-        #: (read by the engine right after the round; per-transport,
-        #: and the engine runs its rounds serially).
-        self.last_round_stats = None
+        # Per-thread slot behind the ``last_round_stats`` property.
+        self._round_stats_local = threading.local()
         self._rng = random.Random(seed)
         self._lock = threading.Lock()  # per-transport, never shared
         self._started = False
+
+    @property
+    def last_round_stats(self):
+        """Dispatch telemetry of this thread's most recent round.
+
+        Read by the engine right after :meth:`run_round`.  The slot is
+        **thread-local**: a query service runs concurrent executions
+        against one engine (hence one transport), and each worker
+        thread must see its own round's telemetry, not whichever round
+        finished last globally.
+        """
+        return getattr(self._round_stats_local, "stats", None)
+
+    @last_round_stats.setter
+    def last_round_stats(self, stats) -> None:
+        self._round_stats_local.stats = stats
 
     # -- lifecycle ---------------------------------------------------------
 

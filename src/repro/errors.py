@@ -98,6 +98,32 @@ class TransportError(SkallaError):
     """
 
 
+class ServiceError(SkallaError):
+    """Base class for query-service (serving layer) failures."""
+
+
+class AdmissionError(ServiceError):
+    """The admission queue refused a query (bounded depth exceeded).
+
+    Back-pressure by rejection: a full queue means the service is
+    saturated, and queueing deeper would only grow latency without
+    growing throughput.  Callers should retry with backoff or shed the
+    request."""
+
+
+class QueryCancelled(ServiceError):
+    """The query was cancelled (or its service shut down) while queued."""
+
+
+class DeadlineExceeded(ServiceError):
+    """The query's deadline expired before execution could start.
+
+    Deadlines are enforced at dispatch: a query that waited out its
+    budget in the admission queue is dropped without touching the
+    engine, so a backlogged service sheds exactly the work whose answer
+    nobody is still waiting for."""
+
+
 class ParseError(SkallaError):
     """The SQL frontend could not parse the query text.
 

@@ -1,0 +1,215 @@
+"""Service-level metrics: throughput, latency distribution, hit rates.
+
+:class:`~repro.distributed.metrics.QueryMetrics` describes *one*
+execution; a serving layer needs the population view — sustained QPS,
+latency percentiles, queue wait, and how often the two sharing layers
+(compiled-plan cache, cross-query shared scans) actually fired.
+:class:`ServiceMetrics` collects exactly that, thread-safely, and
+exports it in the same JSON-ready style as ``QueryMetrics.as_dict`` so
+the bench harness and CI artifacts consume one format.
+
+Latencies are kept as raw per-query samples (a serving benchmark is a
+few thousand queries; no reservoir trickery needed) and percentiles use
+linear interpolation — the same convention NumPy's default quantile
+method uses, computed here without requiring an array round-trip.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from dataclasses import dataclass, field
+
+
+def percentile(samples: "list[float]", q: float) -> float:
+    """Linear-interpolation percentile of unsorted ``samples``.
+
+    ``q`` is in [0, 100].  Returns 0.0 for an empty sample set (a
+    serving window with no completions has no latency story to tell).
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass
+class _TenantCounters:
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+
+
+@dataclass
+class QueryRecord:
+    """Per-completion sample folded into the service aggregates."""
+
+    tenant: str
+    latency_seconds: float
+    queue_wait_seconds: float
+    plan_cache_hit: bool = False
+    shared_scan_hits: int = 0
+    site_scans: int = 0
+    cache_hits: int = 0
+    cache_delta_merges: int = 0
+    error: str | None = None
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregated serving statistics over the service's lifetime."""
+
+    started_at: float = field(default_factory=time.perf_counter)
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    deadline_expired: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    shared_scan_hits: int = 0
+    site_scans: int = 0
+    subagg_cache_hits: int = 0
+    subagg_delta_merges: int = 0
+    latencies: list = field(default_factory=list)
+    queue_waits: list = field(default_factory=list)
+    per_tenant: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    # -- recording ----------------------------------------------------------
+
+    def _tenant(self, name: str) -> _TenantCounters:
+        counters = self.per_tenant.get(name)
+        if counters is None:
+            counters = _TenantCounters()
+            self.per_tenant[name] = counters
+        return counters
+
+    def note_submitted(self, tenant: str) -> None:
+        with self._lock:
+            self.submitted += 1
+            self._tenant(tenant).submitted += 1
+
+    def note_rejected(self, tenant: str) -> None:
+        with self._lock:
+            self.rejected += 1
+            self._tenant(tenant).rejected += 1
+
+    def note_cancelled(self, tenant: str) -> None:
+        with self._lock:
+            self.cancelled += 1
+
+    def note_deadline_expired(self, tenant: str) -> None:
+        with self._lock:
+            self.deadline_expired += 1
+            self._tenant(tenant).failed += 1
+
+    def record(self, record: QueryRecord) -> None:
+        """Fold one finished query (success or failure) in."""
+        with self._lock:
+            tenant = self._tenant(record.tenant)
+            if record.error is not None:
+                self.failed += 1
+                tenant.failed += 1
+                return
+            self.completed += 1
+            tenant.completed += 1
+            self.latencies.append(record.latency_seconds)
+            self.queue_waits.append(record.queue_wait_seconds)
+            if record.plan_cache_hit:
+                self.plan_cache_hits += 1
+            else:
+                self.plan_cache_misses += 1
+            self.shared_scan_hits += record.shared_scan_hits
+            self.site_scans += record.site_scans
+            self.subagg_cache_hits += record.cache_hits
+            self.subagg_delta_merges += record.cache_delta_merges
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return max(1e-9, time.perf_counter() - self.started_at)
+
+    @property
+    def qps(self) -> float:
+        """Completed queries per second since the window opened."""
+        return self.completed / self.elapsed_seconds
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
+
+    @property
+    def shared_scan_rate(self) -> float:
+        """Shared-scan consumptions per dispatched site scan."""
+        total = self.shared_scan_hits + self.site_scans
+        return self.shared_scan_hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready export (same convention as QueryMetrics.as_dict)."""
+        with self._lock:
+            latencies = list(self.latencies)
+            waits = list(self.queue_waits)
+            tenants = {name: vars(counters).copy()
+                       for name, counters in self.per_tenant.items()}
+            plan_total = self.plan_cache_hits + self.plan_cache_misses
+            scan_total = self.shared_scan_hits + self.site_scans
+            return {
+                "elapsed_seconds": round(self.elapsed_seconds, 6),
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "cancelled": self.cancelled,
+                "deadline_expired": self.deadline_expired,
+                "qps": round(self.completed / self.elapsed_seconds, 4),
+                "latency_p50": round(percentile(latencies, 50), 6),
+                "latency_p95": round(percentile(latencies, 95), 6),
+                "latency_p99": round(percentile(latencies, 99), 6),
+                "latency_mean": round(sum(latencies) / len(latencies), 6)
+                                if latencies else 0.0,
+                "queue_wait_p50": round(percentile(waits, 50), 6),
+                "queue_wait_p95": round(percentile(waits, 95), 6),
+                "plan_cache_hits": self.plan_cache_hits,
+                "plan_cache_misses": self.plan_cache_misses,
+                "plan_cache_hit_rate": round(
+                    self.plan_cache_hits / plan_total, 4)
+                    if plan_total else 0.0,
+                "shared_scan_hits": self.shared_scan_hits,
+                "site_scans": self.site_scans,
+                "shared_scan_rate": round(
+                    self.shared_scan_hits / scan_total, 4)
+                    if scan_total else 0.0,
+                "subagg_cache_hits": self.subagg_cache_hits,
+                "subagg_delta_merges": self.subagg_delta_merges,
+                "tenants": tenants,
+            }
+
+    def describe(self) -> str:
+        snap = self.snapshot()
+        return (f"{snap['completed']} queries ({snap['failed']} failed, "
+                f"{snap['rejected']} rejected) at {snap['qps']:.1f} QPS; "
+                f"latency p50/p95/p99 {snap['latency_p50'] * 1000:.1f}/"
+                f"{snap['latency_p95'] * 1000:.1f}/"
+                f"{snap['latency_p99'] * 1000:.1f} ms; "
+                f"queue wait p95 {snap['queue_wait_p95'] * 1000:.1f} ms; "
+                f"plan-cache hit rate {snap['plan_cache_hit_rate']:.0%}; "
+                f"{snap['shared_scan_hits']} shared scans vs "
+                f"{snap['site_scans']} dispatched")
+
+
+__all__ = ["QueryRecord", "ServiceMetrics", "percentile"]

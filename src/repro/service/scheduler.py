@@ -1,0 +1,341 @@
+"""Admission control: a weighted-fair, bounded, deadline-aware queue.
+
+Multi-tenant serving needs three properties the engine alone cannot
+give:
+
+* **fairness** — one chatty tenant must not starve the others.  The
+  queue implements start-time fair queueing (SFQ): each query gets a
+  *virtual start tag* ``max(V, tenant.last_finish)`` and a *virtual
+  finish tag* ``start + cost / weight``; dispatch always picks the
+  smallest finish tag.  A tenant with weight 2 therefore drains twice
+  as fast as a weight-1 tenant under contention, and an idle tenant's
+  first query is admitted at the current virtual time — no credit
+  hoarding.
+* **bounded depth** — admission past ``max_depth`` raises
+  :class:`~repro.errors.AdmissionError` instead of queueing without
+  bound (back-pressure by rejection; queue growth past saturation only
+  adds latency, never throughput).
+* **deadlines / cancellation** — a ticket can be cancelled while
+  queued, and a ``deadline_seconds`` budget is enforced at dispatch:
+  the worker drops an expired query without touching the engine.
+
+The queue is synchronization-only — it never executes anything.
+:class:`~repro.service.server.QueryService` owns the worker threads
+that :meth:`pop` from it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import (
+    AdmissionError, DeadlineExceeded, QueryCancelled, ServiceError)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.service.server import ServiceResult
+
+#: Ticket states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+
+@dataclass
+class TenantState:
+    """Per-tenant fair-queueing state and lifetime counters."""
+
+    name: str
+    weight: float = 1.0
+    #: virtual finish tag of the tenant's most recent admission.
+    last_finish: float = 0.0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+
+
+class QueryTicket:
+    """One submitted query's handle: future-like, cancellable.
+
+    Created by :meth:`QueryService.submit`; resolved by a service
+    worker.  ``result()`` blocks until the query finishes and either
+    returns a :class:`~repro.service.server.ServiceResult` or raises
+    the query's failure (including :class:`DeadlineExceeded` /
+    :class:`QueryCancelled`).
+    """
+
+    def __init__(self, query_id: int, tenant: str, sql: str,
+                 deadline_seconds: float | None = None):
+        self.query_id = query_id
+        self.tenant = tenant
+        self.sql = sql
+        self.deadline_seconds = deadline_seconds
+        self.submitted_at = time.perf_counter()
+        #: set by the worker just before execution starts.
+        self.started_at: float | None = None
+        #: set when the ticket resolves (any terminal state).
+        self.finished_at: float | None = None
+        self.state = PENDING
+        self._outcome: "ServiceResult | None" = None
+        self._error: BaseException | None = None
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        #: back-reference set at admission, so cancel() can release the
+        #: queue slot eagerly.
+        self._queue: "FairQueue | None" = None
+        #: virtual tags assigned at admission (for introspection/tests).
+        self.virtual_start = 0.0
+        self.virtual_finish = 0.0
+
+    # -- timing -------------------------------------------------------------
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        """Admission → dispatch wait (or so-far, while still queued)."""
+        reference = self.started_at
+        if reference is None:
+            reference = (self.finished_at if self.finished_at is not None
+                         else time.perf_counter())
+        return max(0.0, reference - self.submitted_at)
+
+    @property
+    def total_seconds(self) -> float:
+        """Admission → resolution wall clock (or so-far)."""
+        end = (self.finished_at if self.finished_at is not None
+               else time.perf_counter())
+        return max(0.0, end - self.submitted_at)
+
+    def deadline_expired(self) -> bool:
+        return (self.deadline_seconds is not None
+                and time.perf_counter() - self.submitted_at
+                > self.deadline_seconds)
+
+    # -- resolution (worker side) ------------------------------------------
+
+    def _start(self) -> bool:
+        """Transition PENDING → RUNNING; False when already cancelled."""
+        with self._lock:
+            if self.state != PENDING:
+                return False
+            self.state = RUNNING
+            self.started_at = time.perf_counter()
+            return True
+
+    def _resolve(self, state: str,
+                 outcome: "ServiceResult | None" = None,
+                 error: BaseException | None = None) -> None:
+        with self._lock:
+            if self.state in (DONE, FAILED, CANCELLED):
+                return
+            self.state = state
+            self._outcome = outcome
+            self._error = error
+            self.finished_at = time.perf_counter()
+        self._done.set()
+
+    # -- caller side --------------------------------------------------------
+
+    def cancel(self) -> bool:
+        """Cancel if still queued; returns whether the cancel took.
+
+        A query already handed to the engine is not interrupted —
+        rounds are idempotent but mid-round preemption is not part of
+        the transport contract; the result is simply discarded.
+        """
+        with self._lock:
+            if self.state != PENDING:
+                return False
+            self.state = CANCELLED
+            self._error = QueryCancelled(
+                f"query {self.query_id} cancelled while queued")
+            self.finished_at = time.perf_counter()
+        self._done.set()
+        if self._queue is not None:
+            self._queue.release_cancelled(self)
+        return True
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> "ServiceResult":
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query {self.query_id} still {self.state} after "
+                f"{timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._outcome is not None
+        return self._outcome
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query {self.query_id} still {self.state} after "
+                f"{timeout}s")
+        return self._error
+
+
+@dataclass(order=True)
+class _QueueItem:
+    """Heap entry: finish-tag order, FIFO within equal tags."""
+
+    virtual_finish: float
+    sequence: int
+    ticket: QueryTicket = field(compare=False)
+
+
+class FairQueue:
+    """Bounded admission queue with start-time fair queueing."""
+
+    def __init__(self, max_depth: int = 64,
+                 default_weight: float = 1.0):
+        if max_depth < 1:
+            raise ServiceError("max_depth must be at least 1")
+        if default_weight <= 0:
+            raise ServiceError("default_weight must be positive")
+        self.max_depth = max_depth
+        self.default_weight = default_weight
+        self._tenants: dict[str, TenantState] = {}
+        self._heap: list[_QueueItem] = []
+        self._depth = 0  # live (non-cancelled) queued tickets
+        self._virtual_time = 0.0
+        self._sequence = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        #: optional observers (set by the owning service): called with
+        #: the ticket when a deadline expires at dispatch / when a
+        #: queued ticket is cancelled.  Must not call back into the
+        #: queue (they run with queue state held).
+        self.on_deadline = None
+        self.on_cancel = None
+
+    # -- tenants ------------------------------------------------------------
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        if weight <= 0:
+            raise ServiceError("tenant weight must be positive")
+        with self._lock:
+            self._tenant(tenant).weight = weight
+
+    def _tenant(self, name: str) -> TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = TenantState(name=name, weight=self.default_weight)
+            self._tenants[name] = state
+        return state
+
+    def tenants(self) -> dict[str, TenantState]:
+        with self._lock:
+            return dict(self._tenants)
+
+    # -- admission ----------------------------------------------------------
+
+    def push(self, ticket: QueryTicket, cost: float = 1.0) -> None:
+        """Admit one ticket; raises :class:`AdmissionError` when full."""
+        if cost <= 0:
+            raise ServiceError("query cost must be positive")
+        with self._lock:
+            if self._closed:
+                raise AdmissionError("service is shut down")
+            tenant = self._tenant(ticket.tenant)
+            if self._depth >= self.max_depth:
+                tenant.rejected += 1
+                raise AdmissionError(
+                    f"admission queue full ({self.max_depth} queued); "
+                    f"retry with backoff")
+            start = max(self._virtual_time, tenant.last_finish)
+            finish = start + cost / tenant.weight
+            tenant.last_finish = finish
+            tenant.admitted += 1
+            ticket.virtual_start = start
+            ticket.virtual_finish = finish
+            ticket._queue = self
+            heapq.heappush(self._heap,
+                           _QueueItem(finish, next(self._sequence), ticket))
+            self._depth += 1
+            self._not_empty.notify()
+
+    def pop(self, timeout: float | None = None) -> QueryTicket | None:
+        """Next ticket in fair order; ``None`` on timeout or shutdown.
+
+        Cancelled tickets are skipped (their slot was released at
+        cancel time); expired-deadline tickets are resolved here with
+        :class:`DeadlineExceeded` and never returned — enforcement at
+        dispatch, so an expired query costs the engine nothing.
+        """
+        deadline = (None if timeout is None
+                    else time.perf_counter() + timeout)
+        with self._not_empty:
+            while True:
+                while self._heap:
+                    item = heapq.heappop(self._heap)
+                    ticket = item.ticket
+                    if ticket.state == CANCELLED:
+                        continue  # slot already released by cancel()
+                    self._depth -= 1
+                    self._virtual_time = max(self._virtual_time,
+                                             ticket.virtual_start)
+                    if ticket.deadline_expired():
+                        ticket._resolve(FAILED, error=DeadlineExceeded(
+                            f"query {ticket.query_id} waited "
+                            f"{ticket.queue_wait_seconds:.3f}s, past its "
+                            f"{ticket.deadline_seconds}s deadline"))
+                        if self.on_deadline is not None:
+                            self.on_deadline(ticket)
+                        continue
+                    return ticket
+                if self._closed:
+                    return None
+                remaining = (None if deadline is None
+                             else deadline - time.perf_counter())
+                if remaining is not None and remaining <= 0:
+                    return None
+                if not self._not_empty.wait(remaining):
+                    return None
+
+    def release_cancelled(self, ticket: QueryTicket) -> None:
+        """Free the queue slot of a ticket cancelled while queued.
+
+        The heap entry stays (lazily skipped by :meth:`pop`); only the
+        depth accounting must move eagerly so admission capacity is
+        returned at cancel time, not at the next pop.
+        """
+        with self._lock:
+            if self._depth > 0:
+                self._depth -= 1
+        if self.on_cancel is not None:
+            self.on_cancel(ticket)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> list[QueryTicket]:
+        """Reject new work and drain the backlog; returns the drained
+        tickets (already resolved as cancelled)."""
+        with self._lock:
+            self._closed = True
+            drained = [item.ticket for item in self._heap
+                       if item.ticket.state == PENDING]
+            self._heap.clear()
+            self._depth = 0
+            self._not_empty.notify_all()
+        for ticket in drained:
+            ticket._resolve(CANCELLED, error=QueryCancelled(
+                f"query {ticket.query_id} dropped at service shutdown"))
+        return drained
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+
+__all__ = ["CANCELLED", "DONE", "FAILED", "FairQueue", "PENDING",
+           "QueryTicket", "RUNNING", "TenantState"]

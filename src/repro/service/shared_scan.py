@@ -1,0 +1,220 @@
+"""Cross-query scatter sharing: a round-level in-flight scan registry.
+
+PR 2 fingerprints every site round by *content* (plan fragment +
+shipped structure + site id, :mod:`repro.cache.fingerprint`), which
+makes a site scan a pure function of its fingerprint at a fragment
+version.  The sub-aggregate cache exploits that *across time* (a warm
+re-execution skips the scan); this registry exploits it *across
+concurrent queries*: when two in-flight queries miss the cache on the
+same ``(fingerprint, site, version)``, only the first — the **leader**
+— dispatches the site scan; every other query — a **follower** — waits
+on the leader's ticket and consumes the very same sub-aggregate.  That
+is Theorem 1 applied across queries: the site's sub-result is one term
+of the synchronized merge regardless of which query asked for it.
+
+Safety rules (the multi-query analogue of the cache's gather-time
+revalidation):
+
+* the claim key includes the site's **fragment version**, so a scan
+  dispatched before an append is never joined by a query deciding
+  after it;
+* a follower re-checks the version when the shared result lands — if
+  an append raced the shared scan, the result is discarded (counted in
+  ``stale_discards`` and ``SubAggregateCache.shared_stale_averted``)
+  and the follower re-decides against the cache, exactly like a
+  demoted HIT;
+* a leader whose scan fails publishes the failure; followers fall back
+  to dispatching their own scan (counted in ``fallbacks``) rather than
+  inheriting an error their own retry budget might have absorbed;
+* entries are removed when the leader publishes: from that moment the
+  sub-aggregate cache serves the result, so the registry only ever
+  holds genuinely in-flight work (no second result store to bound).
+
+Deadlock freedom: an engine thread publishes **all** of its leader
+results before waiting on any follower ticket
+(:meth:`SkallaEngine._fulfill_round` dispatches first, waits second),
+so the wait graph has no cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+from repro.distributed.messages import SiteId
+from repro.distributed.transport.base import SiteResponse
+
+#: Default seconds a follower waits for the leader's scan before
+#: falling back to its own dispatch.  Generous: the leader's transport
+#: already owns per-call deadlines, retries, and worker respawn, so a
+#: healthy cluster resolves far sooner; the timeout only guards against
+#: a wedged leader thread.
+DEFAULT_WAIT_SECONDS = 60.0
+
+
+class SharedScanError(ServiceError):
+    """The leader's scan failed or timed out; the follower must dispatch."""
+
+
+@dataclass
+class _InFlightScan:
+    """One leader-dispatched site scan, awaited by zero or more followers."""
+
+    key: tuple
+    done: threading.Event = field(default_factory=threading.Event)
+    response: SiteResponse | None = None
+    error: BaseException | None = None
+    followers: int = 0
+
+
+class ScanTicket:
+    """One query's handle on a shared in-flight scan.
+
+    ``leader`` tickets must eventually call :meth:`publish` or
+    :meth:`fail` (the engine does so in a ``finally``); ``follower``
+    tickets call :meth:`wait`.
+    """
+
+    def __init__(self, registry: "InFlightScanRegistry",
+                 entry: _InFlightScan, leader: bool):
+        self._registry = registry
+        self._entry = entry
+        self.leader = leader
+
+    @property
+    def fingerprint(self) -> str:
+        return self._entry.key[0]
+
+    @property
+    def site_id(self) -> SiteId:
+        return self._entry.key[1]
+
+    @property
+    def version(self) -> int:
+        return self._entry.key[2]
+
+    def publish(self, response: SiteResponse) -> None:
+        """Leader: hand the scan's response to every waiting follower."""
+        assert self.leader
+        self._registry._resolve(self._entry, response=response)
+
+    def fail(self, error: BaseException) -> None:
+        """Leader: tell followers the scan failed (they self-dispatch)."""
+        assert self.leader
+        self._registry._resolve(self._entry, error=error)
+
+    def wait(self, timeout: float | None = None) -> SiteResponse:
+        """Follower: block until the leader resolves this scan.
+
+        Raises :class:`SharedScanError` when the leader failed or the
+        wait timed out — the caller falls back to its own dispatch.
+        """
+        assert not self.leader
+        timeout = self._registry.wait_seconds if timeout is None else timeout
+        if not self._entry.done.wait(timeout):
+            with self._registry._lock:
+                self._registry.timeouts += 1
+            raise SharedScanError(
+                f"shared scan for site {self.site_id} "
+                f"({self.fingerprint[:12]}…) timed out after {timeout}s")
+        if self._entry.error is not None:
+            raise SharedScanError(
+                f"shared scan for site {self.site_id} failed at the "
+                f"leader: {self._entry.error}") from self._entry.error
+        assert self._entry.response is not None
+        return self._entry.response
+
+
+class InFlightScanRegistry:
+    """Registry of site scans currently in flight across all queries.
+
+    Install on an engine (``engine.scan_registry = registry``, or let
+    :class:`~repro.service.server.QueryService` do it) to let
+    concurrent queries whose rounds share a cache fingerprint dispatch
+    each site scan once.  Requires the sub-aggregate cache — the
+    fingerprints and fragment versions are the cache's own.
+    """
+
+    def __init__(self, wait_seconds: float = DEFAULT_WAIT_SECONDS):
+        if wait_seconds <= 0:
+            raise ServiceError("wait_seconds must be positive")
+        self.wait_seconds = wait_seconds
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple, _InFlightScan] = {}
+        #: scans this registry led (dispatched exactly once).
+        self.led_scans = 0
+        #: scans a follower consumed without dispatching.
+        self.shared_hits = 0
+        #: shared results discarded because an append raced the scan.
+        self.stale_discards = 0
+        #: follower fallbacks after a leader failure.
+        self.fallbacks = 0
+        #: follower waits that hit the timeout guard.
+        self.timeouts = 0
+
+    def claim(self, fingerprint: str, site_id: SiteId,
+              version: int) -> ScanTicket:
+        """Claim one site scan; returns a leader or follower ticket."""
+        key = (fingerprint, site_id, version)
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                entry.followers += 1
+                return ScanTicket(self, entry, leader=False)
+            entry = _InFlightScan(key=key)
+            self._inflight[key] = entry
+            self.led_scans += 1
+            return ScanTicket(self, entry, leader=True)
+
+    def _resolve(self, entry: _InFlightScan,
+                 response: SiteResponse | None = None,
+                 error: BaseException | None = None) -> None:
+        with self._lock:
+            self._inflight.pop(entry.key, None)
+            entry.response = response
+            entry.error = error
+        entry.done.set()
+
+    # -- accounting hooks (called by the engine at gather time) -------------
+
+    def note_shared_hit(self) -> None:
+        with self._lock:
+            self.shared_hits += 1
+
+    def note_stale_discard(self) -> None:
+        with self._lock:
+            self.stale_discards += 1
+
+    def note_fallback(self) -> None:
+        with self._lock:
+            self.fallbacks += 1
+
+    # -- introspection ------------------------------------------------------
+
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "led_scans": self.led_scans,
+                "shared_hits": self.shared_hits,
+                "stale_discards": self.stale_discards,
+                "fallbacks": self.fallbacks,
+                "timeouts": self.timeouts,
+                "inflight": len(self._inflight),
+            }
+
+    def describe(self) -> str:
+        stats = self.stats()
+        return (f"shared scans: {stats['led_scans']} led, "
+                f"{stats['shared_hits']} shared, "
+                f"{stats['stale_discards']} stale discards, "
+                f"{stats['fallbacks']} fallbacks")
+
+
+__all__ = ["DEFAULT_WAIT_SECONDS", "InFlightScanRegistry", "ScanTicket",
+           "SharedScanError"]

@@ -1,0 +1,522 @@
+"""Unit tests for the multi-tenant query service layer.
+
+Covers each piece in isolation — the weighted-fair admission queue,
+the compiled-plan cache, the in-flight scan registry, the service
+metrics — plus the service end to end on the inprocess transport, the
+append quiesce barrier, and the cache-level regression for the
+concurrent delta-merge race (two queries holding the same entry must
+not double-apply a delta).  Concurrent-vs-serial bit-identity and
+fault injection live in ``tests/test_service_differential.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import threading
+import time
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import (
+    AdmissionError, DeadlineExceeded, QueryCancelled, ServiceError)
+from repro.relational.aggregates import count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.core.builder import QueryBuilder, agg
+from repro.cache import DELTA, HIT, SubAggregateCache
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.partition import partition_round_robin
+from repro.distributed.plan import NO_OPTIMIZATIONS, OptimizationFlags
+from repro.distributed.transport.base import SiteResponse
+from repro.service import (
+    FairQueue, InFlightScanRegistry, PlanCache, QueryService,
+    ServiceMetrics, SharedScanError, percentile, plan_fingerprint)
+from repro.service.metrics import QueryRecord
+from repro.service.scheduler import CANCELLED, FAILED, QueryTicket
+from repro.sql.compiler import compile_query
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture()
+def detail():
+    return Relation.from_dicts([
+        {"g": i % 4, "v": float(i % 53)} for i in range(400)])
+
+
+def make_engine(detail, num_sites=4, **kwargs):
+    partitions = partition_round_robin(detail, num_sites)
+    return SkallaEngine(partitions, **kwargs)
+
+
+def reference_for(sql, engine):
+    compiled = compile_query(sql, engine.detail_schema)
+    table = compiled.run_centralized(engine.total_detail_relation())
+    if not compiled.order_by:
+        table = table.sort(list(compiled.expression.key))
+    return table
+
+
+SQL = "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g"
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 95) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+        assert percentile([4.0, 1.0, 3.0, 2.0], 0) == 1.0  # sorts first
+
+
+class TestServiceMetrics:
+    def test_snapshot_counts_and_rates(self):
+        metrics = ServiceMetrics()
+        metrics.note_submitted("alpha")
+        metrics.note_submitted("beta")
+        metrics.record(QueryRecord(tenant="alpha", latency_seconds=0.010,
+                                   queue_wait_seconds=0.001,
+                                   plan_cache_hit=True,
+                                   shared_scan_hits=3, site_scans=1))
+        metrics.record(QueryRecord(tenant="beta", latency_seconds=0.030,
+                                   queue_wait_seconds=0.002,
+                                   error="boom"))
+        snapshot = metrics.snapshot()
+        assert snapshot["submitted"] == 2
+        assert snapshot["completed"] == 1
+        assert snapshot["failed"] == 1
+        assert snapshot["plan_cache_hit_rate"] == 1.0
+        assert snapshot["shared_scan_hits"] == 3
+        assert set(snapshot["tenants"]) == {"alpha", "beta"}
+        assert snapshot["latency_p50"] == pytest.approx(0.010)
+
+
+# ---------------------------------------------------------------------------
+# admission queue
+# ---------------------------------------------------------------------------
+
+def ticket(query_id, tenant="t", deadline=None):
+    return QueryTicket(query_id, tenant, SQL, deadline_seconds=deadline)
+
+
+class TestFairQueue:
+    def test_weighted_tenant_drains_faster(self):
+        queue = FairQueue(max_depth=16)
+        queue.set_weight("heavy", 2.0)
+        for i in range(4):
+            queue.push(ticket(i, tenant="light"))
+        for i in range(4, 8):
+            queue.push(ticket(i, tenant="heavy"))
+        order = [queue.pop(timeout=1).tenant for __ in range(8)]
+        # weight 2 => finish tags 0.5,1.0,1.5,2.0 vs 1,2,3,4: the heavy
+        # tenant's whole backlog drains among the first six dispatches
+        assert order[0] == "heavy"
+        assert order[:6].count("heavy") == 4
+        assert order[6:] == ["light", "light"]
+
+    def test_idle_tenant_not_penalized(self):
+        queue = FairQueue(max_depth=16)
+        for i in range(3):
+            queue.push(ticket(i, tenant="busy"))
+            assert queue.pop(timeout=1) is not None
+        # virtual time advanced with the busy tenant; a newcomer's first
+        # query must not start behind the backlog it never saw
+        queue.push(ticket(10, tenant="busy"))
+        queue.push(ticket(11, tenant="new"))
+        assert queue.pop(timeout=1).tenant == "new"
+
+    def test_bounded_depth_rejects(self):
+        queue = FairQueue(max_depth=2)
+        queue.push(ticket(1))
+        queue.push(ticket(2))
+        with pytest.raises(AdmissionError):
+            queue.push(ticket(3))
+        assert queue.tenants()["t"].rejected == 1
+        assert queue.depth == 2
+
+    def test_cancel_releases_slot_and_is_skipped(self):
+        queue = FairQueue(max_depth=2)
+        cancelled = []
+        queue.on_cancel = cancelled.append
+        first, second = ticket(1), ticket(2)
+        queue.push(first)
+        queue.push(second)
+        assert first.cancel()
+        assert cancelled == [first]
+        queue.push(ticket(3))  # the freed slot is usable immediately
+        assert queue.pop(timeout=1) is second
+        with pytest.raises(QueryCancelled):
+            first.result(timeout=1)
+        assert first.state == CANCELLED
+
+    def test_cancel_after_dispatch_is_refused(self):
+        queue = FairQueue(max_depth=2)
+        only = ticket(1)
+        queue.push(only)
+        popped = queue.pop(timeout=1)
+        assert popped is only and popped._start()
+        assert not only.cancel()
+
+    def test_deadline_enforced_at_dispatch(self):
+        queue = FairQueue(max_depth=4)
+        expired = []
+        queue.on_deadline = expired.append
+        doomed = ticket(1, deadline=0.0)
+        queue.push(doomed)
+        queue.push(ticket(2))
+        time.sleep(0.002)
+        # the expired ticket is resolved and skipped, never returned
+        assert queue.pop(timeout=1).query_id == 2
+        assert expired == [doomed]
+        assert doomed.state == FAILED
+        with pytest.raises(DeadlineExceeded):
+            doomed.result(timeout=1)
+
+    def test_close_drains_backlog_as_cancelled(self):
+        queue = FairQueue(max_depth=4)
+        pending = [ticket(i) for i in range(3)]
+        for item in pending:
+            queue.push(item)
+        drained = queue.close()
+        assert set(drained) == set(pending)
+        for item in pending:
+            with pytest.raises(QueryCancelled):
+                item.result(timeout=1)
+        with pytest.raises(AdmissionError):
+            queue.push(ticket(9))
+        assert queue.pop(timeout=0.01) is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServiceError):
+            FairQueue(max_depth=0)
+        queue = FairQueue()
+        with pytest.raises(ServiceError):
+            queue.set_weight("t", 0.0)
+        with pytest.raises(ServiceError):
+            queue.push(ticket(1), cost=0.0)
+
+
+# ---------------------------------------------------------------------------
+# compiled-plan cache
+# ---------------------------------------------------------------------------
+
+class TestPlanCache:
+    @pytest.fixture()
+    def cache(self, detail):
+        engine = make_engine(detail)
+        try:
+            yield PlanCache(engine.detail_schema, engine.info,
+                            engine.site_ids)
+        finally:
+            engine.close()
+
+    def test_exact_repeat_hits_text_tier(self, cache):
+        flags = OptimizationFlags.all()
+        __, hit = cache.lookup(SQL, flags)
+        assert not hit
+        entry, hit = cache.lookup(SQL, flags)
+        assert hit and entry.hits == 1
+        assert cache.stats()["text_hits"] == 1
+
+    def test_reformatted_sql_hits_ast_tier(self, cache):
+        flags = OptimizationFlags.all()
+        first, __ = cache.lookup(SQL, flags)
+        noisy = ("select   g, sum(v) AS s,\n  count(*) AS n"
+                 "  FROM t GROUP BY g")
+        second, hit = cache.lookup(noisy, flags)
+        assert hit and second is first
+        # the AST tier served it; the text tier never saw this spelling
+        assert cache.stats()["text_hits"] == 0
+        assert len(cache) == 1
+
+    def test_flags_and_precision_key_distinct_entries(self, cache, detail):
+        engine = make_engine(detail)
+        try:
+            schema = engine.detail_schema
+        finally:
+            engine.close()
+        all_flags = OptimizationFlags.all()
+        assert plan_fingerprint(SQL, schema, all_flags) \
+            != plan_fingerprint(SQL, schema, NO_OPTIMIZATIONS)
+        assert plan_fingerprint(SQL, schema, all_flags, 8) \
+            != plan_fingerprint(SQL, schema, all_flags, 12)
+        __, hit = cache.lookup(SQL, all_flags)
+        __, hit = cache.lookup(SQL, NO_OPTIMIZATIONS)
+        assert not hit  # different flags never share a plan
+        assert len(cache) == 2
+
+    def test_lru_eviction_bounds_entries(self, detail):
+        engine = make_engine(detail)
+        try:
+            cache = PlanCache(engine.detail_schema, engine.info,
+                              engine.site_ids, max_entries=1)
+        finally:
+            engine.close()
+        flags = OptimizationFlags.all()
+        cache.lookup(SQL, flags)
+        cache.lookup("SELECT g, AVG(v) AS a FROM t GROUP BY g", flags)
+        assert len(cache) == 1
+        __, hit = cache.lookup(SQL, flags)  # evicted: recompiled
+        assert not hit
+
+
+# ---------------------------------------------------------------------------
+# in-flight scan registry
+# ---------------------------------------------------------------------------
+
+def response_for(site_id=0):
+    return SiteResponse(site_id=site_id,
+                        relation=Relation.from_dicts([{"g": 1, "n": 2}]),
+                        compute_seconds=0.0)
+
+
+class TestInFlightScanRegistry:
+    def test_leader_then_followers_share_one_dispatch(self):
+        registry = InFlightScanRegistry()
+        leader = registry.claim("fp", 0, version=0)
+        assert leader.leader
+        followers = [registry.claim("fp", 0, version=0) for __ in range(3)]
+        assert not any(ticket.leader for ticket in followers)
+        response = response_for()
+        leader.publish(response)
+        for ticket in followers:
+            assert ticket.wait(timeout=1) is response
+        assert registry.stats()["led_scans"] == 1
+        assert registry.inflight_count() == 0
+
+    def test_version_partitions_claims(self):
+        registry = InFlightScanRegistry()
+        assert registry.claim("fp", 0, version=0).leader
+        # same fingerprint at a later fragment version is different work
+        assert registry.claim("fp", 0, version=1).leader
+
+    def test_leader_failure_raises_for_followers(self):
+        registry = InFlightScanRegistry()
+        leader = registry.claim("fp", 0, version=0)
+        follower = registry.claim("fp", 0, version=0)
+        leader.fail(RuntimeError("site down"))
+        with pytest.raises(SharedScanError, match="failed at the leader"):
+            follower.wait(timeout=1)
+        # the entry is gone: the fallback's own dispatch becomes leader
+        assert registry.claim("fp", 0, version=0).leader
+
+    def test_follower_wait_times_out(self):
+        registry = InFlightScanRegistry(wait_seconds=0.01)
+        registry.claim("fp", 0, version=0)
+        follower = registry.claim("fp", 0, version=0)
+        with pytest.raises(SharedScanError, match="timed out"):
+            follower.wait()
+        assert registry.stats()["timeouts"] == 1
+
+    def test_publish_unblocks_concurrent_waiter(self):
+        registry = InFlightScanRegistry()
+        leader = registry.claim("fp", 0, version=0)
+        follower = registry.claim("fp", 0, version=0)
+        landed = []
+        thread = threading.Thread(
+            target=lambda: landed.append(follower.wait(timeout=5)))
+        thread.start()
+        leader.publish(response_for())
+        thread.join(timeout=5)
+        assert not thread.is_alive() and len(landed) == 1
+
+
+# ---------------------------------------------------------------------------
+# the service end to end (inprocess; transports in the differential suite)
+# ---------------------------------------------------------------------------
+
+class TestQueryService:
+    def test_serves_correct_results_and_snapshots(self, detail):
+        engine = make_engine(detail)
+        reference = reference_for(SQL, engine)
+        try:
+            with QueryService(engine, workers=4) as service:
+                first = service.execute(SQL, tenant="alpha")
+                second = service.execute(SQL, tenant="beta")
+                assert first.relation.multiset_equals(reference)
+                # deterministic ordering: bit-identical, not just equal
+                assert second.relation.to_dicts() == \
+                    first.relation.to_dicts()
+                assert not first.plan_cache_hit
+                assert second.plan_cache_hit
+                snapshot = service.snapshot()
+        finally:
+            engine.close()
+        assert snapshot["service"]["completed"] == 2
+        assert snapshot["plan_cache"]["hits"] >= 1
+        assert snapshot["subagg_cache"]["hits"] >= 1
+        assert "shared_scans" in snapshot
+        assert snapshot["transport"] == "inprocess"
+
+    def test_append_quiesces_then_serves_new_snapshot(self, detail):
+        engine = make_engine(detail)
+        try:
+            with QueryService(engine, workers=2) as service:
+                before = service.execute(SQL)
+                service.append(0, Relation.from_dicts(
+                    [{"g": 9, "v": 1.5}, {"g": 0, "v": 2.5}]))
+                reference = reference_for(SQL, engine)
+                after = service.execute(SQL)
+                assert after.relation.multiset_equals(reference)
+                assert not before.relation.multiset_equals(reference)
+        finally:
+            engine.close()
+
+    def test_share_scans_requires_cache(self, detail):
+        engine = make_engine(detail)
+        try:
+            with pytest.raises(ServiceError, match="sub-aggregate cache"):
+                QueryService(engine, enable_cache=False, share_scans=True)
+        finally:
+            engine.close()
+
+    def test_deadline_expired_query_fails_cleanly(self, detail):
+        engine = make_engine(detail)
+        try:
+            with QueryService(engine, workers=1) as service:
+                blocker = service.submit(SQL)
+                doomed = service.submit(SQL, deadline_seconds=0.0)
+                blocker.result(timeout=30)
+                with pytest.raises(DeadlineExceeded):
+                    doomed.result(timeout=30)
+                deadline = service.metrics.snapshot()["deadline_expired"]
+                assert deadline == 1
+        finally:
+            engine.close()
+
+
+# ---------------------------------------------------------------------------
+# cache: shared-scan accounting + the concurrent delta-merge race
+# ---------------------------------------------------------------------------
+
+class TestSharedStaleAccounting:
+    def test_note_shared_stale_counts(self):
+        cache = SubAggregateCache()
+        assert cache.stats()["shared_stale_averted"] == 0
+        cache.note_shared_stale()
+        cache.note_shared_stale()
+        assert cache.stats()["shared_stale_averted"] == 2
+
+
+class TestConcurrentDeltaMergeRace:
+    """Two queries holding one entry must not double-apply a delta.
+
+    ``CacheStore.upgrade`` mutates the entry in place; under the
+    serving layer two concurrent queries can both classify DELTA
+    against the same entry.  Fulfillment must merge from the
+    decide-time snapshot — merging into the *live* entry after the
+    first query's upgrade would apply the appended rows twice.  The
+    interleaving is reproduced deterministically: decide twice, then
+    fulfill both.
+    """
+
+    def test_double_fulfillment_is_not_double_applied(self, detail):
+        engine = make_engine(detail, num_sites=1)
+        engine.enable_cache()
+        cache = engine.cache
+        recorded = []
+        original = engine.transport.run_round
+
+        def recording(requests):
+            recorded.extend(requests)
+            return original(requests)
+
+        engine.transport.run_round = recording
+        try:
+            query = (QueryBuilder()
+                     .base("g")
+                     .gmdj([count_star("n"), agg("sum", "v", "s")],
+                           r.g == b.g)
+                     .build())
+            engine.execute(query, NO_OPTIMIZATIONS)  # cold: populates
+            step_request = next(request for request in recorded
+                                if request.kind == "step")
+            # delta keeps the existing g values, so the captured step
+            # request's shipped base relation stays valid post-append
+            delta = Relation.from_dicts(
+                [{"g": i % 4, "v": 100.0 + i} for i in range(40)])
+            engine.append(0, delta)
+
+            first = cache.decide(step_request)
+            second = cache.decide(step_request)
+            assert first.outcome == DELTA and second.outcome == DELTA
+            assert first.entry is second.entry  # the shared live entry
+
+            merged_first, *_ = cache.apply_delta(
+                first, ["g"], engine.detail_schema)
+            # the racing query fulfills after the entry was upgraded
+            merged_second, *_ = cache.apply_delta(
+                second, ["g"], engine.detail_schema)
+
+            from repro.cache.maintenance import evaluate_delta
+            expected, __ = evaluate_delta(
+                step_request, engine.fragment(0))
+            assert merged_first.multiset_equals(expected)
+            assert merged_second.multiset_equals(expected)
+            # and the durable entry holds the single-application merge
+            follow_up = cache.decide(step_request)
+            assert follow_up.outcome == HIT
+            assert follow_up.entry_relation.multiset_equals(expected)
+        finally:
+            engine.close()
+
+
+# ---------------------------------------------------------------------------
+# the bench_compare regression gate
+# ---------------------------------------------------------------------------
+
+def load_bench_compare():
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", REPO_ROOT / "scripts" / "bench_compare.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def report_stub(p95=0.050, qps=100.0, failed=0, mismatches=0):
+    window = {"latency_p95": p95, "qps": qps,
+              "failed": failed, "mismatches": mismatches}
+    return {"cold": dict(window), "warm": dict(window)}
+
+
+class TestBenchCompare:
+    def test_within_threshold_passes(self):
+        compare = load_bench_compare().compare
+        assert compare(report_stub(), report_stub(p95=0.09, qps=60.0),
+                       max_ratio=2.0) == []
+
+    def test_p95_regression_fails(self):
+        compare = load_bench_compare().compare
+        problems = compare(report_stub(), report_stub(p95=0.15),
+                           max_ratio=2.0)
+        assert any("p95 regressed" in problem for problem in problems)
+
+    def test_qps_regression_fails(self):
+        compare = load_bench_compare().compare
+        problems = compare(report_stub(), report_stub(qps=10.0),
+                           max_ratio=2.0)
+        assert any("QPS regressed" in problem for problem in problems)
+
+    def test_correctness_failures_always_fail(self):
+        compare = load_bench_compare().compare
+        problems = compare(report_stub(),
+                           report_stub(failed=1, mismatches=2))
+        assert any("failed queries" in problem for problem in problems)
+        assert any("mismatches" in problem for problem in problems)
+
+    def test_committed_baseline_is_self_consistent(self):
+        baseline = REPO_ROOT / "benchmarks" / "results" / "ext_service.json"
+        compare_module = load_bench_compare()
+        report = __import__("json").loads(baseline.read_text())
+        assert compare_module.compare(report, report) == []

@@ -1,0 +1,230 @@
+"""Concurrent serving must be bit-identical to serial execution.
+
+The service adds three layers of sharing on top of the engine — a
+compiled-plan cache, the cross-query scan registry, and the shared
+sub-aggregate cache — and none of them may change a single row:
+
+* N concurrent clients (mixed tenants, cold and warm passes) produce
+  exactly the results a centralized evaluation produces, on every
+  transport backend;
+* appends interleaved with the load keep that property: the quiesce
+  barrier gives each query one consistent fragment snapshot, so every
+  concurrent result equals the serial answer at the snapshot it ran
+  against;
+* fault injection (flaky sites, killed and hung worker processes from
+  :mod:`repro.distributed.faults`) underneath the concurrent service
+  still yields bit-identical results once the transport's retry /
+  respawn / hedging machinery resolves the fault — and a site that
+  stays down fails every query cleanly, leader and followers alike,
+  with no hangs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import SiteFailure
+from repro.relational.relation import Relation
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.faults import FlakySite, ProcessFaultSpec
+from repro.distributed.partition import partition_round_robin
+from repro.distributed.transport import HedgePolicy, RetryPolicy
+from repro.service import QueryService
+from repro.service.loadgen import run_closed_loop
+from repro.sql.compiler import compile_query
+
+STATEMENTS = (
+    "SELECT g, SUM(v) AS total, COUNT(*) AS n FROM t GROUP BY g",
+    "SELECT h, AVG(v) AS mean_v FROM t GROUP BY h",
+    "SELECT g, MAX(v) AS top FROM t WHERE v > 5 GROUP BY g",
+)
+
+CLIENTS = 8
+
+
+@pytest.fixture()
+def detail():
+    return Relation.from_dicts([
+        {"g": i % 5, "h": i % 3, "v": float(i % 97)} for i in range(600)])
+
+
+def make_engine(detail, transport="inprocess", num_sites=4, **kwargs):
+    partitions = partition_round_robin(detail, num_sites)
+    return SkallaEngine(partitions, transport=transport, **kwargs)
+
+
+def references(engine, statements=STATEMENTS):
+    """Serial ground truth, ordered the way the service orders results."""
+    detail = engine.total_detail_relation()
+    serial = {}
+    for sql in statements:
+        compiled = compile_query(sql, engine.detail_schema)
+        table = compiled.run_centralized(detail)
+        if not compiled.order_by:
+            table = table.sort(list(compiled.expression.key))
+        serial[sql] = table
+    return serial
+
+
+def assert_clean(report, expected_completed=None):
+    assert report.failed == 0, report.errors
+    assert report.mismatches == 0, report.errors
+    if expected_completed is not None:
+        assert report.completed == expected_completed
+
+
+@pytest.mark.parametrize("transport", ["inprocess", "thread", "process"])
+def test_concurrent_load_matches_serial(detail, transport):
+    engine = make_engine(detail, transport)
+    try:
+        serial = references(engine)
+        with QueryService(engine, workers=6) as service:
+            report = run_closed_loop(service, STATEMENTS, clients=CLIENTS,
+                                     rounds=2, references=serial)
+            snapshot = service.snapshot()
+    finally:
+        engine.close()
+    assert_clean(report, expected_completed=CLIENTS * 2 * len(STATEMENTS))
+    # the sharing layers actually engaged — this was a concurrent run,
+    # not a serialized one
+    assert snapshot["plan_cache"]["hits"] > 0
+    assert snapshot["shared_scans"]["shared_hits"] \
+        + snapshot["subagg_cache"]["hits"] > 0
+
+
+def test_interleaved_appends_stay_bit_identical(detail):
+    """Queries racing an append must answer from a consistent snapshot."""
+    engine = make_engine(detail, "process")
+    delta = Relation.from_dicts(
+        [{"g": i % 5, "h": i % 3, "v": 500.0 + i} for i in range(30)])
+    try:
+        with QueryService(engine, workers=6) as service:
+            before = references(engine)
+            results = []
+            errors = []
+
+            def client(index):
+                sql = STATEMENTS[index % len(STATEMENTS)]
+                tenant = ("alpha", "beta")[index % 2]
+                try:
+                    for __ in range(4):
+                        outcome = service.execute(sql, tenant=tenant,
+                                                  timeout=120)
+                        results.append((sql, outcome.relation))
+                except Exception as error:  # noqa: BLE001 - fail the test
+                    errors.append(repr(error))
+
+            threads = [threading.Thread(target=client, args=(index,))
+                       for index in range(CLIENTS)]
+            for thread in threads:
+                thread.start()
+            # races the in-flight queries: the barrier quiesces, appends,
+            # then releases the held dispatches
+            service.append(0, delta)
+            after = references(engine)
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(thread.is_alive() for thread in threads)
+    finally:
+        engine.close()
+    assert errors == []
+    assert len(results) == CLIENTS * 4
+    for sql, relation in results:
+        # every result equals the serial answer at one of the two
+        # snapshots — never a torn mix of pre- and post-append fragments
+        assert relation.multiset_equals(before[sql]) \
+            or relation.multiset_equals(after[sql]), sql
+
+
+def test_warm_replay_after_append_matches_serial(detail):
+    """Cold pass, append, warm pass: delta merges under concurrency."""
+    engine = make_engine(detail, "process")
+    try:
+        with QueryService(engine, workers=6) as service:
+            cold = run_closed_loop(service, STATEMENTS, clients=CLIENTS,
+                                   rounds=1, references=references(engine))
+            service.append(1, Relation.from_dicts(
+                [{"g": 7, "h": 9, "v": 123.0}]))
+            warm = run_closed_loop(service, STATEMENTS, clients=CLIENTS,
+                                   rounds=1, references=references(engine))
+            stats = engine.cache.stats()
+    finally:
+        engine.close()
+    assert_clean(cold)
+    assert_clean(warm)
+    # the appended site was served incrementally, not recomputed
+    assert stats["delta_merges"] > 0
+
+
+class TestServiceUnderFaults:
+    def test_flaky_site_recovers_under_concurrent_service(self, detail):
+        engine = make_engine(
+            detail, "thread",
+            retry_policy=RetryPolicy(max_retries=2, base_delay=0.001))
+        partitions = partition_round_robin(detail, 4)
+        engine.sites[2] = FlakySite(2, partitions[2], failures=2)
+        try:
+            serial = references(engine)
+            with QueryService(engine, workers=4) as service:
+                report = run_closed_loop(service, STATEMENTS,
+                                         clients=CLIENTS, rounds=1,
+                                         references=serial)
+        finally:
+            engine.close()
+        assert_clean(report,
+                     expected_completed=CLIENTS * len(STATEMENTS))
+
+    def test_killed_worker_recovers_under_concurrent_service(self, detail):
+        engine = make_engine(
+            detail, "process",
+            retry_policy=RetryPolicy(max_retries=2, base_delay=0.01),
+            transport_options={
+                "fault_specs": {1: ProcessFaultSpec(kill_on_request=1)}})
+        try:
+            serial = references(engine)
+            with QueryService(engine, workers=4) as service:
+                report = run_closed_loop(service, STATEMENTS,
+                                         clients=CLIENTS, rounds=1,
+                                         references=serial)
+        finally:
+            engine.close()
+        assert_clean(report,
+                     expected_completed=CLIENTS * len(STATEMENTS))
+
+    def test_hung_worker_hedged_under_concurrent_service(self, detail):
+        engine = make_engine(
+            detail, "process",
+            hedge=HedgePolicy(multiplier=1.25, min_seconds=0.02),
+            transport_options={
+                "fault_specs": {2: ProcessFaultSpec(
+                    hang_on_request=1, hang_seconds=2.0)}})
+        try:
+            serial = references(engine)
+            with QueryService(engine, workers=4) as service:
+                report = run_closed_loop(service, STATEMENTS,
+                                         clients=CLIENTS, rounds=1,
+                                         references=serial)
+        finally:
+            engine.close()
+        assert_clean(report,
+                     expected_completed=CLIENTS * len(STATEMENTS))
+
+    def test_dead_site_fails_leader_and_followers_cleanly(self, detail):
+        """A persistent failure must reach every sharing query, fast."""
+        engine = make_engine(
+            detail, "thread",
+            retry_policy=RetryPolicy(max_retries=1, base_delay=0.001))
+        partitions = partition_round_robin(detail, 4)
+        engine.sites[0] = FlakySite(0, partitions[0], failures=10_000)
+        sql = STATEMENTS[0]
+        try:
+            with QueryService(engine, workers=4) as service:
+                tickets = [service.submit(sql, tenant=f"t{index % 2}")
+                           for index in range(4)]
+                for ticket in tickets:
+                    with pytest.raises(SiteFailure):
+                        ticket.result(timeout=60)  # resolves: no hang
+        finally:
+            engine.close()
