@@ -1,7 +1,7 @@
 # Convenience targets; `make ci` runs exactly what GitHub Actions runs.
 
 .PHONY: ci lint test coverage test-differential bench bench-cache \
-	bench-parallel bench-sketches bench-service
+	bench-parallel bench-sketches bench-service bench-topology
 
 ci:
 	sh scripts/ci.sh all
@@ -45,3 +45,10 @@ bench-sketches:
 #   PYTHONPATH=src python benchmarks/bench_ext_service.py --smoke
 bench-service:
 	sh scripts/ci.sh bench-service
+
+# The aggregation-tree gate: smoke-scale tree-vs-flat WAN sweep plus
+# baseline comparison, exactly as the topology CI job runs it.  To
+# refresh the committed baseline (benchmarks/results/ext_topology.json):
+#   PYTHONPATH=src python benchmarks/bench_ext_topology.py
+bench-topology:
+	sh scripts/ci.sh bench-topology

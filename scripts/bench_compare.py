@@ -1,19 +1,24 @@
-"""Compare a fresh service-benchmark report against the committed baseline.
+"""Compare a fresh benchmark report against the committed baseline.
 
 Usage::
 
     python scripts/bench_compare.py BASELINE.json FRESH.json [--max-ratio R]
 
-Fails (exit 1) when the fresh run regresses more than ``--max-ratio``
-(default 2.0, overridable via ``BENCH_COMPARE_MAX_RATIO``) on:
+Two report shapes are understood, dispatched on the ``kind`` field:
 
-* cold or warm latency p95 (fresh may be at most R x baseline), or
-* throughput (fresh QPS may be at most R x *slower* than baseline).
+* service reports (the default): fails (exit 1) when the fresh run
+  regresses more than ``--max-ratio`` (default 2.0, overridable via
+  ``BENCH_COMPARE_MAX_RATIO``) on cold/warm latency p95 or throughput;
+* ``topology-sweep`` reports (``bench_ext_topology.py``): entries are
+  aligned by site count, the fresh ``tree_speedup`` / ``ingress_ratio``
+  may be at most R x below the baseline's, and tree-vs-flat result
+  identity is asserted unconditionally.
 
 Absolute latencies vary across machines, so the threshold is a loose
 2x by design — the gate exists to catch algorithmic regressions (a lost
-cache tier, serialized scans), not scheduler jitter.  Correctness
-(failures, mismatches) is asserted unconditionally.
+cache tier, serialized scans, a cost-blind tree), not scheduler jitter.
+Correctness (failures, mismatches, non-identical results) is asserted
+unconditionally.
 """
 
 from __future__ import annotations
@@ -36,9 +41,46 @@ def _load(path: Path) -> dict:
         sys.exit(f"bench_compare: {path} is not valid JSON: {error}")
 
 
+def _compare_topology(baseline: dict, fresh: dict,
+                      max_ratio: float) -> list[str]:
+    """Gate a topology-sweep report: speedups may not collapse.
+
+    A smoke run may sweep fewer site counts than the committed
+    baseline (extra baseline entries are fine); every fresh entry must
+    have a baseline counterpart to compare against.
+    """
+    problems = []
+    by_sites = {entry.get("sites"): entry
+                for entry in baseline.get("sweep", [])}
+    for entry in fresh.get("sweep", []):
+        sites = entry.get("sites")
+        label = f"sites={sites}"
+        if not entry.get("identical", False):
+            problems.append(
+                f"{label}: tree and flat results are not identical")
+        base = by_sites.get(sites)
+        if base is None:
+            problems.append(
+                f"{label}: no baseline entry for this site count")
+            continue
+        for metric in ("tree_speedup", "ingress_ratio"):
+            base_value = base.get(metric, 0)
+            new_value = entry.get(metric, 0)
+            if (base_value > 0 and new_value > 0
+                    and base_value > max_ratio * new_value):
+                problems.append(
+                    f"{label}: {metric} regressed "
+                    f"{base_value / new_value:.2f}x "
+                    f"({base_value:.2f} -> {new_value:.2f}, "
+                    f"limit {max_ratio:.1f}x)")
+    return problems
+
+
 def compare(baseline: dict, fresh: dict,
             max_ratio: float = DEFAULT_MAX_RATIO) -> list[str]:
     """Return the list of violations (empty means the gate passes)."""
+    if "topology-sweep" in (baseline.get("kind"), fresh.get("kind")):
+        return _compare_topology(baseline, fresh, max_ratio)
     problems = []
     for window in ("cold", "warm"):
         base, new = baseline.get(window), fresh.get(window)
@@ -77,11 +119,24 @@ def main(argv=None) -> int:
                              "(default %(default)s)")
     args = parser.parse_args(argv)
     baseline, fresh = _load(args.baseline), _load(args.fresh)
-    for window in ("cold", "warm"):
-        base, new = baseline.get(window, {}), fresh.get(window, {})
-        print(f"{window:<5}: p95 {base.get('latency_p95', 0) * 1000:8.1f} ms"
-              f" -> {new.get('latency_p95', 0) * 1000:8.1f} ms | "
-              f"QPS {base.get('qps', 0):7.1f} -> {new.get('qps', 0):7.1f}")
+    if "topology-sweep" in (baseline.get("kind"), fresh.get("kind")):
+        by_sites = {entry.get("sites"): entry
+                    for entry in baseline.get("sweep", [])}
+        for entry in fresh.get("sweep", []):
+            base = by_sites.get(entry.get("sites"), {})
+            print(f"sites={entry.get('sites'):<4}: speedup "
+                  f"{base.get('tree_speedup', 0):5.2f}x -> "
+                  f"{entry.get('tree_speedup', 0):5.2f}x | ingress "
+                  f"{base.get('ingress_ratio', 0):5.2f}x -> "
+                  f"{entry.get('ingress_ratio', 0):5.2f}x")
+    else:
+        for window in ("cold", "warm"):
+            base, new = baseline.get(window, {}), fresh.get(window, {})
+            print(f"{window:<5}: "
+                  f"p95 {base.get('latency_p95', 0) * 1000:8.1f} ms"
+                  f" -> {new.get('latency_p95', 0) * 1000:8.1f} ms | "
+                  f"QPS {base.get('qps', 0):7.1f} "
+                  f"-> {new.get('qps', 0):7.1f}")
     problems = compare(baseline, fresh, max_ratio=args.max_ratio)
     if problems:
         for problem in problems:

@@ -22,8 +22,15 @@
 #                               error-free and bit-identical, then
 #                               compared against the committed baseline
 #                               (fails on a >2x p95/QPS regression)
+#   scripts/ci.sh bench-topology the aggregation-tree gate: the
+#                               tree-vs-flat WAN sweep at smoke scale
+#                               (bit-reproducible, modeled), asserted
+#                               identical and faster/leaner than flat
+#                               at >= 64 sites, then compared against
+#                               the committed baseline
 #   scripts/ci.sh all           lint + test + differential + bench +
-#                               bench-service (the default)
+#                               bench-service + bench-topology (the
+#                               default)
 #
 # Exit code: non-zero as soon as any stage fails.
 
@@ -112,16 +119,34 @@ bench_service() {
         benchmarks/results/ext_service_ci.json
 }
 
+# The aggregation-tree gate (tentpole of the topology PR): sweep the
+# smoke site counts of the tree-vs-flat WAN benchmark (modeled, so the
+# numbers are bit-reproducible), assert tree results identical to flat
+# and tree wins on response time AND coordinator ingress at >= 64
+# sites, then diff against the committed baseline.  The fresh JSON is
+# left at benchmarks/results/ext_topology_ci.json for artifact upload.
+bench_topology() {
+    echo "== bench-topology: aggregation-tree gate =="
+    "$PYTHON" benchmarks/bench_ext_topology.py --smoke \
+        --json benchmarks/results/ext_topology_ci.json
+    echo "== bench-topology: compare against committed baseline =="
+    "$PYTHON" scripts/bench_compare.py \
+        benchmarks/results/ext_topology.json \
+        benchmarks/results/ext_topology_ci.json
+}
+
 stage=${1:-all}
 case "$stage" in
-    lint)          lint ;;
-    test)          tests ;;
-    coverage)      coverage ;;
-    differential)  differential ;;
-    bench)         bench ;;
-    bench-service) bench_service ;;
-    all)           lint; tests; differential; bench; bench_service ;;
-    *)  echo "usage: scripts/ci.sh" \
-            "[lint|test|coverage|differential|bench|bench-service|all]" \
+    lint)           lint ;;
+    test)           tests ;;
+    coverage)       coverage ;;
+    differential)   differential ;;
+    bench)          bench ;;
+    bench-service)  bench_service ;;
+    bench-topology) bench_topology ;;
+    all)            lint; tests; differential; bench; bench_service;
+                    bench_topology ;;
+    *)  echo "usage: scripts/ci.sh [lint|test|coverage|differential|" \
+            "bench|bench-service|bench-topology|all]" \
             >&2; exit 2 ;;
 esac

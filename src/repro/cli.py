@@ -47,6 +47,23 @@ OPTIMIZE_LEVELS = {
 }
 
 
+def _add_topology_arguments(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--topology", choices=("flat", "tree"),
+                         default="flat",
+                         help="aggregation topology: flat scatter-gather "
+                              "(default) or a link-aware aggregation tree "
+                              "built from a generated WAN graph")
+    command.add_argument("--fanout", type=int, default=4,
+                         help="child bound per aggregation-tree node "
+                              "(default 4; only with --topology tree)")
+    command.add_argument("--wan-regions", type=int, default=None,
+                         help="regions in the generated WAN (default: "
+                              "sites // 16; only with --topology tree)")
+    command.add_argument("--wan-seed", type=int, default=0,
+                         help="seed for the generated WAN's link jitter "
+                              "(default 0; only with --topology tree)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -128,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "quantile sketch scales its k to match; "
                             "default leaves each sketch at its built-in "
                             "default (P=12, k=200)")
+    _add_topology_arguments(query)
 
     explain = commands.add_parser(
         "explain", help="show the distributed plan without executing")
@@ -139,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="P",
                          help="accuracy/space knob for APPROX_* "
                               "aggregates (4-18)")
+    _add_topology_arguments(explain)
 
     serve = commands.add_parser(
         "serve", help="serve SQL statements from stdin through the "
@@ -244,10 +263,24 @@ def _resolve_flags(name: str) -> OptimizationFlags:
     return OPTIMIZE_LEVELS[name]
 
 
+def _build_wan(args, num_sites: int):
+    from repro.topology import clustered_wan
+    return clustered_wan(num_sites, num_regions=args.wan_regions,
+                         seed=args.wan_seed)
+
+
 def _cmd_query(args) -> int:
     engine = load_warehouse(args.warehouse)
-    engine.use_transport(args.transport, max_inflight=args.max_inflight,
-                         hedge=args.hedge)
+    if args.topology == "tree":
+        from repro.topology import TreeEngine
+        engine = TreeEngine.from_engine(
+            engine, wan=_build_wan(args, len(engine.site_ids)),
+            fanout=args.fanout, transport=args.transport,
+            max_inflight=args.max_inflight, hedge=args.hedge)
+    else:
+        engine.use_transport(args.transport,
+                             max_inflight=args.max_inflight,
+                             hedge=args.hedge)
     if args.cache:
         engine.enable_cache(budget_mb=args.cache_budget_mb)
     compiled = compile_query(args.sql, engine.detail_schema,
@@ -287,6 +320,16 @@ def _cmd_query(args) -> int:
               f"skew {metrics.skew_ratio:.2f}x); "
               f"hedges {metrics.hedges_issued} issued / "
               f"{metrics.hedges_won} won")
+    if metrics.topology == "tree":
+        print(f"tree: {metrics.tree_shape}; root ingress "
+              f"{metrics.root_ingress_bytes:,} B vs flat "
+              f"{metrics.flat_ingress_bytes:,} B "
+              f"({metrics.ingress_reduction_ratio:.1f}x reduction)")
+        if metrics.aggregator_failures:
+            print(f"tree faults: {metrics.aggregator_failures} "
+                  f"aggregator failure(s), "
+                  f"{metrics.reparented_subtrees} re-parented, "
+                  f"{metrics.flat_fallbacks} flat fallback(s)")
     if metrics.cache_enabled:
         print(f"cache: {metrics.cache_hits} hit(s), "
               f"{metrics.cache_misses} miss(es), "
@@ -313,6 +356,13 @@ def _cmd_explain(args) -> int:
     print("  " + expression.describe().replace("\n", "\n  "))
     print("plan:")
     print("  " + plan.explain().replace("\n", "\n  "))
+    if args.topology == "tree":
+        from repro.topology import build_cost_tree, describe_tree
+        wan = _build_wan(args, len(engine.site_ids))
+        tree = build_cost_tree(wan, args.fanout)
+        print("aggregation tree:")
+        print(f"  {wan.describe()}")
+        print("  " + describe_tree(tree).replace("\n", "\n  "))
     return 0
 
 

@@ -339,6 +339,7 @@ class SkallaEngine:
                                num_participating_sites=len(participating),
                                transport=self.transport_name,
                                cache_enabled=self._cache is not None)
+        self._annotate_metrics(metrics)
         coordinator = Coordinator(expression, self.detail_schema)
         round_index = 0
 
@@ -352,34 +353,22 @@ class SkallaEngine:
                                     base_query=expression.base)
                         for sid in participating]
             decisions = self._classify(requests)
-            for site_id in participating:
-                if self._needs_dispatch(decisions, site_id):
-                    network.send(control_message(
-                        COORDINATOR, site_id, round_index,
-                        "ship base query"))
-                else:
-                    # a hit/delta round needs no kick-off message
-                    phase.cache_bytes_saved += (CONTROL_MESSAGE_BYTES
-                                                + ENVELOPE_BYTES)
-            phase.communication_seconds += network.end_phase()
+            self._ship_base_kickoff(network, phase, participating,
+                                    decisions, round_index)
             outputs = self._fulfill_round(
                 metrics, phase, network, requests, decisions,
                 base_rows=0, round_index=round_index, key=expression.key,
                 uplink_kind="base_result",
                 uplink_note="local base-values result")
             fragments = []
-            site_seconds = 0.0
+            site_seconds = []
             for site_id in participating:
                 response = outputs[site_id]
-                site_seconds = max(site_seconds, response.compute_seconds)
+                site_seconds.append(response.compute_seconds)
                 fragments.append(response.relation)
-            phase.site_seconds = site_seconds
-            phase.communication_seconds += network.end_phase()
-            __, coordinator_seconds = coordinator.synchronize_base(fragments)
-            if self.compute_model is not None:
-                coordinator_seconds = self.compute_model.seconds(
-                    sum(fragment.num_rows for fragment in fragments), 0)
-            phase.coordinator_seconds += coordinator_seconds
+            self._synchronize_base(coordinator, participating, fragments,
+                                   site_seconds, phase, network,
+                                   round_index)
             metrics.phases.append(phase)
             metrics.num_synchronizations += 1
             round_index += 1
@@ -414,25 +403,10 @@ class SkallaEngine:
                 for sid in step_participants]
             decisions = self._classify(requests)
 
-            for site_id in step_participants:
-                if self._needs_dispatch(decisions, site_id):
-                    if step.include_base:
-                        network.send(control_message(
-                            COORDINATOR, site_id, round_index,
-                            "ship plan step (local base)"))
-                    else:
-                        network.send(relation_message(
-                            COORDINATOR, site_id, "base_structure",
-                            shipped[site_id], round_index,
-                            "base-result structure"))
-                else:
-                    # the site's cached round already holds this exact
-                    # structure (the fingerprint includes its content)
-                    to_ship = shipped[site_id]
-                    saved = (CONTROL_MESSAGE_BYTES if to_ship is None
-                             else to_ship.wire_bytes())
-                    phase.cache_bytes_saved += saved + ENVELOPE_BYTES
-            phase.communication_seconds += network.end_phase()
+            self._ship_step_structures(network, phase, step,
+                                       expression.key, shipped,
+                                       step_participants, decisions,
+                                       round_index)
 
             outputs = self._fulfill_round(
                 metrics, phase, network, requests, decisions,
@@ -448,20 +422,10 @@ class SkallaEngine:
             self._account_sketch_bytes(phase, step, step_participants,
                                        sub_results)
 
-            if streaming:
-                network.end_phase()  # bytes are already logged; timing
-                # is replaced by the overlap model below.
-                self._streaming_synchronize(coordinator, step, sub_results,
-                                            site_seconds, phase)
-            else:
-                phase.site_seconds = max(site_seconds, default=0.0)
-                phase.communication_seconds += network.end_phase()
-                __, coordinator_seconds = coordinator.synchronize_step(
-                    step, sub_results)
-                if self.compute_model is not None:
-                    coordinator_seconds = self.compute_model.seconds(
-                        sum(h.num_rows for h in sub_results), 0)
-                phase.coordinator_seconds += coordinator_seconds
+            self._synchronize_step(coordinator, step, expression.key,
+                                   step_participants, sub_results,
+                                   site_seconds, phase, network,
+                                   round_index, streaming)
             metrics.phases.append(phase)
             metrics.num_synchronizations += 1
             round_index += 1
@@ -470,6 +434,114 @@ class SkallaEngine:
             self._cache.prune_deltas()
         result = coordinator.final_result()
         return ExecutionResult(result, metrics, plan)
+
+    # -- topology hooks -----------------------------------------------------------
+    #
+    # The flat star engine talks to every site directly; these seams let
+    # a subclass (the aggregation-tree executor in
+    # :mod:`repro.topology.executor`) reroute downlinks, uplinks,
+    # dispatch, and synchronization through interior merge nodes
+    # without duplicating the round/cache/fault machinery above.
+
+    def _annotate_metrics(self, metrics: QueryMetrics) -> None:
+        """Stamp topology-specific fields on a fresh QueryMetrics."""
+
+    def _ship_base_kickoff(self, network: SimulatedNetwork,
+                           phase: PhaseMetrics,
+                           participating: Sequence[SiteId],
+                           decisions, round_index: int) -> None:
+        """Send (or cache-skip) round 0's kick-off control messages."""
+        for site_id in participating:
+            if self._needs_dispatch(decisions, site_id):
+                network.send(control_message(
+                    COORDINATOR, site_id, round_index,
+                    "ship base query"))
+            else:
+                # a hit/delta round needs no kick-off message
+                phase.cache_bytes_saved += (CONTROL_MESSAGE_BYTES
+                                            + ENVELOPE_BYTES)
+        phase.communication_seconds += network.end_phase()
+
+    def _synchronize_base(self, coordinator: Coordinator,
+                          participating: Sequence[SiteId],
+                          fragments: Sequence[Relation],
+                          site_seconds: Sequence[float],
+                          phase: PhaseMetrics,
+                          network: SimulatedNetwork,
+                          round_index: int) -> None:
+        """Merge round 0's base-values fragments at the coordinator."""
+        phase.site_seconds = max(site_seconds, default=0.0)
+        phase.communication_seconds += network.end_phase()
+        __, coordinator_seconds = coordinator.synchronize_base(fragments)
+        if self.compute_model is not None:
+            coordinator_seconds = self.compute_model.seconds(
+                sum(fragment.num_rows for fragment in fragments), 0)
+        phase.coordinator_seconds += coordinator_seconds
+
+    def _ship_step_structures(self, network: SimulatedNetwork,
+                              phase: PhaseMetrics, step,
+                              key: Sequence[str],
+                              shipped: "Mapping[SiteId, Relation | None]",
+                              step_participants: Sequence[SiteId],
+                              decisions, round_index: int) -> None:
+        """Ship the base-result structure (or kick-off) for one step."""
+        for site_id in step_participants:
+            if self._needs_dispatch(decisions, site_id):
+                if step.include_base:
+                    network.send(control_message(
+                        COORDINATOR, site_id, round_index,
+                        "ship plan step (local base)"))
+                else:
+                    network.send(relation_message(
+                        COORDINATOR, site_id, "base_structure",
+                        shipped[site_id], round_index,
+                        "base-result structure"))
+            else:
+                # the site's cached round already holds this exact
+                # structure (the fingerprint includes its content)
+                to_ship = shipped[site_id]
+                saved = (CONTROL_MESSAGE_BYTES if to_ship is None
+                         else to_ship.wire_bytes())
+                phase.cache_bytes_saved += saved + ENVELOPE_BYTES
+        phase.communication_seconds += network.end_phase()
+
+    def _synchronize_step(self, coordinator: Coordinator, step,
+                          key: Sequence[str],
+                          step_participants: Sequence[SiteId],
+                          sub_results: Sequence[Relation],
+                          site_seconds: Sequence[float],
+                          phase: PhaseMetrics,
+                          network: SimulatedNetwork,
+                          round_index: int, streaming: bool) -> None:
+        """Merge one step's sub-aggregates at the coordinator."""
+        if streaming:
+            network.end_phase()  # bytes are already logged; timing
+            # is replaced by the overlap model below.
+            self._streaming_synchronize(coordinator, step, sub_results,
+                                        site_seconds, phase)
+        else:
+            phase.site_seconds = max(site_seconds, default=0.0)
+            phase.communication_seconds += network.end_phase()
+            __, coordinator_seconds = coordinator.synchronize_step(
+                step, sub_results)
+            if self.compute_model is not None:
+                coordinator_seconds = self.compute_model.seconds(
+                    sum(h.num_rows for h in sub_results), 0)
+            phase.coordinator_seconds += coordinator_seconds
+
+    def _send_uplink(self, network: SimulatedNetwork, site_id: SiteId,
+                     kind: str, relation: Relation, round_index: int,
+                     note: str, real_bytes: int | None = None) -> None:
+        """Record one site's uplink payload (star: straight to root)."""
+        network.send(relation_message(
+            site_id, COORDINATOR, kind, relation, round_index, note,
+            real_bytes=real_bytes))
+
+    def _dispatch_round(self, requests: Sequence[SiteRequest],
+                        ) -> "tuple[dict[SiteId, SiteResponse], object]":
+        """Run one round's requests; return (outputs, round stats)."""
+        outputs = self.transport.run_round(requests)
+        return outputs, self.transport.last_round_stats
 
     # -- sketch traffic accounting ------------------------------------------------
 
@@ -672,10 +744,10 @@ class SkallaEngine:
             if decision is not None:
                 phase.cache_misses += 1
                 self._cache.populate(decision, response.relation)
-            network.send(relation_message(
-                site_id, COORDINATOR, uplink_kind, response.relation,
+            self._send_uplink(
+                network, site_id, uplink_kind, response.relation,
                 round_index, uplink_note,
-                real_bytes=response.response_bytes or None))
+                real_bytes=response.response_bytes or None)
             return response
         if decision.outcome == HIT:
             relation = self._cache.fulfill_hit(decision)
@@ -702,10 +774,9 @@ class SkallaEngine:
                                 compute_seconds=delta_seconds)
         phase.cache_delta_merges += 1
         phase.coordinator_seconds += merge_seconds
-        network.send(relation_message(
-            site_id, COORDINATOR, f"delta_{uplink_kind}",
-            delta_result, round_index,
-            f"delta {uplink_note} (incremental maintenance)"))
+        self._send_uplink(
+            network, site_id, f"delta_{uplink_kind}", delta_result,
+            round_index, f"delta {uplink_note} (incremental maintenance)")
         phase.cache_bytes_saved += max(
             0, merged.wire_bytes() - delta_result.wire_bytes())
         return response
@@ -727,7 +798,7 @@ class SkallaEngine:
         Retry accounting is aggregated here, on the engine's thread,
         after the round completes — no cross-engine lock involved.
         """
-        outputs = self.transport.run_round(requests)
+        outputs, stats = self._dispatch_round(requests)
         round_bytes = 0
         max_wall = 0.0
         for response in outputs.values():
@@ -735,7 +806,6 @@ class SkallaEngine:
             metrics.worker_respawns += response.respawns
             round_bytes += response.request_bytes + response.response_bytes
             max_wall = max(max_wall, response.wall_seconds)
-        stats = self.transport.last_round_stats
         if stats is not None:
             round_wall = stats.round_wall_seconds
             phase.site_wall_seconds.update(stats.site_wall)

@@ -61,6 +61,26 @@ def explain_analyze(result: ExecutionResult) -> str:
                 f"  hedges         : {metrics.hedges_issued} issued, "
                 f"{metrics.hedges_won} won, "
                 f"{metrics.hedges_wasted} wasted")
+    if metrics.topology == "tree":
+        lines.append("")
+        lines.append("aggregation tree:")
+        lines.append(f"  shape          : {metrics.tree_shape}")
+        lines.append(f"  root ingress   : {metrics.root_ingress_bytes:,} B "
+                     f"(bytes entering the root)")
+        lines.append(f"  flat would pay : {metrics.flat_ingress_bytes:,} B "
+                     f"({metrics.ingress_reduction_ratio:.1f}x reduction)")
+        levels = metrics.tree_level_seconds
+        if levels:
+            per_level = ", ".join(
+                f"L{level}={seconds:.4f}s"
+                for level, seconds in sorted(levels.items()))
+            lines.append(f"  level critical : {per_level}")
+        if metrics.aggregator_failures:
+            lines.append(
+                f"  failures       : {metrics.aggregator_failures} "
+                f"aggregator(s) failed, "
+                f"{metrics.reparented_subtrees} subtree(s) re-parented, "
+                f"{metrics.flat_fallbacks} flat fallback(s)")
     if metrics.cache_enabled:
         lines.append("")
         lines.append("sub-aggregate cache:")

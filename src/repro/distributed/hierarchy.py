@@ -36,6 +36,7 @@ descendant sites' ¬ψ filters.
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -71,11 +72,18 @@ AGGREGATOR: SiteId = -2
 
 @dataclass(frozen=True)
 class TreeNode:
-    """One aggregator node: its children are sites and/or other nodes."""
+    """One aggregator node: its children are sites and/or other nodes.
+
+    ``host`` optionally names the *site* that plays this aggregator
+    (the cost-driven builder places interior merges on real sites so
+    link costs are meaningful); ``None`` means a dedicated node — the
+    root is always hosted by the coordinator itself.
+    """
 
     node_id: str
     site_children: tuple[SiteId, ...] = ()
     node_children: tuple["TreeNode", ...] = ()
+    host: SiteId | None = None
 
     def __post_init__(self):
         if not self.site_children and not self.node_children:
@@ -95,9 +103,23 @@ class TreeNode:
 
 @dataclass(frozen=True)
 class TreeTopology:
-    """An aggregation tree; the root plays the coordinator."""
+    """An aggregation tree; the root plays the coordinator.
+
+    Construction validates the shape eagerly — a malformed tree raises
+    :class:`~repro.errors.PlanError` here instead of failing mid-round:
+    a site that appears more than once would be double-counted by every
+    merge (Theorem 1 needs a *partition*), so duplicates are rejected.
+    """
 
     root: TreeNode
+
+    def __post_init__(self):
+        sites = self.root.descendant_sites()
+        if len(sites) != len(set(sites)):
+            counts = Counter(sites)
+            dupes = sorted(s for s, n in counts.items() if n > 1)
+            raise PlanError(
+                f"site(s) {dupes} appear more than once in the topology")
 
     @staticmethod
     def balanced(sites: Sequence[SiteId], fanout: int) -> "TreeTopology":
@@ -137,10 +159,33 @@ class TreeTopology:
         return self.root.depth()
 
     def validate_disjoint(self) -> None:
-        """Every site must appear exactly once in the tree."""
+        """Every site must appear exactly once in the tree.
+
+        Kept for compatibility; since the check now runs at
+        construction time this can only ever pass.
+        """
         sites = self.sites()
-        if len(sites) != len(set(sites)):
+        if len(sites) != len(set(sites)):  # pragma: no cover - guarded
             raise PlanError("a site appears more than once in the topology")
+
+    def validate_sites(self, known: Sequence[SiteId]) -> None:
+        """Check the tree covers exactly the warehouse's sites.
+
+        A tree that references unknown sites would fail mid-round; a
+        tree that *misses* sites would silently aggregate over a subset
+        — both are plan errors the caller wants eagerly.
+        """
+        tree_sites = set(self.sites())
+        known_set = set(known)
+        unknown = tree_sites - known_set
+        if unknown:
+            raise PlanError(
+                f"topology references unknown sites {sorted(unknown)}")
+        orphaned = known_set - tree_sites
+        if orphaned:
+            raise PlanError(
+                f"sites {sorted(orphaned)} are unreachable from the "
+                f"topology root (every site needs a place in the tree)")
 
 
 # ---------------------------------------------------------------------------

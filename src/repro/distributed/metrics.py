@@ -76,6 +76,24 @@ class PhaseMetrics:
     #: sketched aggregate.  The sketch uplink is bounded by the number
     #: of groups, the exact-shipping uplink grows with fragment rows.
     sketch_exact_bytes: int = 0
+    #: bytes entering the tree root this round (aggregation-tree runs
+    #: only; the flat star's equivalent is the full uplink).
+    root_ingress_bytes: int = 0
+    #: counterfactual: what the same round's uplink payloads would put
+    #: on the coordinator link under flat scatter-gather (every site's
+    #: sub-result + envelope, no interior merges).
+    flat_ingress_bytes: int = 0
+    #: modeled critical-path seconds per tree level (level 0 = root
+    #: ingress; deeper levels merge in parallel across subtrees).
+    tree_level_seconds: dict[int, float] = field(default_factory=dict)
+    #: interior aggregators that failed (kill / deadline) this round.
+    aggregator_failures: int = 0
+    #: subtrees re-parented to their grandparent after an aggregator
+    #: failure (the orphaned children's results travel unmerged).
+    reparented_subtrees: int = 0
+    #: failed subtrees that fell all the way back to flat scatter-
+    #: gather at the root (last-resort degradation; results stay exact).
+    flat_fallbacks: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -133,6 +151,14 @@ class PhaseMetrics:
             "shared_scan_stale": self.shared_scan_stale,
             "sketch_state_bytes": self.sketch_state_bytes,
             "sketch_exact_bytes": self.sketch_exact_bytes,
+            "root_ingress_bytes": self.root_ingress_bytes,
+            "flat_ingress_bytes": self.flat_ingress_bytes,
+            "tree_level_seconds": {str(level): round(seconds, 6)
+                                   for level, seconds
+                                   in sorted(self.tree_level_seconds.items())},
+            "aggregator_failures": self.aggregator_failures,
+            "reparented_subtrees": self.reparented_subtrees,
+            "flat_fallbacks": self.flat_fallbacks,
         }
 
 
@@ -152,6 +178,11 @@ class QueryMetrics:
     worker_respawns: int = 0
     #: whether the sub-aggregate cache was consulted for this execution
     cache_enabled: bool = False
+    #: how site results reached the coordinator ("flat" star or "tree")
+    topology: str = "flat"
+    #: compact shape of the aggregation tree ("" for the flat star),
+    #: e.g. "depth=3 fanout<=4 interior=21 sites=64".
+    tree_shape: str = ""
 
     # -- time -------------------------------------------------------------
 
@@ -309,6 +340,46 @@ class QueryMetrics:
             return 1.0
         return self.sketch_exact_bytes / self.sketch_state_bytes
 
+    # -- aggregation tree ----------------------------------------------------
+
+    @property
+    def root_ingress_bytes(self) -> int:
+        """Bytes entering the tree root across all rounds (tree runs)."""
+        return sum(phase.root_ingress_bytes for phase in self.phases)
+
+    @property
+    def flat_ingress_bytes(self) -> int:
+        """The flat-star counterfactual for the same uplink payloads."""
+        return sum(phase.flat_ingress_bytes for phase in self.phases)
+
+    @property
+    def ingress_reduction_ratio(self) -> float:
+        """flat-counterfactual / actual root ingress (1.0 = no tree)."""
+        if self.root_ingress_bytes <= 0:
+            return 1.0
+        return self.flat_ingress_bytes / self.root_ingress_bytes
+
+    @property
+    def tree_level_seconds(self) -> dict[int, float]:
+        """Per-level modeled critical path, summed across rounds."""
+        levels: dict[int, float] = {}
+        for phase in self.phases:
+            for level, seconds in phase.tree_level_seconds.items():
+                levels[level] = levels.get(level, 0.0) + seconds
+        return levels
+
+    @property
+    def aggregator_failures(self) -> int:
+        return sum(phase.aggregator_failures for phase in self.phases)
+
+    @property
+    def reparented_subtrees(self) -> int:
+        return sum(phase.reparented_subtrees for phase in self.phases)
+
+    @property
+    def flat_fallbacks(self) -> int:
+        return sum(phase.flat_fallbacks for phase in self.phases)
+
     def summary(self) -> dict[str, object]:
         """A flat dict of the headline numbers (handy for bench tables)."""
         return {
@@ -346,6 +417,15 @@ class QueryMetrics:
             "sketch_exact_bytes": self.sketch_exact_bytes,
             "sketch_compression_ratio": round(
                 self.sketch_compression_ratio, 4),
+            "topology": self.topology,
+            "tree_shape": self.tree_shape,
+            "root_ingress_bytes": self.root_ingress_bytes,
+            "flat_ingress_bytes": self.flat_ingress_bytes,
+            "ingress_reduction_ratio": round(
+                self.ingress_reduction_ratio, 4),
+            "aggregator_failures": self.aggregator_failures,
+            "reparented_subtrees": self.reparented_subtrees,
+            "flat_fallbacks": self.flat_fallbacks,
         }
 
     def as_dict(self) -> dict[str, object]:

@@ -74,6 +74,16 @@ class LinkModel:
         total_bytes = sum(message.total_bytes for message in messages)
         return self.latency + total_bytes / self.bandwidth
 
+    def point_to_point_seconds(self, payload_bytes: int) -> float:
+        """Modeled time to move one payload over this link alone.
+
+        Used by the WAN/tree cost model, where each edge is its own
+        link rather than a share of the coordinator's access link.
+        """
+        if payload_bytes < 0:
+            raise NetworkError("payload bytes must be non-negative")
+        return self.latency + payload_bytes / self.bandwidth
+
 
 @dataclass
 class SimulatedNetwork:

@@ -271,6 +271,16 @@ class Transport(abc.ABC):
             response.respawns += respawns
             return response
 
+    @property
+    def hedged_call(self):
+        """The callable a hedger should use for a duplicate dispatch.
+
+        Backends whose primary channel must not be double-used (the
+        process transport's per-site pipe) override this to return a
+        side-channel evaluator; everyone else re-calls the site.
+        """
+        return self.call
+
     def _ensure_started(self) -> None:
         if not self._started:
             self.start()

@@ -297,6 +297,11 @@ class MultiprocessTransport(Transport):
         self.last_round_stats = stats
         return responses
 
+    @property
+    def hedged_call(self):
+        """Hedges bypass the per-site pipe (see :meth:`local_call`)."""
+        return self.local_call
+
     def local_call(self, request: SiteRequest) -> SiteResponse:
         """Serve one request from the coordinator's live site copy.
 

@@ -1,0 +1,232 @@
+"""WAN topology model: a weighted site graph with regions.
+
+The paper's Sect. 6 points past the flat star — "a multi-tiered
+coordinator architecture or spanning-tree networks" — and choosing a
+good tree needs a network to choose *from*.  This module models one: an
+undirected weighted graph over the warehouse's sites plus the
+coordinator, where every edge is its own
+:class:`~repro.distributed.network.LinkModel` (latency + bandwidth)
+rather than a share of the coordinator's access link.
+
+:func:`clustered_wan` generates the deterministic 64-256-site topologies
+the benchmarks sweep: geographic *regions* with a cheap intra-region
+mesh, one mid-cost gateway uplink per region, a coordinator-metro
+region, and an expensive long-haul direct link from every site to the
+coordinator.  The long-hauls keep flat scatter-gather feasible on the
+same graph, so the tree-vs-flat comparison is honest: both run over
+identical links, the tree just *routes* around the expensive ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import PlanError
+from repro.distributed.messages import COORDINATOR, SiteId
+from repro.distributed.network import LinkModel
+
+#: Reference payload for collapsing (latency, bandwidth) into one scalar
+#: edge cost: the modeled seconds to move a typical round's sub-result.
+REFERENCE_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class WanLink(LinkModel):
+    """One weighted edge of the site graph.
+
+    Extends the flat star's :class:`LinkModel` with its two endpoints
+    (sites, or :data:`COORDINATOR`).  Links are undirected.
+    """
+
+    a: SiteId = COORDINATOR
+    b: SiteId = COORDINATOR
+
+    def __post_init__(self):
+        if self.a == self.b:
+            raise PlanError("a WAN link needs two distinct endpoints")
+        if self.bandwidth <= 0:
+            raise PlanError("link bandwidth must be positive")
+        if self.latency < 0:
+            raise PlanError("link latency must be non-negative")
+
+    def cost(self) -> float:
+        """Scalar cost: seconds to move one reference payload."""
+        return self.point_to_point_seconds(REFERENCE_BYTES)
+
+    def other(self, node: SiteId) -> SiteId:
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise PlanError(f"node {node} is not an endpoint of this link")
+
+
+@dataclass(frozen=True)
+class WanTopology:
+    """An undirected weighted graph over sites and the coordinator.
+
+    ``regions`` maps each site to its region id (informational — the
+    builder only reads link costs, but explain output and the
+    generators use it).  Validation is eager: duplicate sites, links to
+    unknown endpoints, and sites unreachable from the coordinator all
+    raise :class:`~repro.errors.PlanError` at construction.
+    """
+
+    sites: tuple[SiteId, ...]
+    links: tuple[WanLink, ...]
+    regions: Mapping[SiteId, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.sites:
+            raise PlanError("a WAN needs at least one site")
+        if len(self.sites) != len(set(self.sites)):
+            raise PlanError("duplicate sites in the WAN topology")
+        known = set(self.sites) | {COORDINATOR}
+        adjacency: dict[SiteId, dict[SiteId, WanLink]] = {
+            node: {} for node in known}
+        for link in self.links:
+            for endpoint in (link.a, link.b):
+                if endpoint not in known:
+                    raise PlanError(
+                        f"link {link.a}<->{link.b} references unknown "
+                        f"endpoint {endpoint}")
+            # keep only the cheapest parallel link per pair
+            for here, there in ((link.a, link.b), (link.b, link.a)):
+                best = adjacency[here].get(there)
+                if best is None or link.cost() < best.cost():
+                    adjacency[here][there] = link
+        object.__setattr__(self, "_adjacency", adjacency)
+        unreachable = self._unreachable()
+        if unreachable:
+            raise PlanError(
+                f"sites {sorted(unreachable)} are unreachable from the "
+                f"coordinator over the WAN links")
+
+    def _unreachable(self) -> set[SiteId]:
+        seen = {COORDINATOR}
+        frontier = [COORDINATOR]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in self._adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return set(self.sites) - seen
+
+    # -- lookups -----------------------------------------------------------
+
+    def link(self, a: SiteId, b: SiteId) -> WanLink | None:
+        """The cheapest direct link between ``a`` and ``b``, if any."""
+        return self._adjacency.get(a, {}).get(b)
+
+    def neighbors(self, node: SiteId) -> "Iterable[tuple[SiteId, WanLink]]":
+        """(neighbor, cheapest link) pairs of ``node``, sorted."""
+        entries = self._adjacency.get(node, {})
+        return [(neighbor, entries[neighbor])
+                for neighbor in sorted(entries)]
+
+    def region(self, site: SiteId) -> int:
+        return self.regions.get(site, 0)
+
+    @property
+    def num_regions(self) -> int:
+        if not self.regions:
+            return 1
+        return len(set(self.regions.values()))
+
+    def describe(self) -> str:
+        return (f"WAN: {len(self.sites)} sites, {len(self.links)} links, "
+                f"{self.num_regions} regions")
+
+
+def clustered_wan(num_sites: int,
+                  num_regions: int | None = None,
+                  seed: int = 0,
+                  metro_latency: float = 0.002,
+                  metro_bandwidth: float = 50e6,
+                  mesh_latency: float = 0.0015,
+                  mesh_bandwidth: float = 100e6,
+                  gateway_latency: float = 0.025,
+                  gateway_bandwidth: float = 8e6,
+                  longhaul_latency: float = 0.090,
+                  longhaul_bandwidth: float = 1e6) -> WanTopology:
+    """A deterministic clustered WAN: regions, gateways, long-hauls.
+
+    Sites are split into contiguous regions.  Region 0 is the
+    coordinator's metro (cheap direct links); every other region gets a
+    cheap intra-region mesh, one *gateway* site with a mid-cost uplink
+    to the coordinator, and a gateway-to-gateway mesh.  Every site
+    additionally has an expensive long-haul direct link to the
+    coordinator — that is the link flat scatter-gather must use, and
+    the link a cost-driven tree avoids for all but its root children.
+
+    All latencies/bandwidths are jittered by ``random.Random(seed)``,
+    so the same ``(num_sites, num_regions, seed)`` always yields the
+    same graph.
+    """
+    if num_sites < 1:
+        raise PlanError("a WAN needs at least one site")
+    if num_regions is None:
+        num_regions = max(1, num_sites // 16)
+    if num_regions < 1:
+        raise PlanError("a WAN needs at least one region")
+    num_regions = min(num_regions, num_sites)
+    rng = random.Random(seed)
+
+    def jitter(low: float = 0.85, high: float = 1.2) -> float:
+        return rng.uniform(low, high)
+
+    sites = tuple(range(num_sites))
+    regions: dict[SiteId, int] = {}
+    per_region = -(-num_sites // num_regions)  # ceil
+    for site in sites:
+        regions[site] = min(site // per_region, num_regions - 1)
+    members: dict[int, list[SiteId]] = {}
+    for site, region in regions.items():
+        members.setdefault(region, []).append(site)
+
+    links: list[WanLink] = []
+    gateways: list[SiteId] = []
+    for region, region_sites in sorted(members.items()):
+        if region == 0:
+            # coordinator metro: every site links cheaply to the root
+            for site in region_sites:
+                links.append(WanLink(
+                    a=COORDINATOR, b=site,
+                    latency=metro_latency * jitter(),
+                    bandwidth=metro_bandwidth * jitter()))
+        else:
+            gateway = region_sites[0]
+            gateways.append(gateway)
+            links.append(WanLink(
+                a=COORDINATOR, b=gateway,
+                latency=gateway_latency * jitter(),
+                bandwidth=gateway_bandwidth * jitter()))
+        # cheap intra-region mesh
+        for position, site in enumerate(region_sites):
+            for peer in region_sites[position + 1:]:
+                links.append(WanLink(
+                    a=site, b=peer,
+                    latency=mesh_latency * jitter(),
+                    bandwidth=mesh_bandwidth * jitter()))
+    # gateway-to-gateway mesh: lets one region attach under another
+    # when the root's fanout budget is exhausted.
+    for position, gateway in enumerate(gateways):
+        for peer in gateways[position + 1:]:
+            links.append(WanLink(
+                a=gateway, b=peer,
+                latency=gateway_latency * 1.5 * jitter(),
+                bandwidth=gateway_bandwidth * jitter()))
+    # expensive long-haul: every site can reach the root directly —
+    # this is flat scatter-gather's path (and the tree's last resort).
+    for site in sites:
+        links.append(WanLink(
+            a=COORDINATOR, b=site,
+            latency=longhaul_latency * jitter(),
+            bandwidth=longhaul_bandwidth * jitter()))
+    return WanTopology(sites=sites, links=tuple(links), regions=regions)
+
+
+__all__ = ["REFERENCE_BYTES", "WanLink", "WanTopology", "clustered_wan"]

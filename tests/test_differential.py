@@ -17,7 +17,11 @@ Coverage axes:
   Theorem 1 synchronization must not care who answers first);
 * with and without the sub-aggregate cache (cold + warm runs must
   both match the oracle);
-* with and without group-reduction optimizations.
+* with and without group-reduction optimizations;
+* flat star vs link-aware aggregation trees (``repro.topology``) —
+  random WAN shapes and fanouts in-process, plus pooled thread/process
+  tree engines; interior-node merges at any depth must stay
+  bit-identical (Theorem 1's associativity, exercised for real).
 
 Example counts scale with ``REPRO_DIFFERENTIAL_EXAMPLES`` (default 25
 per test for tier-1 speed; CI and ``make test-differential`` run the
@@ -46,6 +50,7 @@ from repro.relational.expressions import b, r
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.types import DataType
+from repro.topology import TreeEngine, clustered_wan
 
 #: examples per hypothesis test (CI cranks this to 200).
 EXAMPLES = int(os.environ.get("REPRO_DIFFERENTIAL_EXAMPLES", "25"))
@@ -195,6 +200,24 @@ def process_engine(flow_detail):
         yield engine
 
 
+def _pooled_tree_engine(detail: Relation, transport: str) -> TreeEngine:
+    partitions = partition_round_robin(detail, 4)
+    return TreeEngine(partitions, wan=clustered_wan(4, seed=active_seed(9)),
+                      fanout=2, transport=transport, cache=True)
+
+
+@pytest.fixture(scope="module")
+def tree_thread_engine(flow_detail):
+    with _pooled_tree_engine(flow_detail, "thread") as engine:
+        yield engine
+
+
+@pytest.fixture(scope="module")
+def tree_process_engine(flow_detail):
+    with _pooled_tree_engine(flow_detail, "process") as engine:
+        yield engine
+
+
 # ---------------------------------------------------------------------------
 # The differential tests
 # ---------------------------------------------------------------------------
@@ -272,3 +295,46 @@ class TestProcessDifferential(PooledDifferentialMixin):
     @given(data=st.data())
     def test_matches_oracle(self, process_engine, data):
         self.run_case(process_engine, data)
+
+
+class TestTreeDifferential:
+    """Aggregation trees vs the oracle: fresh WAN shape per example."""
+
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_oracle(self, data):
+        detail = data.draw(small_details())
+        expression = data.draw(synthetic_plans())
+        num_sites = data.draw(st.integers(2, 6))
+        partitions = partition_round_robin(detail, num_sites)
+        wan = clustered_wan(num_sites,
+                            seed=data.draw(st.integers(0, 2**16)))
+        fanout = data.draw(st.integers(1, 3))
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        use_cache = data.draw(st.booleans())
+        reference = expression.evaluate_centralized(detail)
+        engine = TreeEngine(partitions, wan=wan, fanout=fanout,
+                            cache=use_cache)
+        result = engine.execute(expression, flags)
+        assert result.relation.multiset_equals(reference), \
+            flags.describe()
+        if use_cache:
+            warm = engine.execute(expression, flags)
+            assert warm.relation.multiset_equals(reference)
+
+
+class TestTreeThreadDifferential(PooledDifferentialMixin):
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_oracle(self, tree_thread_engine, data):
+        self.run_case(tree_thread_engine, data)
+
+
+class TestTreeProcessDifferential(PooledDifferentialMixin):
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_oracle(self, tree_process_engine, data):
+        self.run_case(tree_process_engine, data)

@@ -60,9 +60,25 @@ class TestTopology:
             TreeTopology.balanced([], fanout=2)
 
     def test_duplicate_site_detected(self):
-        topology = TreeTopology(TreeNode("root", (0, 0), ()))
+        # rejected eagerly at construction, not at validate time
         with pytest.raises(PlanError, match="more than once"):
-            topology.validate_disjoint()
+            TreeTopology(TreeNode("root", (0, 0), ()))
+
+    def test_duplicate_across_subtrees_detected(self):
+        left = TreeNode("left", (0, 1), ())
+        right = TreeNode("right", (1, 2), ())
+        with pytest.raises(PlanError, match=r"\[1\].*more than once"):
+            TreeTopology(TreeNode("root", (), (left, right)))
+
+    def test_validate_sites_unknown(self):
+        topology = TreeTopology.flat([0, 1, 7])
+        with pytest.raises(PlanError, match="unknown sites \\[7\\]"):
+            topology.validate_sites([0, 1, 2])
+
+    def test_validate_sites_orphaned(self):
+        topology = TreeTopology.flat([0, 1])
+        with pytest.raises(PlanError, match="unreachable"):
+            topology.validate_sites([0, 1, 2])
 
     def test_childless_node_rejected(self):
         with pytest.raises(PlanError, match="no children"):

@@ -1,0 +1,528 @@
+"""Tests for the link-aware aggregation-tree subsystem.
+
+Covers the three layers of ``repro.topology`` plus their integrations:
+
+* the WAN model — generator determinism, eager graph validation,
+  cheapest-parallel-link adjacency;
+* the cost-driven builder — fanout bounds, cheap-links-deep placement,
+  infeasible-fanout and bad-input :class:`PlanError`\\ s;
+* the tree executor — bit-identical results vs the centralized oracle
+  across transports and cache states, ingress/critical-path metrics,
+  aggregator kill/hang fault injection with re-parenting, subtree
+  hedging, and the flat fast path;
+* the CLI flags and the topology-sweep dispatch in
+  ``scripts/bench_compare.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.builder import QueryBuilder, agg
+from repro.errors import PlanError
+from repro.distributed.engine import SkallaEngine
+from repro.distributed.explain import explain_analyze
+from repro.distributed.faults import SlowSite
+from repro.distributed.hierarchy import TreeNode, TreeTopology
+from repro.distributed.messages import COORDINATOR
+from repro.distributed.partition import partition_round_robin
+from repro.distributed.plan import NO_OPTIMIZATIONS, OptimizationFlags
+from repro.distributed.transport import HedgePolicy
+from repro.relational.aggregates import count_star
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.topology import (
+    AggregatorFaultSpec, TreeEngine, WanLink, WanTopology, build_cost_tree,
+    clustered_wan, describe_tree, plan_cost_tree, tree_summary)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture()
+def detail():
+    return Relation.from_dicts([
+        {"g": i % 7, "v": float(i % 101), "tag": f"t{i % 11}"}
+        for i in range(700)])
+
+
+def simple_query():
+    return (QueryBuilder()
+            .base("g")
+            .gmdj([count_star("n"), agg("sum", "v", "s")], r.g == b.g)
+            .build())
+
+
+def two_round_query():
+    return (QueryBuilder()
+            .base("g")
+            .gmdj([count_star("n0"), agg("avg", "v", "m0")], r.g == b.g)
+            .gmdj([agg("max", "v", "x1")],
+                  (r.g == b.g) & (r.v <= b.m0 * 2.0))
+            .build())
+
+
+# ---------------------------------------------------------------------------
+# WAN model
+# ---------------------------------------------------------------------------
+
+class TestWanModel:
+    def test_clustered_wan_deterministic(self):
+        first = clustered_wan(32, seed=5)
+        second = clustered_wan(32, seed=5)
+        assert first.links == second.links
+        assert first.regions == second.regions
+        assert clustered_wan(32, seed=6).links != first.links
+
+    def test_clustered_wan_shape(self):
+        wan = clustered_wan(48)
+        assert wan.sites == tuple(range(48))
+        assert wan.num_regions == 3
+        # every site has a direct (long-haul or better) root link
+        for site in wan.sites:
+            assert wan.link(COORDINATOR, site) is not None
+        assert "48 sites" in wan.describe()
+
+    def test_link_endpoint_validation(self):
+        with pytest.raises(PlanError, match="distinct endpoints"):
+            WanLink(a=1, b=1)
+        with pytest.raises(PlanError, match="bandwidth"):
+            WanLink(a=0, b=1, bandwidth=0.0)
+        with pytest.raises(PlanError, match="latency"):
+            WanLink(a=0, b=1, latency=-0.1)
+        link = WanLink(a=0, b=1, latency=0.01, bandwidth=1e6)
+        assert link.other(0) == 1 and link.other(1) == 0
+        with pytest.raises(PlanError, match="not an endpoint"):
+            link.other(7)
+
+    def test_duplicate_sites_rejected(self):
+        with pytest.raises(PlanError, match="duplicate"):
+            WanTopology(sites=(0, 0),
+                        links=(WanLink(a=COORDINATOR, b=0),))
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(PlanError, match="unknown endpoint 9"):
+            WanTopology(sites=(0,), links=(WanLink(a=0, b=9),))
+
+    def test_unreachable_site_rejected(self):
+        with pytest.raises(PlanError, match=r"\[1\] are unreachable"):
+            WanTopology(sites=(0, 1),
+                        links=(WanLink(a=COORDINATOR, b=0),))
+
+    def test_cheapest_parallel_link_wins(self):
+        cheap = WanLink(a=COORDINATOR, b=0, latency=0.001, bandwidth=1e8)
+        pricey = WanLink(a=COORDINATOR, b=0, latency=0.5, bandwidth=1e5)
+        wan = WanTopology(sites=(0,), links=(pricey, cheap))
+        assert wan.link(COORDINATOR, 0) is cheap
+        assert wan.link(0, COORDINATOR) is cheap
+
+
+# ---------------------------------------------------------------------------
+# cost-driven builder
+# ---------------------------------------------------------------------------
+
+class TestBuilder:
+    def test_fanout_bound_respected(self):
+        fanout = 3
+        build = plan_cost_tree(clustered_wan(64), fanout)
+        root = build.topology.root
+        assert (len(root.site_children) + len(root.node_children)
+                <= fanout)
+        stack = list(root.node_children)
+        while stack:
+            node = stack.pop()
+            # an interior node hosts its own site plus <= fanout children
+            assert (len(node.site_children) + len(node.node_children)
+                    <= fanout + 1)
+            assert node.host in node.site_children
+            stack.extend(node.node_children)
+        assert sorted(build.topology.sites()) == list(range(64))
+
+    def test_expensive_links_avoided(self):
+        """The tree's total attach cost beats flat's all-long-haul bill."""
+        wan = clustered_wan(64)
+        build = plan_cost_tree(wan, 4)
+        flat_cost = sum(wan.link(COORDINATOR, site).cost()
+                        for site in wan.sites)
+        assert build.total_attach_cost < flat_cost / 2
+        # root slots go to direct root links (metro/gateway), never to
+        # a link as dear as the dearest long-haul
+        worst = max(build.attach_cost.values())
+        longhauls = max(wan.link(COORDINATOR, site).cost()
+                        for site in wan.sites)
+        assert worst < longhauls
+
+    def test_gateways_sit_near_root(self):
+        """Each non-metro region attaches through its gateway uplink."""
+        wan = clustered_wan(64)  # 4 regions, gateways 16/32/48
+        build = plan_cost_tree(wan, 4)
+        roots = {site for site, parent in build.parent.items()
+                 if parent == COORDINATOR}
+        assert {16, 32, 48} <= roots
+
+    def test_fanout_below_one_rejected(self):
+        with pytest.raises(PlanError, match="at least 1"):
+            plan_cost_tree(clustered_wan(8), 0)
+
+    def test_infeasible_fanout_rejected(self):
+        # 4 regions need >= 1 metro + 3 gateway attachments somewhere,
+        # but fanout 2 fills every candidate parent first.
+        with pytest.raises(PlanError, match="cannot attach sites"):
+            plan_cost_tree(clustered_wan(64), 2)
+
+    def test_summary_and_describe(self):
+        topology = build_cost_tree(clustered_wan(24), 4)
+        summary = tree_summary(topology)
+        assert "sites=24" in summary and "depth=" in summary
+        rendered = describe_tree(topology)
+        assert rendered.splitlines()[0] == summary
+        assert "root" in rendered and "host=site" in rendered
+        truncated = describe_tree(topology, max_lines=3)
+        assert "truncated" in truncated
+
+
+# ---------------------------------------------------------------------------
+# tree execution: correctness
+# ---------------------------------------------------------------------------
+
+class TestTreeExecution:
+    @pytest.mark.parametrize("transport", ["inprocess", "thread",
+                                           "process"])
+    def test_matches_oracle_across_transports(self, detail, transport):
+        query = two_round_query()
+        reference = query.evaluate_centralized(detail)
+        partitions = partition_round_robin(detail, 6)
+        engine = TreeEngine(partitions, wan=clustered_wan(6, seed=3),
+                            fanout=2, transport=transport)
+        try:
+            result = engine.execute(query, OptimizationFlags.all())
+        finally:
+            engine.close()
+        assert result.relation.multiset_equals(reference)
+        assert result.metrics.topology == "tree"
+
+    def test_warm_cache_matches_oracle(self, detail):
+        query = simple_query()
+        reference = query.evaluate_centralized(detail)
+        partitions = partition_round_robin(detail, 6)
+        engine = TreeEngine(partitions, wan=clustered_wan(6, seed=3),
+                            fanout=2, cache=True)
+        for __ in range(3):  # cold + converging warm runs
+            result = engine.execute(query, NO_OPTIMIZATIONS)
+            assert result.relation.multiset_equals(reference)
+
+    def test_flat_topology_is_fast_path(self, detail):
+        """A flat TreeEngine dispatches like the star engine."""
+        query = simple_query()
+        partitions = partition_round_robin(detail, 4)
+        engine = TreeEngine(partitions,
+                            topology=TreeTopology.flat(range(4)))
+        result = engine.execute(query, NO_OPTIMIZATIONS)
+        flat = SkallaEngine(partitions).execute(query, NO_OPTIMIZATIONS)
+        assert result.relation.multiset_equals(flat.relation)
+        dispatches = {phase.dispatch for phase in result.metrics.phases
+                      if phase.dispatch}
+        assert "tree-scatter" not in dispatches
+
+    def test_streaming_unsupported(self, detail):
+        engine = TreeEngine(partition_round_robin(detail, 4), fanout=2)
+        with pytest.raises(PlanError, match="streaming"):
+            engine.execute(simple_query(), NO_OPTIMIZATIONS,
+                           streaming=True)
+
+    def test_from_engine_matches_original(self, detail):
+        query = simple_query()
+        flat_engine = SkallaEngine(partition_round_robin(detail, 6))
+        reference = flat_engine.execute(query, NO_OPTIMIZATIONS)
+        tree = TreeEngine.from_engine(flat_engine,
+                                      wan=clustered_wan(6, seed=1),
+                                      fanout=2)
+        result = tree.execute(query, NO_OPTIMIZATIONS)
+        assert result.relation.multiset_equals(reference.relation)
+
+    def test_wan_missing_sites_rejected(self, detail):
+        with pytest.raises(PlanError, match="lacks sites"):
+            TreeEngine(partition_round_robin(detail, 6),
+                       topology=TreeTopology.flat(range(6)),
+                       wan=clustered_wan(3))
+
+    def test_fanout_below_one_rejected(self, detail):
+        with pytest.raises(PlanError, match="at least 1"):
+            TreeEngine(partition_round_robin(detail, 4), fanout=0)
+
+
+# ---------------------------------------------------------------------------
+# tree execution: metrics and explain
+# ---------------------------------------------------------------------------
+
+class TestTreeMetrics:
+    def run_tree(self, detail, **kwargs):
+        partitions = partition_round_robin(detail, 8)
+        engine = TreeEngine(partitions, wan=clustered_wan(8, seed=2),
+                            fanout=2, **kwargs)
+        try:
+            return engine.execute(simple_query(), NO_OPTIMIZATIONS)
+        finally:
+            engine.close()
+
+    def test_ingress_accounting(self, detail):
+        metrics = self.run_tree(detail).metrics
+        assert metrics.root_ingress_bytes > 0
+        # the tree's whole point: the root hears less than flat would
+        assert metrics.flat_ingress_bytes > metrics.root_ingress_bytes
+        assert metrics.ingress_reduction_ratio > 1.0
+        # root ingress IS the to-coordinator traffic under a tree
+        assert metrics.root_ingress_bytes == metrics.bytes_to_coordinator
+        assert metrics.tree_level_seconds  # per-level critical path
+        assert 0 in metrics.tree_level_seconds
+        assert "depth=" in metrics.tree_shape
+
+    def test_summary_exports_tree_fields(self, detail):
+        summary = self.run_tree(detail).metrics.summary()
+        assert summary["topology"] == "tree"
+        assert summary["root_ingress_bytes"] > 0
+        assert summary["ingress_reduction_ratio"] > 1.0
+
+    def test_explain_analyze_renders_tree_section(self, detail):
+        text = explain_analyze(self.run_tree(detail))
+        assert "aggregation tree:" in text
+        assert "root ingress" in text
+        assert "flat would pay" in text
+        assert "level critical" in text
+
+
+# ---------------------------------------------------------------------------
+# aggregator faults: kill, hang, re-parenting
+# ---------------------------------------------------------------------------
+
+def chain_topology() -> TreeTopology:
+    """root <- agg@1 <- agg@3 over sites 0..4 (depth 3)."""
+    inner = TreeNode("agg@3", (3, 4), (), host=3)
+    mid = TreeNode("agg@1", (1, 2), (inner,), host=1)
+    return TreeTopology(TreeNode("root", (0,), (mid,)))
+
+
+class TestAggregatorFaults:
+    def run_faulted(self, detail, node_id, spec):
+        partitions = partition_round_robin(detail, 5)
+        engine = TreeEngine(partitions, topology=chain_topology(),
+                            aggregator_faults={node_id: spec},
+                            aggregator_deadline=0.05)
+        try:
+            return engine.execute(simple_query(), NO_OPTIMIZATIONS)
+        finally:
+            engine.close()
+
+    def reference(self, detail):
+        return simple_query().evaluate_centralized(detail)
+
+    def test_killed_interior_reparents_to_grandparent(self, detail):
+        result = self.run_faulted(
+            detail, "agg@3",
+            AggregatorFaultSpec(kill_on_merge=0, repeat=True))
+        assert result.relation.multiset_equals(self.reference(detail))
+        metrics = result.metrics
+        assert metrics.aggregator_failures >= 1
+        assert metrics.reparented_subtrees >= 1
+        # grandparent agg@1 absorbed the orphans: no flat fallback
+        assert metrics.flat_fallbacks == 0
+
+    def test_killed_root_child_degrades_to_flat(self, detail):
+        result = self.run_faulted(
+            detail, "agg@1",
+            AggregatorFaultSpec(kill_on_merge=0, repeat=True))
+        assert result.relation.multiset_equals(self.reference(detail))
+        assert result.metrics.flat_fallbacks >= 1
+
+    def test_hang_past_deadline_is_a_failure(self, detail):
+        result = self.run_faulted(
+            detail, "agg@3",
+            AggregatorFaultSpec(hang_on_merge=0, hang_seconds=5.0,
+                                repeat=True))
+        assert result.relation.multiset_equals(self.reference(detail))
+        assert result.metrics.aggregator_failures >= 1
+        # the parent waited out the deadline before re-parenting
+        assert result.metrics.response_seconds >= 0.05
+
+    def test_short_hang_is_tolerated(self, detail):
+        result = self.run_faulted(
+            detail, "agg@3",
+            AggregatorFaultSpec(hang_on_merge=0, hang_seconds=0.01,
+                                repeat=True))
+        assert result.relation.multiset_equals(self.reference(detail))
+        assert result.metrics.aggregator_failures == 0
+        assert result.metrics.reparented_subtrees == 0
+
+    def test_single_kill_without_repeat(self, detail):
+        spec = AggregatorFaultSpec(kill_on_merge=0)
+        assert spec.triggers(0, 0) and not spec.triggers(0, 1)
+        assert not spec.triggers(None, 0)
+        result = self.run_faulted(detail, "agg@3", spec)
+        assert result.relation.multiset_equals(self.reference(detail))
+        assert result.metrics.aggregator_failures == 1
+
+    def test_inject_and_clear(self, detail):
+        partitions = partition_round_robin(detail, 5)
+        engine = TreeEngine(partitions, topology=chain_topology())
+        engine.inject_aggregator_fault(
+            "agg@3", AggregatorFaultSpec(kill_on_merge=0, repeat=True))
+        faulted = engine.execute(simple_query(), NO_OPTIMIZATIONS)
+        assert faulted.metrics.aggregator_failures >= 1
+        engine.clear_aggregator_faults()
+        clean = engine.execute(simple_query(), NO_OPTIMIZATIONS)
+        assert clean.metrics.aggregator_failures == 0
+        assert clean.relation.multiset_equals(self.reference(detail))
+
+
+# ---------------------------------------------------------------------------
+# subtree hedging
+# ---------------------------------------------------------------------------
+
+def star_of_pairs(num_pairs: int) -> TreeTopology:
+    nodes = tuple(
+        TreeNode(f"agg@{2 * i}", (2 * i, 2 * i + 1), (), host=2 * i)
+        for i in range(num_pairs))
+    return TreeTopology(TreeNode("root", (), nodes))
+
+
+class TestSubtreeHedging:
+    def test_slow_branch_is_hedged(self, detail):
+        query = simple_query()
+        reference = query.evaluate_centralized(detail)
+        partitions = partition_round_robin(detail, 8)
+        engine = TreeEngine(
+            partitions, topology=star_of_pairs(4), transport="thread",
+            hedge=HedgePolicy(multiplier=1.25, min_seconds=0.02))
+        # only the first call sleeps: the hedged duplicate is fast
+        engine.sites[7] = SlowSite(7, partitions[7],
+                                   delay_seconds=0.4, slow_calls=1)
+        try:
+            result = engine.execute(query, NO_OPTIMIZATIONS)
+        finally:
+            engine.close()
+        assert result.relation.multiset_equals(reference)
+        assert result.metrics.hedges_issued >= 1
+        assert result.metrics.hedges_won >= 1
+
+    def test_no_hedge_when_disabled(self, detail):
+        partitions = partition_round_robin(detail, 8)
+        engine = TreeEngine(partitions, topology=star_of_pairs(4),
+                            transport="thread", hedge=False)
+        try:
+            result = engine.execute(simple_query(), NO_OPTIMIZATIONS)
+        finally:
+            engine.close()
+        assert result.metrics.hedges_issued == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def flow_dir(tmp_path):
+    path = tmp_path / "fw"
+    code = main(["generate", "flows", "--flows", "2000", "--routers", "6",
+                 "--source-as", "12", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestCli:
+    SQL = ("SELECT SourceAS, COUNT(*) AS n, SUM(NumBytes) AS s "
+           "FROM Flow GROUP BY SourceAS")
+
+    def test_query_tree_topology(self, flow_dir, capsys):
+        assert main(["query", str(flow_dir), self.SQL,
+                     "--topology", "tree", "--fanout", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tree: depth=" in out
+        assert "root ingress" in out
+
+    def test_query_tree_matches_flat(self, flow_dir, capsys):
+        assert main(["query", str(flow_dir), self.SQL]) == 0
+        flat_out = capsys.readouterr().out
+        assert main(["query", str(flow_dir), self.SQL,
+                     "--topology", "tree", "--fanout", "2"]) == 0
+        tree_out = capsys.readouterr().out
+        # identical result tables (everything up to the blank line
+        # before the metrics footer)
+        table = flat_out.split("\n\n")[0]
+        assert table in tree_out
+
+    def test_query_tree_explain(self, flow_dir, capsys):
+        assert main(["query", str(flow_dir), self.SQL, "--explain",
+                     "--topology", "tree", "--fanout", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregation tree:" in out
+        assert "flat would pay" in out
+
+    def test_explain_tree_shape(self, flow_dir, capsys):
+        assert main(["explain", str(flow_dir), self.SQL,
+                     "--topology", "tree", "--fanout", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregation tree:" in out
+        assert "WAN: 6 sites" in out
+        assert "host=site" in out
+
+    def test_bad_fanout_is_domain_error(self, flow_dir, capsys):
+        assert main(["query", str(flow_dir), self.SQL,
+                     "--topology", "tree", "--fanout", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# bench_compare topology dispatch
+# ---------------------------------------------------------------------------
+
+def _load_bench_compare():
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", REPO_ROOT / "scripts" / "bench_compare.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _sweep_report(speedup=1.5, ratio=3.0, identical=True):
+    return {
+        "kind": "topology-sweep",
+        "fanout": 4,
+        "sweep": [
+            {"sites": 8, "tree_speedup": 1.1, "ingress_ratio": 1.2,
+             "identical": True},
+            {"sites": 64, "tree_speedup": speedup,
+             "ingress_ratio": ratio, "identical": identical},
+        ],
+    }
+
+
+class TestBenchCompareTopology:
+    def test_pass_within_ratio(self):
+        module = _load_bench_compare()
+        assert module.compare(_sweep_report(), _sweep_report()) == []
+
+    def test_speedup_regression_fails(self):
+        module = _load_bench_compare()
+        problems = module.compare(_sweep_report(speedup=4.0),
+                                  _sweep_report(speedup=1.2),
+                                  max_ratio=2.0)
+        assert any("tree_speedup regressed" in p for p in problems)
+
+    def test_mismatch_fails_unconditionally(self):
+        module = _load_bench_compare()
+        problems = module.compare(_sweep_report(),
+                                  _sweep_report(identical=False))
+        assert any("not identical" in p for p in problems)
+
+    def test_missing_entry_fails(self):
+        module = _load_bench_compare()
+        fresh = _sweep_report()
+        fresh["sweep"] = fresh["sweep"][:1]
+        problems = module.compare(_sweep_report(), fresh)
+        assert problems == []  # smoke runs may cover fewer site counts
+        # but a fresh site count missing from the BASELINE is flagged
+        problems = module.compare(fresh, _sweep_report())
+        assert any("no baseline entry" in p for p in problems)
