@@ -1,7 +1,8 @@
 # Convenience targets; `make ci` runs exactly what GitHub Actions runs.
 
 .PHONY: ci lint test coverage test-differential bench bench-cache \
-	bench-parallel bench-sketches bench-service bench-topology
+	bench-parallel bench-sketches bench-service bench-topology \
+	bench-skew
 
 ci:
 	sh scripts/ci.sh all
@@ -52,3 +53,10 @@ bench-service:
 #   PYTHONPATH=src python benchmarks/bench_ext_topology.py
 bench-topology:
 	sh scripts/ci.sh bench-topology
+
+# The skew-mitigation gate: smoke-scale hedging-only vs skew-split Zipf
+# sweep plus baseline comparison, exactly as the skew CI job runs it.
+# To refresh the committed baseline (benchmarks/results/ext_skew.json):
+#   PYTHONPATH=src python benchmarks/bench_ext_skew.py
+bench-skew:
+	sh scripts/ci.sh bench-skew

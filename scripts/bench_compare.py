@@ -12,7 +12,11 @@ Two report shapes are understood, dispatched on the ``kind`` field:
 * ``topology-sweep`` reports (``bench_ext_topology.py``): entries are
   aligned by site count, the fresh ``tree_speedup`` / ``ingress_ratio``
   may be at most R x below the baseline's, and tree-vs-flat result
-  identity is asserted unconditionally.
+  identity is asserted unconditionally;
+* ``skew-sweep`` reports (``bench_ext_skew.py``): entries are aligned
+  by Zipf exponent, the fresh ``speedup`` may be at most R x below the
+  baseline's, split-vs-unsplit result identity and a non-zero split
+  count are asserted unconditionally.
 
 Absolute latencies vary across machines, so the threshold is a loose
 2x by design — the gate exists to catch algorithmic regressions (a lost
@@ -76,11 +80,50 @@ def _compare_topology(baseline: dict, fresh: dict,
     return problems
 
 
+def _compare_skew(baseline: dict, fresh: dict,
+                  max_ratio: float) -> list[str]:
+    """Gate a skew-sweep report: splits must fire, results must match.
+
+    A smoke run may sweep fewer Zipf exponents than the committed
+    baseline (extra baseline entries are fine); every fresh entry must
+    have a baseline counterpart to compare against.
+    """
+    problems = []
+    by_zipf = {entry.get("s"): entry
+               for entry in baseline.get("sweep", [])}
+    for entry in fresh.get("sweep", []):
+        zipf = entry.get("s")
+        label = f"zipf={zipf}"
+        if not entry.get("identical", False):
+            problems.append(
+                f"{label}: split and unsplit results are not identical")
+        if not entry.get("skew_split", {}).get("skew_splits"):
+            problems.append(
+                f"{label}: no skew splits fired on a skewed workload")
+        base = by_zipf.get(zipf)
+        if base is None:
+            problems.append(
+                f"{label}: no baseline entry for this exponent")
+            continue
+        base_value = base.get("speedup", 0)
+        new_value = entry.get("speedup", 0)
+        if (base_value > 0 and new_value > 0
+                and base_value > max_ratio * new_value):
+            problems.append(
+                f"{label}: speedup regressed "
+                f"{base_value / new_value:.2f}x "
+                f"({base_value:.2f} -> {new_value:.2f}, "
+                f"limit {max_ratio:.1f}x)")
+    return problems
+
+
 def compare(baseline: dict, fresh: dict,
             max_ratio: float = DEFAULT_MAX_RATIO) -> list[str]:
     """Return the list of violations (empty means the gate passes)."""
     if "topology-sweep" in (baseline.get("kind"), fresh.get("kind")):
         return _compare_topology(baseline, fresh, max_ratio)
+    if "skew-sweep" in (baseline.get("kind"), fresh.get("kind")):
+        return _compare_skew(baseline, fresh, max_ratio)
     problems = []
     for window in ("cold", "warm"):
         base, new = baseline.get(window), fresh.get(window)
@@ -129,6 +172,16 @@ def main(argv=None) -> int:
                   f"{entry.get('tree_speedup', 0):5.2f}x | ingress "
                   f"{base.get('ingress_ratio', 0):5.2f}x -> "
                   f"{entry.get('ingress_ratio', 0):5.2f}x")
+    elif "skew-sweep" in (baseline.get("kind"), fresh.get("kind")):
+        by_zipf = {entry.get("s"): entry
+                   for entry in baseline.get("sweep", [])}
+        for entry in fresh.get("sweep", []):
+            base = by_zipf.get(entry.get("s"), {})
+            print(f"zipf={entry.get('s'):<4}: speedup "
+                  f"{base.get('speedup', 0):5.2f}x -> "
+                  f"{entry.get('speedup', 0):5.2f}x | splits "
+                  f"{base.get('skew_split', {}).get('skew_splits', 0)} -> "
+                  f"{entry.get('skew_split', {}).get('skew_splits', 0)}")
     else:
         for window in ("cold", "warm"):
             base, new = baseline.get(window, {}), fresh.get(window, {})

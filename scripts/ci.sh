@@ -28,9 +28,15 @@
 #                               identical and faster/leaner than flat
 #                               at >= 64 sites, then compared against
 #                               the committed baseline
+#   scripts/ci.sh bench-skew    the skew-mitigation gate: the
+#                               hedging-only vs skew-split Zipf sweep
+#                               (bit-reproducible, modeled), asserted
+#                               bit-identical and >= 1.5x faster at
+#                               Zipf(1.5), then compared against the
+#                               committed baseline
 #   scripts/ci.sh all           lint + test + differential + bench +
-#                               bench-service + bench-topology (the
-#                               default)
+#                               bench-service + bench-topology +
+#                               bench-skew (the default)
 #
 # Exit code: non-zero as soon as any stage fails.
 
@@ -135,6 +141,22 @@ bench_topology() {
         benchmarks/results/ext_topology_ci.json
 }
 
+# The skew-mitigation gate (tentpole of the skew PR): sweep the smoke
+# Zipf exponents of the hedging-only vs skew-split benchmark (modeled,
+# so the numbers are bit-reproducible), assert split results identical
+# to unsplit and >= 1.5x faster at Zipf(1.5), then diff against the
+# committed baseline.  The fresh JSON is left at
+# benchmarks/results/ext_skew_ci.json for artifact upload.
+bench_skew() {
+    echo "== bench-skew: skew-mitigation gate =="
+    "$PYTHON" benchmarks/bench_ext_skew.py --smoke \
+        --json benchmarks/results/ext_skew_ci.json
+    echo "== bench-skew: compare against committed baseline =="
+    "$PYTHON" scripts/bench_compare.py \
+        benchmarks/results/ext_skew.json \
+        benchmarks/results/ext_skew_ci.json
+}
+
 stage=${1:-all}
 case "$stage" in
     lint)           lint ;;
@@ -144,9 +166,10 @@ case "$stage" in
     bench)          bench ;;
     bench-service)  bench_service ;;
     bench-topology) bench_topology ;;
+    bench-skew)     bench_skew ;;
     all)            lint; tests; differential; bench; bench_service;
-                    bench_topology ;;
+                    bench_topology; bench_skew ;;
     *)  echo "usage: scripts/ci.sh [lint|test|coverage|differential|" \
-            "bench|bench-service|bench-topology|all]" \
+            "bench|bench-service|bench-topology|bench-skew|all]" \
             >&2; exit 2 ;;
 esac

@@ -145,6 +145,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "quantile sketch scales its k to match; "
                             "default leaves each sketch at its built-in "
                             "default (P=12, k=200)")
+    query.add_argument("--skew-threshold", type=float, default=1.5,
+                       metavar="RATIO",
+                       help="predicted max/mean round-time ratio above "
+                            "which a hot fragment splits across virtual "
+                            "sub-sites (default 1.5; heavy-hitter keys "
+                            "are spread by a Misra-Gries sketch)")
+    query.add_argument("--no-skew-split", action="store_true",
+                       help="disable skew-aware virtual-site splitting "
+                            "(hedging alone handles stragglers)")
     _add_topology_arguments(query)
 
     explain = commands.add_parser(
@@ -283,6 +292,9 @@ def _cmd_query(args) -> int:
                              hedge=args.hedge)
     if args.cache:
         engine.enable_cache(budget_mb=args.cache_budget_mb)
+    if not args.no_skew_split:
+        from repro.skew import SkewPolicy
+        engine.enable_skew(SkewPolicy(threshold=args.skew_threshold))
     compiled = compile_query(args.sql, engine.detail_schema,
                              sketch_precision=args.sketch_precision)
     expression = compiled.expression
@@ -330,6 +342,11 @@ def _cmd_query(args) -> int:
                   f"aggregator failure(s), "
                   f"{metrics.reparented_subtrees} re-parented, "
                   f"{metrics.flat_fallbacks} flat fallback(s)")
+    if metrics.skew_splits:
+        print(f"skew: {metrics.skew_splits} split(s) across "
+              f"{metrics.virtual_sites} virtual scan(s); "
+              f"{metrics.heavy_hitter_keys} heavy-hitter key(s); "
+              f"{metrics.rebalanced_bytes:,} bytes rebalanced")
     if metrics.cache_enabled:
         print(f"cache: {metrics.cache_hits} hit(s), "
               f"{metrics.cache_misses} miss(es), "

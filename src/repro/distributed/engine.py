@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 from repro.errors import PartitionError, PlanError, SchemaError
@@ -62,6 +62,7 @@ from repro.distributed.site import SkallaSite
 from repro.distributed.transport import (
     DEFAULT_TRANSPORT, RetryPolicy, SiteRequest, SiteResponse, Transport,
     create_transport)
+from repro.skew import SiteView, SkewPlanner, SkewPolicy, is_virtual
 
 
 @dataclass
@@ -104,7 +105,8 @@ class SkallaEngine:
                  cache: "bool | SubAggregateCache" = False,
                  cache_budget_mb: float = 64.0,
                  max_inflight: int | None = None,
-                 hedge: "bool | object" = True):
+                 hedge: "bool | object" = True,
+                 skew: "bool | SkewPolicy | SkewPlanner" = False):
         if not partitions:
             raise PlanError("a warehouse needs at least one site")
         schemas = {fragment.schema for fragment in partitions.values()}
@@ -114,6 +116,10 @@ class SkallaEngine:
         self.sites = {site_id: SkallaSite(site_id, fragment,
                                           slowdowns.get(site_id, 1.0))
                       for site_id, fragment in partitions.items()}
+        #: live virtual-site registry (sub-fragments of split hot sites);
+        #: transports see it layered over the physical sites via SiteView.
+        self.virtual_sites: dict[SiteId, SkallaSite] = {}
+        self._site_view = SiteView(self.sites, self.virtual_sites)
         self.detail_schema = next(iter(schemas))
         self.info = info
         self.link = link or LinkModel()
@@ -155,6 +161,14 @@ class SkallaEngine:
             self._cache = cache
         elif cache:
             self.enable_cache(budget_mb=cache_budget_mb)
+        #: optional skew planner (``None`` = never split hot fragments).
+        self._skew_planner: SkewPlanner | None = None
+        if isinstance(skew, SkewPlanner):
+            self._skew_planner = skew
+        elif isinstance(skew, SkewPolicy):
+            self._skew_planner = SkewPlanner(skew)
+        elif skew:
+            self._skew_planner = SkewPlanner()
         if info is not None and verify_info:
             info.verify(partitions)
 
@@ -189,6 +203,32 @@ class SkallaEngine:
         """Detach (and drop) the sub-aggregate cache."""
         self._cache = None
 
+    # -- skew mitigation ---------------------------------------------------------
+
+    @property
+    def skew_planner(self) -> SkewPlanner | None:
+        """The skew planner, or ``None`` when splitting is off."""
+        return self._skew_planner
+
+    @property
+    def skew_enabled(self) -> bool:
+        return self._skew_planner is not None
+
+    def enable_skew(self, policy: SkewPolicy | None = None) -> SkewPlanner:
+        """Attach a skew planner (idempotent unless a policy is given)."""
+        if self._skew_planner is None or policy is not None:
+            self._skew_planner = SkewPlanner(policy)
+        return self._skew_planner
+
+    def disable_skew(self) -> None:
+        """Detach the planner and drop every installed split."""
+        if self.virtual_sites:
+            dead = list(self.virtual_sites)
+            self.virtual_sites.clear()
+            if self._transport is not None:
+                self._transport.invalidate(dead)
+        self._skew_planner = None
+
     # -- transport lifecycle -----------------------------------------------------
 
     @property
@@ -197,13 +237,18 @@ class SkallaEngine:
         if self._transport is None:
             spec = self._transport_spec
             if isinstance(spec, Transport):
+                if spec.sites is self.sites:
+                    # adopt the engine's live view so virtual sub-sites
+                    # resolve (iteration still yields physical ids only)
+                    spec.sites = self._site_view
                 self._transport = spec
             else:
                 options = dict(self._transport_options)
                 options.setdefault("max_inflight", self.max_inflight)
                 options.setdefault("hedge", self.hedge)
                 self._transport = create_transport(
-                    spec, self.sites, retry=self.retry_policy, **options)
+                    spec, self._site_view, retry=self.retry_policy,
+                    **options)
         return self._transport
 
     @property
@@ -267,10 +312,18 @@ class SkallaEngine:
         # cached sub-results can be upgraded instead of recomputed.
         if self._cache is not None:
             self._cache.on_append(site_id, rows)
+        # An installed skew split was computed from the pre-append
+        # fragment: drop it (and its virtual sub-sites) so the next
+        # round re-splits from the current rows.
+        stale_virtual: list[SiteId] = []
+        if self._skew_planner is not None:
+            stale_virtual = self._skew_planner.invalidate(site_id)
+            for virtual_id in stale_virtual:
+                self.virtual_sites.pop(virtual_id, None)
         # Backends that snapshot fragments (worker processes) must
-        # refresh — but only the appended site's worker, not the pool.
+        # refresh — but only the appended site's workers, not the pool.
         if self._transport is not None:
-            self._transport.invalidate([site_id])
+            self._transport.invalidate([site_id, *stale_virtual])
 
     def total_detail_relation(self,
                               sites: Sequence[SiteId] | None = None) -> Relation:
@@ -652,7 +705,7 @@ class SkallaEngine:
                 try:
                     outputs = self._run_on_sites(
                         metrics, phase, network, leaders,
-                        base_rows=base_rows)
+                        base_rows=base_rows, key=key)
                 except BaseException as error:
                     # followers must not inherit an error this engine's
                     # retry budget already failed to absorb — they fall
@@ -666,7 +719,7 @@ class SkallaEngine:
             phase.site_scans += len(leaders)
         elif misses:
             outputs = self._run_on_sites(metrics, phase, network, misses,
-                                         base_rows=base_rows)
+                                         base_rows=base_rows, key=key)
             phase.site_scans += len(misses)
         responses: dict[SiteId, SiteResponse] = {}
         for request in requests:
@@ -738,7 +791,8 @@ class SkallaEngine:
                 # demoted at gather time: the pre-scatter dispatch did
                 # not cover this site, so ask the transport now
                 late = self._run_on_sites(metrics, phase, network,
-                                          [request], base_rows=base_rows)
+                                          [request], base_rows=base_rows,
+                                          key=key)
                 phase.site_scans += 1
                 response = late[site_id]
             if decision is not None:
@@ -784,7 +838,9 @@ class SkallaEngine:
     def _run_on_sites(self, metrics: QueryMetrics, phase: PhaseMetrics,
                       network: SimulatedNetwork,
                       requests: Sequence[SiteRequest],
-                      base_rows: int) -> dict[SiteId, SiteResponse]:
+                      base_rows: int,
+                      key: Sequence[str] = (),
+                      ) -> dict[SiteId, SiteResponse]:
         """Execute one round of site requests through the transport.
 
         The transport owns parallelism and robustness (retries with
@@ -795,9 +851,18 @@ class SkallaEngine:
         attached, each site's reported compute seconds are replaced by
         the model's prediction, scaled by the site's slowdown.
 
+        With a skew planner attached, hot sites' requests are expanded
+        into virtual sub-site requests *here* — below the cache and the
+        scan registry, so fingerprints, stored entries, and shared
+        responses only ever see merged per-physical-site relations —
+        and the sub-responses are merged back (Theorem 1) before the
+        round's outputs reach synchronization.
+
         Retry accounting is aggregated here, on the engine's thread,
         after the round completes — no cross-engine lock involved.
         """
+        requests, expansion, originals = self._expand_skewed(
+            phase, requests, key)
         outputs, stats = self._dispatch_round(requests)
         round_bytes = 0
         max_wall = 0.0
@@ -824,11 +889,134 @@ class SkallaEngine:
         phase.real_bytes += round_bytes
         network.note_real_transfer(round_bytes, round_wall)
         if self.compute_model is not None:
+            # Virtual responses are costed from their *sub-fragment*
+            # rows — the modeled win of splitting a hot fragment.
             for site_id, response in outputs.items():
-                site = self.sites[site_id]
+                site = self._site_for(site_id)
                 response.compute_seconds = self.compute_model.seconds(
                     site.fragment.num_rows, base_rows) * site.slowdown
+        if self._skew_planner is not None:
+            for site_id, response in outputs.items():
+                self._skew_planner.observe(
+                    site_id, response.compute_seconds,
+                    self._site_for(site_id).fragment.num_rows)
+        if expansion:
+            outputs = self._merge_virtual(outputs, expansion, originals,
+                                          key, phase)
         return outputs
+
+    # -- skew mitigation internals ------------------------------------------------
+
+    def _site_for(self, site_id: SiteId) -> SkallaSite:
+        """Virtual-aware site lookup (virtual registry first)."""
+        virtual = self.virtual_sites.get(site_id)
+        return virtual if virtual is not None else self.sites[site_id]
+
+    def _expand_skewed(self, phase: PhaseMetrics,
+                       requests: Sequence[SiteRequest],
+                       key: Sequence[str],
+                       ) -> "tuple[list[SiteRequest], dict[SiteId, list[SiteId]], dict[SiteId, SiteRequest]]":
+        """Fan hot sites' requests out across virtual sub-sites.
+
+        Returns the (possibly expanded) request list, the parent →
+        virtual-id expansion map, and the original request per expanded
+        parent.  A request is eligible only when
+
+        * its site is a plain physical site (sentinels and virtual ids
+          never split), and
+        * it is a base round or a **single**-GMDJ step — Theorem-5
+          fused steps finalize aggregates locally *between* GMDJs, so
+          row-splitting a fragment would feed later GMDJs partial
+          values (same carve-out as the cache's delta path).
+
+        Splitting stays behind the planner's threshold decision: with a
+        balanced cluster nothing expands and the round is untouched.
+        """
+        planner = self._skew_planner
+        if planner is None or len(requests) < 2:
+            return list(requests), {}, {}
+        candidates: dict[SiteId, int] = {}
+        for request in requests:
+            site_id = request.site_id
+            if site_id < 0 or is_virtual(site_id):
+                continue
+            if (request.kind == "step" and request.step is not None
+                    and len(request.step.gmdjs) > 1):
+                continue
+            site = self.sites.get(site_id)
+            if site is not None:
+                candidates[site_id] = site.fragment.num_rows
+        decisions = planner.plan_round(candidates)
+        expanded: list[SiteRequest] = []
+        expansion: dict[SiteId, list[SiteId]] = {}
+        originals: dict[SiteId, SiteRequest] = {}
+        for request in requests:
+            site_id = request.site_id
+            parts = decisions.get(site_id)
+            split = None
+            if site_id in candidates:
+                # an installed split outlives its triggering round (so
+                # step rounds reuse round 0's layout and process workers
+                # stay warm) as long as the fragment is unchanged
+                split = planner.current_split(site_id)
+                if (split is not None and split.fragment
+                        is not self.sites[site_id].fragment):
+                    split = None
+            if parts is None and split is None:
+                expanded.append(request)
+                continue
+            split = planner.split_for(site_id, self.sites[site_id], key,
+                                      parts or 2)
+            self.virtual_sites.update(split.sites)
+            expansion[site_id] = list(split.sites)
+            originals[site_id] = request
+            expanded.extend(replace(request, site_id=virtual_id)
+                            for virtual_id in split.sites)
+            phase.skew_splits += 1
+            phase.virtual_sites += split.parts
+            phase.heavy_hitter_keys += split.heavy_keys
+        return expanded, expansion, originals
+
+    def _merge_virtual(self, outputs: dict[SiteId, SiteResponse],
+                       expansion: "dict[SiteId, list[SiteId]]",
+                       originals: "dict[SiteId, SiteRequest]",
+                       key: Sequence[str],
+                       phase: PhaseMetrics) -> dict[SiteId, SiteResponse]:
+        """Merge virtual sub-responses back into per-parent responses.
+
+        Exactly the interior-aggregator merges of the tree executor
+        (Theorem 1): base sub-results concat + distinct; step sub-
+        results merge state columns by key.  Every layer above this —
+        cache population, uplink accounting, synchronization, tree
+        ascent — sees one response per physical site, as always.
+        """
+        # Imported here: hierarchy imports this module (ExecutionResult).
+        from repro.distributed.hierarchy import combine_states_by_key
+        expanded_ids = {virtual_id for virtual_ids in expansion.values()
+                        for virtual_id in virtual_ids}
+        merged: dict[SiteId, SiteResponse] = {
+            site_id: response for site_id, response in outputs.items()
+            if site_id not in expanded_ids}
+        for parent, virtual_ids in expansion.items():
+            parts = [outputs[virtual_id] for virtual_id in virtual_ids]
+            request = originals[parent]
+            relations = [part.relation for part in parts]
+            if request.kind == "base":
+                relation = Relation.concat(relations).distinct()
+            else:
+                relation = combine_states_by_key(
+                    relations, key, request.step.gmdjs, self.detail_schema)
+            part_bytes = [part.relation.wire_bytes() for part in parts]
+            phase.rebalanced_bytes += sum(part_bytes) - max(part_bytes)
+            merged[parent] = SiteResponse(
+                site_id=parent, relation=relation,
+                compute_seconds=max(p.compute_seconds for p in parts),
+                wall_seconds=max(p.wall_seconds for p in parts),
+                request_bytes=sum(p.request_bytes for p in parts),
+                response_bytes=sum(p.response_bytes for p in parts),
+                retries=sum(p.retries for p in parts),
+                respawns=sum(p.respawns for p in parts))
+        return merged
 
     def _streaming_synchronize(self, coordinator, step, sub_results,
                                site_seconds, phase) -> None:

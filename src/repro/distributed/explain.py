@@ -75,12 +75,29 @@ def explain_analyze(result: ExecutionResult) -> str:
                 f"L{level}={seconds:.4f}s"
                 for level, seconds in sorted(levels.items()))
             lines.append(f"  level critical : {per_level}")
+        level_skew = metrics.tree_level_skew
+        if level_skew:
+            per_level = ", ".join(
+                f"L{level}={ratio:.2f}x"
+                for level, ratio in sorted(level_skew.items()))
+            lines.append(f"  level skew     : {per_level} "
+                         f"(max/mean node time per level)")
         if metrics.aggregator_failures:
             lines.append(
                 f"  failures       : {metrics.aggregator_failures} "
                 f"aggregator(s) failed, "
                 f"{metrics.reparented_subtrees} subtree(s) re-parented, "
                 f"{metrics.flat_fallbacks} flat fallback(s)")
+    if metrics.skew_splits:
+        lines.append("")
+        lines.append("skew mitigation:")
+        lines.append(f"  splits         : {metrics.skew_splits} "
+                     f"(hot fragments fanned across virtual sub-sites)")
+        lines.append(f"  virtual scans  : {metrics.virtual_sites}")
+        lines.append(f"  heavy hitters  : {metrics.heavy_hitter_keys} "
+                     f"key(s) spread across sub-sites")
+        lines.append(f"  rebalanced     : {metrics.rebalanced_bytes:,} B "
+                     f"moved off split sites' critical paths")
     if metrics.cache_enabled:
         lines.append("")
         lines.append("sub-aggregate cache:")

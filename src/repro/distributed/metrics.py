@@ -94,6 +94,20 @@ class PhaseMetrics:
     #: failed subtrees that fell all the way back to flat scatter-
     #: gather at the root (last-resort degradation; results stay exact).
     flat_fallbacks: int = 0
+    #: hot physical fragments fanned out across virtual sub-sites this
+    #: round (skew mitigation; 0 without a planner or below threshold).
+    skew_splits: int = 0
+    #: virtual sub-site scans dispatched this round.
+    virtual_sites: int = 0
+    #: heavy-hitter keys the Misra-Gries sketch spread across sub-sites.
+    heavy_hitter_keys: int = 0
+    #: modeled sub-result bytes moved *off* split sites' critical paths
+    #: (sum of non-largest virtual sub-results per split parent).
+    rebalanced_bytes: int = 0
+    #: every merge node's modeled seconds per tree level (ingress +
+    #: merge), the distribution behind :attr:`tree_level_skew`.
+    tree_level_node_seconds: dict[int, list[float]] = field(
+        default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -121,6 +135,22 @@ class PhaseMetrics:
         if mean <= 0.0:
             return 1.0
         return self.critical_path_seconds / mean
+
+    @property
+    def tree_level_skew(self) -> dict[int, float]:
+        """max/mean modeled node seconds per tree level (tree rounds).
+
+        The per-level analogue of :attr:`skew_ratio`: levels whose merge
+        nodes finish at very different times leave subtrees idle just
+        like an unbalanced flat round leaves sites idle.
+        """
+        skew: dict[int, float] = {}
+        for level, seconds in self.tree_level_node_seconds.items():
+            if not seconds:
+                continue
+            mean = sum(seconds) / len(seconds)
+            skew[level] = (max(seconds) / mean) if mean > 0 else 1.0
+        return skew
 
     def as_dict(self) -> dict[str, object]:
         """JSON-ready export of this phase (modeled + real + cache)."""
@@ -159,6 +189,13 @@ class PhaseMetrics:
             "aggregator_failures": self.aggregator_failures,
             "reparented_subtrees": self.reparented_subtrees,
             "flat_fallbacks": self.flat_fallbacks,
+            "skew_splits": self.skew_splits,
+            "virtual_sites": self.virtual_sites,
+            "heavy_hitter_keys": self.heavy_hitter_keys,
+            "rebalanced_bytes": self.rebalanced_bytes,
+            "tree_level_skew": {str(level): round(ratio, 4)
+                                for level, ratio
+                                in sorted(self.tree_level_skew.items())},
         }
 
 
@@ -380,6 +417,34 @@ class QueryMetrics:
     def flat_fallbacks(self) -> int:
         return sum(phase.flat_fallbacks for phase in self.phases)
 
+    @property
+    def tree_level_skew(self) -> dict[int, float]:
+        """Worst per-round max/mean node time per tree level."""
+        levels: dict[int, float] = {}
+        for phase in self.phases:
+            for level, ratio in phase.tree_level_skew.items():
+                levels[level] = max(levels.get(level, 1.0), ratio)
+        return levels
+
+    # -- skew mitigation ----------------------------------------------------
+
+    @property
+    def skew_splits(self) -> int:
+        """Hot-fragment fan-outs across virtual sub-sites (all rounds)."""
+        return sum(phase.skew_splits for phase in self.phases)
+
+    @property
+    def virtual_sites(self) -> int:
+        return sum(phase.virtual_sites for phase in self.phases)
+
+    @property
+    def heavy_hitter_keys(self) -> int:
+        return sum(phase.heavy_hitter_keys for phase in self.phases)
+
+    @property
+    def rebalanced_bytes(self) -> int:
+        return sum(phase.rebalanced_bytes for phase in self.phases)
+
     def summary(self) -> dict[str, object]:
         """A flat dict of the headline numbers (handy for bench tables)."""
         return {
@@ -426,6 +491,13 @@ class QueryMetrics:
             "aggregator_failures": self.aggregator_failures,
             "reparented_subtrees": self.reparented_subtrees,
             "flat_fallbacks": self.flat_fallbacks,
+            "skew_splits": self.skew_splits,
+            "virtual_sites": self.virtual_sites,
+            "heavy_hitter_keys": self.heavy_hitter_keys,
+            "rebalanced_bytes": self.rebalanced_bytes,
+            "tree_level_skew": {str(level): round(ratio, 4)
+                                for level, ratio
+                                in sorted(self.tree_level_skew.items())},
         }
 
     def as_dict(self) -> dict[str, object]:

@@ -126,6 +126,13 @@ class MultiprocessTransport(Transport):
         #: to finish rather than interleave on the same pipe.
         self._pipe_locks: defaultdict[SiteId, threading.Lock] = \
             defaultdict(threading.Lock)
+        #: Serializes pipe creation + fork: a fork taken while another
+        #: spawn's child-end fd is still open in this process would
+        #: duplicate that fd into the new worker, and the duplicated
+        #: write end keeps the sibling's pipe from ever delivering EOF
+        #: when its worker dies. Scatter threads spawn lazily (virtual
+        #: sub-sites) and respawn concurrently, so the window is real.
+        self._spawn_lock = threading.Lock()
         self._fault_specs = dict(fault_specs or {})
         self._spawned_once: set[SiteId] = set()
         self._fallback: InProcessTransport | None = None
@@ -221,12 +228,13 @@ class MultiprocessTransport(Transport):
     def _spawn(self, site_id: SiteId) -> _Worker:
         site = self._site(site_id)
         try:
-            parent_end, child_end = self._context.Pipe(duplex=True)
-            process = self._context.Process(
-                target=serve, args=(child_end,), daemon=True,
-                name=f"skalla-site-{site_id}")
-            process.start()
-            child_end.close()
+            with self._spawn_lock:
+                parent_end, child_end = self._context.Pipe(duplex=True)
+                process = self._context.Process(
+                    target=serve, args=(child_end,), daemon=True,
+                    name=f"skalla-site-{site_id}")
+                process.start()
+                child_end.close()
         except (OSError, ValueError, RuntimeError) as error:
             raise TransportError(
                 f"cannot start worker for site {site_id}: {error}"

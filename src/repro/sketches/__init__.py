@@ -18,12 +18,13 @@ synchronization merges them exactly like any algebraic state column.
 
 Accuracy / space contracts (see ``docs/SKETCHES.md`` for derivations):
 
-==========================  ==========================  =================
-sketch                      standard error              state size
-==========================  ==========================  =================
-:class:`HyperLogLog` (p)    ~1.04 / sqrt(2**p) rel.     <= 2**p + 5 B
-:class:`QuantileSketch` (k) rank eps ~ O(1/k)           ~3k float64 items
-==========================  ==========================  =================
+===========================  ==========================  =================
+sketch                       standard error              state size
+===========================  ==========================  =================
+:class:`HyperLogLog` (p)     ~1.04 / sqrt(2**p) rel.     <= 2**p + 5 B
+:class:`QuantileSketch` (k)  rank eps ~ O(1/k)           ~3k float64 items
+:class:`HeavyHitterSketch`   freq. under-est <= n/(k+1)  <= k (key,count)
+===========================  ==========================  =================
 
 Both sketches hash / compact **deterministically** (no process-seeded
 randomness), so the same detail values produce bit-identical states in
@@ -33,6 +34,7 @@ every worker process, across transports, and across gather orders.
 from repro.sketches.hashing import hash64
 from repro.sketches.hll import HyperLogLog
 from repro.sketches.kll import QuantileSketch
+from repro.sketches.misra_gries import HeavyHitterSketch
 
 
 def kll_k_for_precision(precision: int) -> int:
@@ -47,5 +49,5 @@ def kll_k_for_precision(precision: int) -> int:
     return max(MIN_K, min(MAX_K, (1 << precision) // 20))
 
 
-__all__ = ["HyperLogLog", "QuantileSketch", "hash64",
+__all__ = ["HeavyHitterSketch", "HyperLogLog", "QuantileSketch", "hash64",
            "kll_k_for_precision"]

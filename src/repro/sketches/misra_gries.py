@@ -1,0 +1,201 @@
+"""Misra-Gries heavy-hitter sketch (Misra & Gries 1982; the merge rule
+of Agarwal et al. 2013's "Mergeable Summaries").
+
+State: at most ``k`` ``{key: counter}`` entries plus the total element
+count ``n`` and the total decrement mass ``d``.  Updating with a stream
+decrements *every* counter when a new key arrives at a full sketch, so
+each surviving counter **under**-estimates its key's true frequency by
+at most the decrement mass:
+
+    c(x) - error_bound() <= estimate(x) <= c(x),   error_bound() <= n/(k+1)
+
+which is exactly what the skew planner needs — any key whose estimate
+exceeds ``n/parts + n/(k+1)`` is *certainly* heavy.
+
+Merging sums counters key-wise, subtracts the ``(k+1)``-largest merged
+counter from everything, and drops non-positive entries (Agarwal et
+al.).  The merge is **commutative bit-for-bit** and keeps the n/(k+1)
+error bound under *any* merge tree, but it is only byte-identical
+across re-associations when the union of keys fits in ``k`` (no
+compression happens); with compression, different merge orders may keep
+different near-threshold keys while every surviving estimate still
+honors the bound.  ``tests/test_skew_sketch.py`` pins down both halves
+of that contract.
+
+Determinism: updates fold the input in array order with no hashing or
+process-seeded state, so the same values produce byte-identical sketches
+in every worker process; serialization sorts entries canonically.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+_MAGIC = b"MG"
+_VERSION = 1
+_HEADER = struct.Struct("<2sBHqqI")  # magic, version, k, n, d, entries
+_ENTRY = struct.Struct("<qq")        # key, counter
+
+MIN_CAPACITY = 1
+MAX_CAPACITY = 4096
+DEFAULT_CAPACITY = 16
+
+
+class HeavyHitterSketch:
+    """Mergeable top-k frequency sketch over integer-coercible keys."""
+
+    __slots__ = ("k", "n", "d", "_counters")
+
+    def __init__(self, k: int = DEFAULT_CAPACITY):
+        if not MIN_CAPACITY <= k <= MAX_CAPACITY:
+            raise ValueError(
+                f"HeavyHitterSketch capacity must be in "
+                f"[{MIN_CAPACITY}, {MAX_CAPACITY}], got {k}")
+        self.k = int(k)
+        #: total elements absorbed (across merges).
+        self.n = 0
+        #: total decrement mass: every estimate is within ``d`` of truth.
+        self.d = 0
+        self._counters: dict[int, int] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def update(self, values) -> "HeavyHitterSketch":
+        """Absorb a vector of keys; returns ``self``.
+
+        Keys are coerced to int64 (hash-partitionable attributes are
+        integral in this engine).  The classic one-pass algorithm, but
+        batched per distinct key: identical batches produce identical
+        states regardless of the host process.
+        """
+        array = np.asarray(values)
+        if array.size == 0:
+            return self
+        keys = array.astype(np.int64, copy=False)
+        counters = self._counters
+        # Fold in array order; batching contiguous equal keys would
+        # change decrement timing, so stay strictly sequential — the
+        # arrays here are fragment columns, small enough for a loop.
+        for key in keys.tolist():
+            self.n += 1
+            if key in counters:
+                counters[key] += 1
+            elif len(counters) < self.k:
+                counters[key] = 1
+            else:
+                # a full sketch decrements everyone (the new key's
+                # single occurrence included — it never lands)
+                self.d += 1
+                dead = []
+                for existing in counters:
+                    counters[existing] -= 1
+                    if counters[existing] == 0:
+                        dead.append(existing)
+                for existing in dead:
+                    del counters[existing]
+        return self
+
+    # -- monoid ------------------------------------------------------------
+
+    def merge(self, other: "HeavyHitterSketch") -> "HeavyHitterSketch":
+        """Combine two sketches (pure; operands untouched).
+
+        Counter-wise sum, then subtract the ``(k+1)``-largest merged
+        counter and drop non-positive entries (Agarwal et al. 2013).
+        The result's error bound is the operands' combined bound plus
+        the subtracted offset — still at most ``n/(k+1)`` of the merged
+        stream length.
+        """
+        if other.k != self.k:
+            raise ValueError(
+                f"cannot merge sketches of capacity {self.k} and {other.k}")
+        merged: dict[int, int] = dict(self._counters)
+        for key, count in other._counters.items():
+            merged[key] = merged.get(key, 0) + count
+        offset = 0
+        if len(merged) > self.k:
+            # the (k+1)-largest counter, deterministically (ties by key)
+            ordered = sorted(merged.values(), reverse=True)
+            offset = ordered[self.k]
+            merged = {key: count - offset
+                      for key, count in merged.items() if count > offset}
+        result = HeavyHitterSketch(self.k)
+        result.n = self.n + other.n
+        result.d = self.d + other.d + offset
+        result._counters = merged
+        return result
+
+    # -- estimation --------------------------------------------------------
+
+    def estimate(self, key) -> int:
+        """Lower-bound frequency estimate of ``key`` (0 if untracked)."""
+        return self._counters.get(int(key), 0)
+
+    def error_bound(self) -> int:
+        """Max under-estimation of any key's frequency (``<= n/(k+1)``)."""
+        return self.d
+
+    def heavy_hitters(self, threshold: int) -> list[tuple[int, int]]:
+        """Keys whose *true* count may reach ``threshold``.
+
+        Sorted by descending estimate (ties by ascending key) so every
+        consumer sees one canonical order.  A key is returned when
+        ``estimate + error_bound >= threshold``; since the sketch only
+        under-estimates, no key at or above the threshold is missed
+        whenever ``threshold > error_bound()`` (a key with true count
+        ``<= d`` may have been evicted outright).  The planner's
+        thresholds are ``~n/parts`` with ``parts <= k``, which always
+        clears the ``d <= n/(k+1)`` bound.
+        """
+        bound = self.d
+        hits = [(key, count) for key, count in self._counters.items()
+                if count + bound >= threshold]
+        hits.sort(key=lambda item: (-item[1], item[0]))
+        return hits
+
+    @property
+    def num_tracked(self) -> int:
+        return len(self._counters)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding: header + entries sorted by key."""
+        entries = sorted(self._counters.items())
+        parts = [_HEADER.pack(_MAGIC, _VERSION, self.k, self.n, self.d,
+                              len(entries))]
+        parts.extend(_ENTRY.pack(key, count) for key, count in entries)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, buffer: bytes) -> "HeavyHitterSketch":
+        if len(buffer) < _HEADER.size:
+            raise ValueError("truncated HeavyHitterSketch buffer")
+        magic, version, k, n, d, entries = _HEADER.unpack_from(buffer, 0)
+        if magic != _MAGIC:
+            raise ValueError("not a HeavyHitterSketch buffer")
+        if version != _VERSION:
+            raise ValueError(
+                f"unsupported HeavyHitterSketch version {version}")
+        expected = _HEADER.size + entries * _ENTRY.size
+        if len(buffer) != expected:
+            raise ValueError("corrupt HeavyHitterSketch buffer")
+        sketch = cls(k)
+        sketch.n = n
+        sketch.d = d
+        offset = _HEADER.size
+        for __ in range(entries):
+            key, count = _ENTRY.unpack_from(buffer, offset)
+            sketch._counters[key] = count
+            offset += _ENTRY.size
+        return sketch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"HeavyHitterSketch(k={self.k}, n={self.n}, "
+                f"tracked={len(self._counters)}, d={self.d})")
+
+
+__all__ = ["HeavyHitterSketch", "DEFAULT_CAPACITY", "MIN_CAPACITY",
+           "MAX_CAPACITY"]

@@ -1,0 +1,33 @@
+"""Skew mitigation: heavy-hitter detection and virtual-site splitting.
+
+Beame, Koutris & Suciu ("Skew in Parallel Query Processing") show that
+key skew, not volume, dominates parallel aggregation cost.  Since PR 3
+the engine *measures* skew (``skew_ratio``, critical path vs
+sum-of-sites, per-site wall history from the hedging layer) without
+acting on it — hedging re-dispatches the same oversized fragment and
+merely bounds straggler *noise*, never data imbalance.
+
+This package closes the loop.  When a round's observed or predicted
+skew ratio crosses a threshold, the :class:`SkewPlanner` splits the hot
+physical fragment into **virtual-site sub-partitions**: heavy-hitter
+partition keys (found by the deterministic Misra-Gries
+:class:`~repro.sketches.misra_gries.HeavyHitterSketch`) are chunked
+across sub-sites and the remainder is bin-packed to balance.  Virtual
+sub-scans scatter like ordinary sites; their sub-aggregates merge by
+Theorem 1 *before* synchronization, so every downstream layer — cache,
+fingerprints, synchronization, tree ascent — sees exactly the per-
+physical-site relations it always saw.  Cold, warm and delta runs stay
+bit-identical by construction.
+
+See ``docs/SKEW.md`` for the threshold semantics, the virtual-site
+model, and the Theorem-1 safety argument (including the Theorem-5
+carve-out: fused multi-GMDJ steps are never split).
+"""
+
+from repro.skew.planner import SkewPlanner, SkewPolicy, SkewSplit
+from repro.skew.virtual import (SiteView, VIRTUAL_SITE_BASE, is_virtual,
+                                physical_site, virtual_site_id)
+
+__all__ = ["SkewPlanner", "SkewPolicy", "SkewSplit", "SiteView",
+           "VIRTUAL_SITE_BASE", "is_virtual", "physical_site",
+           "virtual_site_id"]

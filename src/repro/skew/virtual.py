@@ -1,0 +1,86 @@
+"""Virtual-site identity: sub-partitions of one physical fragment.
+
+A virtual site is an ordinary :class:`~repro.distributed.site.SkallaSite`
+holding a row-subset of one physical site's fragment.  Its id encodes
+the parent so every layer that needs the physical identity (tree branch
+grouping, cache versioning, latency history) can recover it with
+:func:`physical_site`, while the transports treat it as just another
+site id — process workers for virtual sites spawn lazily on first call
+through the transport's live site lookup.
+
+The id scheme reserves everything at or above :data:`VIRTUAL_SITE_BASE`
+(physical site ids are small non-negative integers; sentinel ids such
+as the coordinator and tree aggregators are negative):
+
+    virtual_site_id(parent, i) = VIRTUAL_SITE_BASE + parent * VIRTUAL_STRIDE + i
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.distributed.messages import SiteId
+from repro.distributed.site import SkallaSite
+
+#: First virtual id; anything >= this encodes (parent, sub-index).
+VIRTUAL_SITE_BASE: SiteId = 1_000_000
+#: Max sub-partitions representable per parent (far above any policy cap).
+VIRTUAL_STRIDE = 1024
+
+
+def virtual_site_id(parent: SiteId, index: int) -> SiteId:
+    """The id of ``parent``'s ``index``-th virtual sub-site."""
+    if parent < 0 or parent * VIRTUAL_STRIDE >= VIRTUAL_SITE_BASE:
+        raise ValueError(f"site {parent} cannot host virtual sub-sites")
+    if not 0 <= index < VIRTUAL_STRIDE:
+        raise ValueError(f"virtual sub-site index {index} out of range")
+    return VIRTUAL_SITE_BASE + parent * VIRTUAL_STRIDE + index
+
+
+def is_virtual(site_id: SiteId) -> bool:
+    return site_id >= VIRTUAL_SITE_BASE
+
+
+def physical_site(site_id: SiteId) -> SiteId:
+    """The physical site an id belongs to (identity for physical ids)."""
+    if site_id >= VIRTUAL_SITE_BASE:
+        return (site_id - VIRTUAL_SITE_BASE) // VIRTUAL_STRIDE
+    return site_id
+
+
+class SiteView(Mapping):
+    """Physical sites overlaid with the live virtual-site registry.
+
+    Handed to transports in place of the raw physical mapping.  Lookup
+    resolves virtual ids first (so lazily-spawned process workers and
+    in-process calls find sub-fragments), but **iteration and length
+    expose only the physical sites** — transports size their pools and
+    pre-spawn workers from iteration, and virtual sites must stay
+    lazy/ephemeral (they appear and disappear with splits).
+    """
+
+    __slots__ = ("_physical", "_virtual")
+
+    def __init__(self, physical: Mapping[SiteId, SkallaSite],
+                 virtual: Mapping[SiteId, SkallaSite]):
+        self._physical = physical
+        self._virtual = virtual
+
+    def __getitem__(self, site_id: SiteId) -> SkallaSite:
+        try:
+            return self._virtual[site_id]
+        except KeyError:
+            return self._physical[site_id]
+
+    def __iter__(self) -> Iterator[SiteId]:
+        return iter(self._physical)
+
+    def __len__(self) -> int:
+        return len(self._physical)
+
+    def __contains__(self, site_id: object) -> bool:
+        return site_id in self._virtual or site_id in self._physical
+
+
+__all__ = ["VIRTUAL_SITE_BASE", "VIRTUAL_STRIDE", "SiteView", "is_virtual",
+           "physical_site", "virtual_site_id"]

@@ -51,6 +51,7 @@ from repro.distributed.coordinator import Coordinator
 from repro.distributed.engine import SkallaEngine
 from repro.distributed.hierarchy import (
     AGGREGATOR, TreeNode, TreeTopology, combine_states_by_key)
+from repro.skew import physical_site
 from repro.distributed.messages import (
     CONTROL_MESSAGE_BYTES, COORDINATOR, ENVELOPE_BYTES, MessageLog, SiteId,
     control_message, relation_message)
@@ -194,6 +195,10 @@ class TreeEngine(SkallaEngine):
         kwargs.setdefault("compute_model", engine.compute_model)
         kwargs.setdefault("max_inflight", engine.max_inflight)
         kwargs.setdefault("retry_policy", engine.retry_policy)
+        if engine.skew_enabled:
+            # a fresh planner (same policy): splits reference the donor
+            # engine's site objects and must not leak across engines
+            kwargs.setdefault("skew", engine.skew_planner.policy)
         return cls(partitions, topology=topology, wan=wan, fanout=fanout,
                    info=engine.info, link=engine.link, verify_info=False,
                    site_slowdowns=slowdowns, **kwargs)
@@ -424,8 +429,10 @@ class TreeEngine(SkallaEngine):
     def _dispatch_round(self, requests: Sequence[SiteRequest]):
         groups: dict[int, list[SiteRequest]] = {}
         for request in requests:
-            groups.setdefault(self._site_group[request.site_id],
-                              []).append(request)
+            # virtual sub-sites scatter with their parent's root branch
+            groups.setdefault(
+                self._site_group[physical_site(request.site_id)],
+                []).append(request)
         if len(groups) <= 1 or len(groups) == len(requests):
             # one branch (no cross-branch parallelism to win) or all
             # branches singletons (a flat tree): the transport's own
@@ -603,6 +610,8 @@ class TreeEngine(SkallaEngine):
             if gathered:
                 phase.tree_level_seconds[0] = max(
                     phase.tree_level_seconds.get(0, 0.0), ingress)
+                phase.tree_level_node_seconds.setdefault(0, []).append(
+                    ingress)
             return gathered, (worst_compute, comm), True
         if not gathered:
             return [], (worst_compute, comm), True
@@ -638,6 +647,9 @@ class TreeEngine(SkallaEngine):
         merge_seconds += hang_seconds
         phase.tree_level_seconds[level] = max(
             phase.tree_level_seconds.get(level, 0.0),
+            ingress + merge_seconds)
+        # every node's time at this level feeds the per-level skew ratio
+        phase.tree_level_node_seconds.setdefault(level, []).append(
             ingress + merge_seconds)
         return [merged], (worst_compute + merge_seconds, comm), True
 

@@ -21,7 +21,12 @@ Coverage axes:
 * flat star vs link-aware aggregation trees (``repro.topology``) —
   random WAN shapes and fanouts in-process, plus pooled thread/process
   tree engines; interior-node merges at any depth must stay
-  bit-identical (Theorem 1's associativity, exercised for real).
+  bit-identical (Theorem 1's associativity, exercised for real);
+* adversarially *skewed* data (Zipf 1.1/1.5/2.0, one dominant key,
+  everything on one site) with skew-aware virtual-site splitting
+  forced on (threshold 1.0) — split runs must stay bit-identical to
+  both the oracle and the unsplit run, across placements, transports,
+  flat vs tree, and cold/warm cache states.
 
 Example counts scale with ``REPRO_DIFFERENTIAL_EXAMPLES`` (default 25
 per test for tier-1 speed; CI and ``make test-differential`` run the
@@ -50,6 +55,7 @@ from repro.relational.expressions import b, r
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.types import DataType
+from repro.skew import SkewPolicy
 from repro.topology import TreeEngine, clustered_wan
 
 #: examples per hypothesis test (CI cranks this to 200).
@@ -338,3 +344,190 @@ class TestTreeProcessDifferential(PooledDifferentialMixin):
     @given(data=st.data())
     def test_matches_oracle(self, tree_process_engine, data):
         self.run_case(tree_process_engine, data)
+
+
+# ---------------------------------------------------------------------------
+# Adversarially skewed workloads under skew-aware repartitioning
+# ---------------------------------------------------------------------------
+#
+# The split path must stay bit-identical on exactly the data it was
+# built for: Zipf key frequencies, one dominant key, and everything
+# piled on one site.  Measures are integers so every aggregate is
+# exact and the comparison is bit-for-bit (same oracle contract as the
+# rest of the file).  The threshold is forced to 1.0 so splits fire on
+# every example, not only extreme ones.
+
+SKEW_SCHEMA = Schema.of(("g", DataType.INT64), ("h", DataType.INT64),
+                        ("q", DataType.INT64))
+
+FORCED_SKEW = SkewPolicy(threshold=1.0)
+
+
+def zipf_detail(s: float, keys: int = 24, total: int = 400) -> Relation:
+    """Rank-r key holds ~1/r^s of the rows; fully deterministic."""
+    weights = [1.0 / (rank ** s) for rank in range(1, keys + 1)]
+    scale = sum(weights)
+    rows = []
+    for rank, weight in enumerate(weights, start=1):
+        count = max(1, int(total * weight / scale))
+        rows.extend((rank, rank % 3, (rank * 13 + i * 5) % 97)
+                    for i in range(count))
+    return Relation.from_rows(SKEW_SCHEMA, rows)
+
+
+def dominant_detail(total: int = 300) -> Relation:
+    """One key holds 90% of the rows; a light tail holds the rest."""
+    rows = [(7, 1, (i * 11) % 50) for i in range(total * 9 // 10)]
+    rows += [(key, key % 3, (key * 7 + i) % 50)
+             for i, key in enumerate(range(20, 50))]
+    return Relation.from_rows(SKEW_SCHEMA, rows)
+
+
+@st.composite
+def skew_details(draw):
+    kind = draw(st.sampled_from(["zipf-1.1", "zipf-1.5", "zipf-2.0",
+                                 "dominant"]))
+    if kind == "dominant":
+        return dominant_detail()
+    return zipf_detail(float(kind.split("-")[1]))
+
+
+@st.composite
+def skew_plans(draw):
+    """1–2 round plans over g/h with integer-exact aggregates on q."""
+    base_attrs = draw(st.sampled_from([("g",), ("g", "h")]))
+    builder = QueryBuilder().base(*base_attrs)
+    for index in range(draw(st.integers(1, 2))):
+        condition = r.g == b.g
+        if "h" in base_attrs and draw(st.booleans()):
+            condition = condition & (r.h == b.h)
+        if draw(st.booleans()):
+            condition = condition & (r.q >= draw(st.integers(0, 60)))
+        specs = [count_star(f"n{index}")]
+        for position, func in enumerate(draw(st.lists(
+                st.sampled_from(["sum", "min", "max", "avg"]),
+                max_size=2))):
+            specs.append(agg(func, "q", f"x{index}_{position}"))
+        builder = builder.gmdj(specs, condition)
+    return builder.build()
+
+
+def skewed_placement(data, detail, num_sites):
+    """Hash (heavy key concentrates), one-site, or round-robin."""
+    placement = data.draw(st.sampled_from(["hash", "one-site",
+                                           "round-robin"]))
+    if placement == "hash":
+        groups = np.asarray(detail.column("g"))
+        assignment = groups % num_sites
+        return {site: detail.filter(assignment == site)
+                for site in range(num_sites)}
+    if placement == "one-site":
+        empty = detail.filter(np.zeros(detail.num_rows, dtype=bool))
+        partitions = {site: empty for site in range(1, num_sites)}
+        partitions[0] = detail
+        return partitions
+    return partition_round_robin(detail, num_sites)
+
+
+class TestSkewDifferential:
+    """Forced virtual-site splitting vs the oracle and the unsplit run."""
+
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_oracle_and_unsplit(self, data):
+        detail = data.draw(skew_details())
+        expression = data.draw(skew_plans())
+        num_sites = data.draw(st.integers(2, 4))
+        partitions = skewed_placement(data, detail, num_sites)
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        use_cache = data.draw(st.booleans())
+        reference = expression.evaluate_centralized(detail)
+        baseline = SkallaEngine(dict(partitions)).execute(
+            expression, flags)
+        engine = SkallaEngine(dict(partitions), cache=use_cache,
+                              skew=FORCED_SKEW)
+        result = engine.execute(expression, flags)
+        assert result.relation.multiset_equals(reference), \
+            flags.describe()
+        assert result.relation.multiset_equals(baseline.relation)
+        if use_cache:
+            warm = engine.execute(expression, flags)
+            assert warm.relation.multiset_equals(reference)
+
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_tree_matches_oracle(self, data):
+        detail = data.draw(skew_details())
+        expression = data.draw(skew_plans())
+        num_sites = data.draw(st.integers(2, 6))
+        partitions = skewed_placement(data, detail, num_sites)
+        wan = clustered_wan(num_sites,
+                            seed=data.draw(st.integers(0, 2**16)))
+        reference = expression.evaluate_centralized(detail)
+        engine = TreeEngine(partitions, wan=wan,
+                            fanout=data.draw(st.integers(1, 3)),
+                            cache=data.draw(st.booleans()),
+                            skew=FORCED_SKEW)
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        result = engine.execute(expression, flags)
+        assert result.relation.multiset_equals(reference), \
+            flags.describe()
+
+
+def _skewed_warehouse_detail() -> Relation:
+    return zipf_detail(1.5, keys=40, total=2_000)
+
+
+def _skewed_pooled_engine(detail: Relation,
+                          transport: str) -> SkallaEngine:
+    groups = np.asarray(detail.column("g"))
+    partitions = {site: detail.filter(groups % 4 == site)
+                  for site in range(4)}
+    return SkallaEngine(partitions, transport=transport, cache=True,
+                        skew=FORCED_SKEW)
+
+
+@pytest.fixture(scope="module")
+def skew_thread_engine():
+    with _skewed_pooled_engine(_skewed_warehouse_detail(),
+                               "thread") as engine:
+        yield engine
+
+
+@pytest.fixture(scope="module")
+def skew_process_engine():
+    with _skewed_pooled_engine(_skewed_warehouse_detail(),
+                               "process") as engine:
+        yield engine
+
+
+class SkewPooledMixin:
+    """Fixed Zipf warehouse, forced splits, cold + warm per plan."""
+
+    def run_case(self, engine, data):
+        expression = data.draw(skew_plans())
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        reference = expression.evaluate_centralized(
+            engine.total_detail_relation())
+        cold = engine.execute(expression, flags)
+        assert cold.relation.multiset_equals(reference), flags.describe()
+        warm = engine.execute(expression, flags)
+        assert warm.relation.multiset_equals(reference), flags.describe()
+
+
+class TestSkewThreadDifferential(SkewPooledMixin):
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_oracle(self, skew_thread_engine, data):
+        self.run_case(skew_thread_engine, data)
+
+
+class TestSkewProcessDifferential(SkewPooledMixin):
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_oracle(self, skew_process_engine, data):
+        self.run_case(skew_process_engine, data)

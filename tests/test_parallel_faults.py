@@ -18,7 +18,11 @@ story:
   coordinator's live site copy — no deadline blown, no retry needed;
 * retry-budget exhaustion still degrades exactly per the PR 1
   contract (the last ``SiteFailure`` propagates) even when the round
-  was scattered.
+  was scattered;
+* faults aimed at *virtual sub-sites* (skew-aware splitting of a hot
+  fragment): a killed worker mid-scatter is respawned and retried, a
+  hung one is hedged, a flaky in-pool sub-site retries in its own arm
+  — results stay exact and the skew counters stay consistent.
 """
 
 import pytest
@@ -32,8 +36,10 @@ from repro.distributed.faults import (
     FlakySite, ProcessFaultSpec, SlowSite)
 from repro.distributed.partition import partition_round_robin
 from repro.distributed.plan import NO_OPTIMIZATIONS
+from repro.distributed.site import SkallaSite
 from repro.distributed.transport import HedgePolicy, RetryPolicy
 from repro.relational.relation import Relation
+from repro.skew import SkewPlanner, SkewPolicy, virtual_site_id
 
 #: real sleep injected into straggler sites (seconds).  Large enough to
 #: dwarf a healthy site's compute, small enough for a fast suite.
@@ -223,3 +229,97 @@ class TestSkewAccounting:
             assert phase.dispatch == "sequential"
             assert set(phase.site_wall_seconds) == set(range(4))
         assert result.metrics.hedges_issued == 0
+
+
+class TestVirtualSiteFaults:
+    """Faults landing on skew-split *virtual* sub-sites mid-scatter.
+
+    Site 0 carries one dominant key, so with the threshold forced to
+    1.0 it splits every round; the fault is aimed at one of its virtual
+    sub-scans.  The robustness story must be exactly the physical one:
+    kill -> respawn + retry, hang -> hedge, flaky -> in-arm retry —
+    with results exact and the skew counters unperturbed by the fault.
+    """
+
+    #: the second sub-scan of physical site 0.
+    TARGET = virtual_site_id(0, 1)
+
+    @staticmethod
+    def skewed_partitions():
+        def rows(pairs):
+            return Relation.from_dicts(
+                [{"g": g, "q": q} for g, q in pairs])
+        hot = [(1, (i * 7) % 50) for i in range(400)]
+        hot += [(k, k % 50) for k in range(100, 150)]
+        return {
+            0: rows(hot),
+            1: rows((k, k % 50) for k in range(200, 250)),
+            2: rows((k, k % 50) for k in range(300, 350)),
+            3: rows((k, k % 50) for k in range(400, 450)),
+        }
+
+    @staticmethod
+    def skew_query():
+        return (QueryBuilder()
+                .base("g")
+                .gmdj([count_star("n"), agg("sum", "q", "s")],
+                      r.g == b.g)
+                .build())
+
+    def run_engine(self, engine):
+        query = self.skew_query()
+        reference = query.evaluate_centralized(
+            Relation.concat([site.fragment
+                             for site in engine.sites.values()]))
+        try:
+            result = engine.execute(query, NO_OPTIMIZATIONS)
+        finally:
+            engine.close()
+        assert result.relation.multiset_equals(reference)
+        assert result.metrics.skew_splits >= 1
+        assert result.metrics.virtual_sites >= 2
+        return result.metrics
+
+    def test_killed_virtual_worker_mid_scatter_recovers(self):
+        # hedge=False: with hedging on, a coordinator-side hedge can
+        # rescue the round before the crash is even detected (the lazy
+        # virtual-worker spawn easily outlasts the median deadline),
+        # leaving retries at 0 — this test pins the retry+respawn path.
+        engine = SkallaEngine(
+            self.skewed_partitions(), transport="process", hedge=False,
+            skew=SkewPolicy(threshold=1.0),
+            retry_policy=RetryPolicy(max_retries=2, base_delay=0.01),
+            transport_options={"fault_specs": {
+                self.TARGET: ProcessFaultSpec(kill_on_request=1)}})
+        metrics = self.run_engine(engine)
+        assert metrics.retries >= 1
+        assert metrics.worker_respawns >= 1
+
+    def test_hung_virtual_worker_is_hedged(self):
+        engine = SkallaEngine(
+            self.skewed_partitions(), transport="process",
+            skew=SkewPolicy(threshold=1.0),
+            hedge=HedgePolicy(multiplier=1.25, min_seconds=0.02),
+            transport_options={"fault_specs": {
+                self.TARGET: ProcessFaultSpec(
+                    hang_on_request=1, hang_seconds=2.0)}})
+        metrics = self.run_engine(engine)
+        assert metrics.hedges_won >= 1
+        assert metrics.real_seconds < 2.0
+
+    def test_flaky_virtual_sub_site_retries_in_its_arm(self):
+        target = self.TARGET
+
+        def flaky_maker(site_id, fragment, slowdown=1.0):
+            if site_id == target:
+                return FlakySite(site_id, fragment, failures=2)
+            return SkallaSite(site_id, fragment, slowdown)
+
+        planner = SkewPlanner(SkewPolicy(threshold=1.0),
+                              make_site=flaky_maker)
+        engine = SkallaEngine(
+            self.skewed_partitions(), transport="thread",
+            skew=planner,
+            retry_policy=RetryPolicy(max_retries=2, base_delay=0.001))
+        metrics = self.run_engine(engine)
+        assert metrics.retries == 2

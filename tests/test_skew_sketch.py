@@ -1,0 +1,256 @@
+"""Property tests for the Misra-Gries heavy-hitter sketch.
+
+Pins down the contract the skew planner relies on (see
+``repro/sketches/misra_gries.py``):
+
+* every estimate is a **lower** bound within ``error_bound()`` of the
+  true frequency, and ``error_bound() <= n/(k+1)`` under any mix of
+  updates and merges;
+* ``heavy_hitters(t)`` never misses a key whose true count reaches
+  ``t`` (no false negatives — a missed hot key would silently defeat
+  the split);
+* the merge is commutative **byte-for-byte**, and associative
+  byte-for-byte when the union of keys fits in ``k`` (the documented
+  carve-out: with compression, re-association may keep different
+  near-threshold keys while every estimate still honors the bound);
+* serialization round-trips exactly and is bit-identical across
+  *processes* — virtual-site splits must be reproducible no matter
+  which worker computed the sketch.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.seeding import seeded
+
+from repro.sketches import HeavyHitterSketch
+from repro.sketches.misra_gries import (DEFAULT_CAPACITY, MAX_CAPACITY,
+                                        MIN_CAPACITY)
+
+keys = st.integers(min_value=-50, max_value=50)
+streams = st.lists(keys, max_size=300)
+capacities = st.integers(min_value=MIN_CAPACITY, max_value=24)
+
+
+def true_counts(stream: list[int]) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for key in stream:
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Construction and validation
+# ---------------------------------------------------------------------------
+
+class TestConstruction:
+    def test_default_capacity(self):
+        assert HeavyHitterSketch().k == DEFAULT_CAPACITY
+
+    @pytest.mark.parametrize("k", [0, -1, MAX_CAPACITY + 1])
+    def test_capacity_out_of_range_raises(self, k):
+        with pytest.raises(ValueError, match="capacity"):
+            HeavyHitterSketch(k)
+
+    def test_empty_update_is_a_noop(self):
+        sketch = HeavyHitterSketch(4)
+        assert sketch.update(np.array([], dtype=np.int64)) is sketch
+        assert sketch.n == 0 and sketch.num_tracked == 0
+
+    def test_update_returns_self_for_chaining(self):
+        sketch = HeavyHitterSketch(4)
+        assert sketch.update([1, 2, 3]) is sketch
+
+    def test_mismatched_capacity_merge_raises(self):
+        with pytest.raises(ValueError, match="capacity"):
+            HeavyHitterSketch(4).merge(HeavyHitterSketch(8))
+
+
+# ---------------------------------------------------------------------------
+# Accuracy: the n/(k+1) frequency bound
+# ---------------------------------------------------------------------------
+
+class TestAccuracy:
+    @seeded
+    @settings(max_examples=200, deadline=None)
+    @given(stream=streams, k=capacities)
+    def test_estimates_lower_bound_truth_within_n_over_k1(self, stream, k):
+        sketch = HeavyHitterSketch(k).update(np.array(stream,
+                                                     dtype=np.int64))
+        assert sketch.n == len(stream)
+        assert sketch.error_bound() <= len(stream) // (k + 1)
+        for key, count in true_counts(stream).items():
+            estimate = sketch.estimate(key)
+            assert estimate <= count
+            assert count - estimate <= sketch.error_bound()
+
+    @seeded
+    @settings(max_examples=200, deadline=None)
+    @given(stream=streams, k=capacities,
+           cut=st.integers(min_value=0, max_value=300))
+    def test_bound_survives_merging_partitions(self, stream, k, cut):
+        cut = min(cut, len(stream))
+        left = HeavyHitterSketch(k).update(np.array(stream[:cut],
+                                                    dtype=np.int64))
+        right = HeavyHitterSketch(k).update(np.array(stream[cut:],
+                                                     dtype=np.int64))
+        merged = left.merge(right)
+        assert merged.n == len(stream)
+        assert merged.error_bound() <= len(stream) // (k + 1)
+        for key, count in true_counts(stream).items():
+            estimate = merged.estimate(key)
+            assert estimate <= count
+            assert count - estimate <= merged.error_bound()
+
+    @seeded
+    @settings(max_examples=200, deadline=None)
+    @given(stream=streams, k=capacities,
+           threshold=st.integers(min_value=1, max_value=40))
+    def test_heavy_hitters_have_no_false_negatives(self, stream, k,
+                                                   threshold):
+        # The guarantee holds for thresholds above the decrement mass
+        # (a key with true count <= d may be evicted outright); the
+        # planner's thresholds ~n/parts with parts <= k always clear
+        # the d <= n/(k+1) bound.
+        sketch = HeavyHitterSketch(k).update(np.array(stream,
+                                                      dtype=np.int64))
+        threshold = max(threshold, sketch.error_bound() + 1)
+        reported = {key for key, __ in sketch.heavy_hitters(threshold)}
+        for key, count in true_counts(stream).items():
+            if count >= threshold:
+                assert key in reported
+
+    def test_heavy_hitters_order_is_canonical(self):
+        sketch = HeavyHitterSketch(8).update(
+            np.array([3] * 5 + [1] * 5 + [2] * 2, dtype=np.int64))
+        assert sketch.heavy_hitters(2) == [(1, 5), (3, 5), (2, 2)]
+
+
+# ---------------------------------------------------------------------------
+# Monoid laws on serialized states
+# ---------------------------------------------------------------------------
+
+class TestMonoid:
+    @seeded
+    @settings(max_examples=200, deadline=None)
+    @given(left=streams, right=streams, k=capacities)
+    def test_merge_commutes_byte_for_byte(self, left, right, k):
+        a = HeavyHitterSketch(k).update(np.array(left, dtype=np.int64))
+        b = HeavyHitterSketch(k).update(np.array(right, dtype=np.int64))
+        assert a.merge(b).to_bytes() == b.merge(a).to_bytes()
+
+    @seeded
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data(), k=capacities)
+    def test_merge_associates_byte_for_byte_without_compression(
+            self, data, k):
+        # Union of distinct keys <= k: no merge ever compresses, so any
+        # merge tree must produce the same bytes.
+        alphabet = data.draw(st.lists(keys, min_size=1, max_size=k,
+                                      unique=True))
+        def stream():
+            values = data.draw(st.lists(st.sampled_from(alphabet),
+                                        max_size=60))
+            return HeavyHitterSketch(k).update(np.array(values,
+                                                        dtype=np.int64))
+        a, b, c = stream(), stream(), stream()
+        assert (a.merge(b).merge(c).to_bytes()
+                == a.merge(b.merge(c)).to_bytes())
+
+    def test_merge_reassociation_differs_only_in_tracked_keys(self):
+        # The documented carve-out, as a concrete counter-example class:
+        # with compression the two association orders may keep different
+        # near-threshold keys — but every surviving estimate still
+        # honors the bound.
+        k = 2
+        a = HeavyHitterSketch(k).update(np.array([1, 1, 1, 2, 2],
+                                                 dtype=np.int64))
+        b = HeavyHitterSketch(k).update(np.array([3, 3, 4], dtype=np.int64))
+        c = HeavyHitterSketch(k).update(np.array([5, 5, 5, 5],
+                                                 dtype=np.int64))
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        stream = [1, 1, 1, 2, 2, 3, 3, 4, 5, 5, 5, 5]
+        for merged in (left, right):
+            assert merged.n == len(stream)
+            assert merged.error_bound() <= len(stream) // (k + 1)
+            for key, count in true_counts(stream).items():
+                assert merged.estimate(key) <= count
+                assert count - merged.estimate(key) <= merged.error_bound()
+
+    def test_merging_empty_is_identity(self):
+        sketch = HeavyHitterSketch(4).update(np.array([1, 1, 2],
+                                                      dtype=np.int64))
+        empty = HeavyHitterSketch(4)
+        assert sketch.merge(empty).to_bytes() == sketch.to_bytes()
+        assert empty.merge(sketch).to_bytes() == sketch.to_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+class TestSerialization:
+    @seeded
+    @settings(max_examples=200, deadline=None)
+    @given(stream=streams, k=capacities)
+    def test_round_trip_is_exact(self, stream, k):
+        sketch = HeavyHitterSketch(k).update(np.array(stream,
+                                                      dtype=np.int64))
+        clone = HeavyHitterSketch.from_bytes(sketch.to_bytes())
+        assert clone.to_bytes() == sketch.to_bytes()
+        assert clone.k == sketch.k and clone.n == sketch.n
+        assert clone.error_bound() == sketch.error_bound()
+        for key in set(stream):
+            assert clone.estimate(key) == sketch.estimate(key)
+
+    def test_truncated_buffer_raises(self):
+        with pytest.raises(ValueError, match="truncated"):
+            HeavyHitterSketch.from_bytes(b"MG")
+
+    def test_wrong_magic_raises(self):
+        buffer = bytearray(HeavyHitterSketch(4).to_bytes())
+        buffer[:2] = b"XX"
+        with pytest.raises(ValueError, match="not a HeavyHitterSketch"):
+            HeavyHitterSketch.from_bytes(bytes(buffer))
+
+    def test_wrong_version_raises(self):
+        buffer = bytearray(HeavyHitterSketch(4).to_bytes())
+        buffer[2] = 99
+        with pytest.raises(ValueError, match="version"):
+            HeavyHitterSketch.from_bytes(bytes(buffer))
+
+    def test_length_mismatch_raises(self):
+        buffer = HeavyHitterSketch(4).update(
+            np.array([1, 2], dtype=np.int64)).to_bytes()
+        with pytest.raises(ValueError, match="corrupt"):
+            HeavyHitterSketch.from_bytes(buffer + b"\x00")
+
+    def test_cross_process_bytes_are_identical(self):
+        # A worker process building the sketch from the same fragment
+        # must produce the same bytes — splits are planned once on the
+        # coordinator but must be reproducible anywhere.
+        values = ([7] * 40 + [3] * 25 + list(range(100, 140))
+                  + [7] * 10 + [9] * 15)
+        local = HeavyHitterSketch(8).update(
+            np.array(values, dtype=np.int64)).to_bytes()
+        script = (
+            "import numpy as np\n"
+            "from repro.sketches import HeavyHitterSketch\n"
+            f"values = {values!r}\n"
+            "sketch = HeavyHitterSketch(8).update("
+            "np.array(values, dtype=np.int64))\n"
+            "print(sketch.to_bytes().hex())\n")
+        src = Path(__file__).resolve().parent.parent / "src"
+        remote = subprocess.run(
+            [sys.executable, "-c", script], check=True,
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "random"})
+        assert remote.stdout.strip() == local.hex()
