@@ -2,7 +2,7 @@
 
 .PHONY: ci lint test coverage test-differential bench bench-cache \
 	bench-parallel bench-sketches bench-service bench-topology \
-	bench-skew
+	bench-skew bench-kernels
 
 ci:
 	sh scripts/ci.sh all
@@ -60,3 +60,11 @@ bench-topology:
 #   PYTHONPATH=src python benchmarks/bench_ext_skew.py
 bench-skew:
 	sh scripts/ci.sh bench-skew
+
+# The residual-θ kernel gate: smoke-scale rows x sites x θ-shape
+# campaign (kernels vs reference scan, bit-identity asserted) plus
+# baseline comparison, exactly as the kernels CI job runs it.  To
+# refresh the committed baseline (benchmarks/results/ext_kernels.json):
+#   PYTHONPATH=src python benchmarks/bench_campaign.py
+bench-kernels:
+	sh scripts/ci.sh bench-kernels

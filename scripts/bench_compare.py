@@ -16,7 +16,12 @@ Two report shapes are understood, dispatched on the ``kind`` field:
 * ``skew-sweep`` reports (``bench_ext_skew.py``): entries are aligned
   by Zipf exponent, the fresh ``speedup`` may be at most R x below the
   baseline's, split-vs-unsplit result identity and a non-zero split
-  count are asserted unconditionally.
+  count are asserted unconditionally;
+* ``kernels-campaign`` reports (``bench_campaign.py``): scan cells are
+  aligned by (rows, sites, θ-shape) and kernel-vs-reference bit
+  identity is asserted unconditionally; the fresh kernel ``speedup``
+  and per-column codec ``roundtrip_mbps`` may be at most R x below the
+  baseline's.
 
 Absolute latencies vary across machines, so the threshold is a loose
 2x by design — the gate exists to catch algorithmic regressions (a lost
@@ -117,6 +122,56 @@ def _compare_skew(baseline: dict, fresh: dict,
     return problems
 
 
+def _compare_kernels(baseline: dict, fresh: dict,
+                     max_ratio: float) -> list[str]:
+    """Gate a kernels-campaign report: identity always, speed loosely.
+
+    A smoke run may sweep fewer row counts than the committed baseline
+    (extra baseline cells are fine); every fresh cell must have a
+    baseline counterpart to compare against.
+    """
+    problems = []
+    by_cell = {(entry.get("rows"), entry.get("sites"), entry.get("shape")):
+               entry for entry in baseline.get("sweep", [])}
+    for entry in fresh.get("sweep", []):
+        cell = (entry.get("rows"), entry.get("sites"), entry.get("shape"))
+        label = f"rows={cell[0]} sites={cell[1]} shape={cell[2]}"
+        if not entry.get("identical", False):
+            problems.append(
+                f"{label}: kernel and reference outputs differ")
+        base = by_cell.get(cell)
+        if base is None:
+            problems.append(f"{label}: no baseline entry for this cell")
+            continue
+        base_value = base.get("speedup", 0)
+        new_value = entry.get("speedup", 0)
+        if (base_value > 0 and new_value > 0
+                and base_value > max_ratio * new_value):
+            problems.append(
+                f"{label}: kernel speedup regressed "
+                f"{base_value / new_value:.2f}x "
+                f"({base_value:.2f} -> {new_value:.2f}, "
+                f"limit {max_ratio:.1f}x)")
+    by_column = {entry.get("column"): entry
+                 for entry in baseline.get("codec", [])}
+    for entry in fresh.get("codec", []):
+        column = entry.get("column")
+        base = by_column.get(column)
+        if base is None:
+            problems.append(f"codec {column}: no baseline entry")
+            continue
+        base_value = base.get("roundtrip_mbps", 0)
+        new_value = entry.get("roundtrip_mbps", 0)
+        if (base_value > 0 and new_value > 0
+                and base_value > max_ratio * new_value):
+            problems.append(
+                f"codec {column}: roundtrip throughput regressed "
+                f"{base_value / new_value:.2f}x "
+                f"({base_value:.1f} -> {new_value:.1f} MB/s, "
+                f"limit {max_ratio:.1f}x)")
+    return problems
+
+
 def compare(baseline: dict, fresh: dict,
             max_ratio: float = DEFAULT_MAX_RATIO) -> list[str]:
     """Return the list of violations (empty means the gate passes)."""
@@ -124,6 +179,8 @@ def compare(baseline: dict, fresh: dict,
         return _compare_topology(baseline, fresh, max_ratio)
     if "skew-sweep" in (baseline.get("kind"), fresh.get("kind")):
         return _compare_skew(baseline, fresh, max_ratio)
+    if "kernels-campaign" in (baseline.get("kind"), fresh.get("kind")):
+        return _compare_kernels(baseline, fresh, max_ratio)
     problems = []
     for window in ("cold", "warm"):
         base, new = baseline.get(window), fresh.get(window)
@@ -172,6 +229,24 @@ def main(argv=None) -> int:
                   f"{entry.get('tree_speedup', 0):5.2f}x | ingress "
                   f"{base.get('ingress_ratio', 0):5.2f}x -> "
                   f"{entry.get('ingress_ratio', 0):5.2f}x")
+    elif "kernels-campaign" in (baseline.get("kind"), fresh.get("kind")):
+        by_cell = {(e.get("rows"), e.get("sites"), e.get("shape")): e
+                   for e in baseline.get("sweep", [])}
+        for entry in fresh.get("sweep", []):
+            cell = (entry.get("rows"), entry.get("sites"),
+                    entry.get("shape"))
+            base = by_cell.get(cell, {})
+            print(f"rows={cell[0]:<6} sites={cell[1]} "
+                  f"shape={cell[2]:<9}: speedup "
+                  f"{base.get('speedup', 0):5.2f}x -> "
+                  f"{entry.get('speedup', 0):5.2f}x | "
+                  f"identical={entry.get('identical')}")
+        by_column = {e.get("column"): e for e in baseline.get("codec", [])}
+        for entry in fresh.get("codec", []):
+            base = by_column.get(entry.get("column"), {})
+            print(f"codec {entry.get('column'):<13}: roundtrip "
+                  f"{base.get('roundtrip_mbps', 0):7.1f} MB/s -> "
+                  f"{entry.get('roundtrip_mbps', 0):7.1f} MB/s")
     elif "skew-sweep" in (baseline.get("kind"), fresh.get("kind")):
         by_zipf = {entry.get("s"): entry
                    for entry in baseline.get("sweep", [])}

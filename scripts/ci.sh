@@ -34,9 +34,16 @@
 #                               bit-identical and >= 1.5x faster at
 #                               Zipf(1.5), then compared against the
 #                               committed baseline
+#   scripts/ci.sh bench-kernels the residual-θ kernel gate: the
+#                               rows x sites x θ-shape campaign at
+#                               smoke scale, kernel-vs-reference
+#                               outputs asserted bit-identical, then
+#                               compared against the committed baseline
+#                               (fails on a >2x speedup/codec
+#                               throughput regression)
 #   scripts/ci.sh all           lint + test + differential + bench +
 #                               bench-service + bench-topology +
-#                               bench-skew (the default)
+#                               bench-skew + bench-kernels (the default)
 #
 # Exit code: non-zero as soon as any stage fails.
 
@@ -157,6 +164,23 @@ bench_skew() {
         benchmarks/results/ext_skew_ci.json
 }
 
+# The residual-θ kernel gate (tentpole of the vectorized-kernels PR):
+# run the rows x sites x θ-shape campaign at smoke scale, assert the
+# batched kernels are bit-identical to the reference scan loop in every
+# cell (and never slower where the code paths diverge), then diff the
+# speedups and codec throughput against the committed baseline.  The
+# fresh JSON is left at benchmarks/results/ext_kernels_ci.json for
+# artifact upload.
+bench_kernels() {
+    echo "== bench-kernels: residual-θ kernel campaign gate =="
+    "$PYTHON" benchmarks/bench_campaign.py --smoke \
+        --json benchmarks/results/ext_kernels_ci.json
+    echo "== bench-kernels: compare against committed baseline =="
+    "$PYTHON" scripts/bench_compare.py \
+        benchmarks/results/ext_kernels.json \
+        benchmarks/results/ext_kernels_ci.json
+}
+
 stage=${1:-all}
 case "$stage" in
     lint)           lint ;;
@@ -167,9 +191,11 @@ case "$stage" in
     bench-service)  bench_service ;;
     bench-topology) bench_topology ;;
     bench-skew)     bench_skew ;;
+    bench-kernels)  bench_kernels ;;
     all)            lint; tests; differential; bench; bench_service;
-                    bench_topology; bench_skew ;;
+                    bench_topology; bench_skew; bench_kernels ;;
     *)  echo "usage: scripts/ci.sh [lint|test|coverage|differential|" \
-            "bench|bench-service|bench-topology|bench-skew|all]" \
+            "bench|bench-service|bench-topology|bench-skew|" \
+            "bench-kernels|all]" \
             >&2; exit 2 ;;
 esac

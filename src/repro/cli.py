@@ -122,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="straggler hedging: re-dispatch sites past a "
                             "median-derived deadline once, first response "
                             "wins (default on; --no-hedge disables)")
+    query.add_argument("--shm", action="store_true",
+                       help="with --transport process: ship large site "
+                            "sub-results through shared-memory segments "
+                            "instead of streaming them over the pipe")
     query.add_argument("--cache", action=argparse.BooleanOptionalAction,
                        default=False,
                        help="enable the coordinator-side sub-aggregate "
@@ -287,9 +291,14 @@ def _cmd_query(args) -> int:
             fanout=args.fanout, transport=args.transport,
             max_inflight=args.max_inflight, hedge=args.hedge)
     else:
+        options = {}
+        if getattr(args, "shm", False):
+            if args.transport != "process":
+                raise SystemExit("--shm requires --transport process")
+            options["shared_memory"] = True
         engine.use_transport(args.transport,
                              max_inflight=args.max_inflight,
-                             hedge=args.hedge)
+                             hedge=args.hedge, **options)
     if args.cache:
         engine.enable_cache(budget_mb=args.cache_budget_mb)
     if not args.no_skew_split:

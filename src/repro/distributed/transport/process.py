@@ -56,6 +56,25 @@ def _default_start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
+def _claim_shared(name: str, size: int) -> bytes:
+    """Consume (and unlink) a shared-memory payload a worker shipped.
+
+    One bulk copy out of the segment, then the segment is gone — the
+    worker already unregistered it from its resource tracker, so the
+    parent holds sole ownership here.
+    """
+    from multiprocessing import shared_memory
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(shm.buf[:size])
+    finally:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
 @dataclass
 class _Worker:
     """Parent-side handle of one site's worker process."""
@@ -102,6 +121,16 @@ class MultiprocessTransport(Transport):
         it is marked ``repeat`` — so a killed worker's replacement
         recovers, which is exactly the scenario the retry loop exists
         for.
+    shared_memory:
+        Ship sub-aggregate payloads at or above
+        :data:`~repro.distributed.transport.worker.SHM_MIN_BYTES`
+        through ``multiprocessing.shared_memory`` segments instead of
+        streaming them through the pipe: the worker copies the SKRL
+        payload into a fresh segment and sends only ``(name, size)``;
+        the parent attaches, consumes, and unlinks it.  Same-box
+        transfer cost drops to one bulk copy with no pipe chunking.
+        Results are bit-identical either way; small payloads stay
+        inline automatically.
     """
 
     name = "process"
@@ -112,7 +141,8 @@ class MultiprocessTransport(Transport):
                  fault_specs: Mapping[SiteId, "ProcessFaultSpec"]
                  | None = None,
                  max_inflight: int | None = None,
-                 hedge: "object | bool | None" = None):
+                 hedge: "object | bool | None" = None,
+                 shared_memory: bool = False):
         if retry is None:
             retry = RetryPolicy(base_delay=0.02, max_delay=0.5)
         super().__init__(sites, retry=retry, seed=seed,
@@ -133,6 +163,7 @@ class MultiprocessTransport(Transport):
         #: when its worker dies. Scatter threads spawn lazily (virtual
         #: sub-sites) and respawn concurrently, so the window is real.
         self._spawn_lock = threading.Lock()
+        self._shared_memory = bool(shared_memory)
         self._fault_specs = dict(fault_specs or {})
         self._spawned_once: set[SiteId] = set()
         self._fallback: InProcessTransport | None = None
@@ -244,7 +275,8 @@ class MultiprocessTransport(Transport):
                 and not fault.repeat:
             fault = None  # one-shot fault: the replacement is healthy
         init_frame = pickle.dumps(
-            {"kind": INIT, "site": site, "fault": fault})
+            {"kind": INIT, "site": site, "fault": fault,
+             "shared_memory": self._shared_memory})
         try:
             parent_end.send_bytes(init_frame)
             if not parent_end.poll(INIT_DEADLINE):
@@ -380,13 +412,20 @@ class MultiprocessTransport(Transport):
         response = pickle.loads(response_frame)
         if not response["ok"]:
             raise response["error"]
-        relation = decode_relation(response["payload"])
+        payload_bytes = 0
+        if "shm" in response:
+            name, size = response["shm"]
+            payload = _claim_shared(name, size)
+            payload_bytes = size
+        else:
+            payload = response["payload"]
+        relation = decode_relation(payload)
         return SiteResponse(
             site_id=site_id, relation=relation,
             compute_seconds=response["seconds"],
             wall_seconds=time.perf_counter() - started,
             request_bytes=len(frame),
-            response_bytes=len(response_frame))
+            response_bytes=len(response_frame) + payload_bytes)
 
     def _safe_respawn(self, site_id: SiteId) -> None:
         try:
@@ -405,6 +444,8 @@ class MultiprocessTransport(Transport):
     def describe(self) -> str:
         mode = "degraded→inprocess" if self.degraded else \
             self._context.get_start_method()
+        if self._shared_memory and not self.degraded:
+            mode += "+shm"
         return (f"{self.name} transport ({mode}, "
                 f"max_retries={self.retry.max_retries}, "
                 f"deadline={self.retry.call_deadline})")

@@ -9,6 +9,10 @@ arrays travel as raw buffers), then exchanges per-round frames:
   the SKRL binary codec (:mod:`repro.relational.io`);
 * response frame: ``{"ok": True, "payload": <SKRL bytes>, "seconds":
   <site compute seconds>}`` or ``{"ok": False, "error": <exception>}``.
+  With shared-memory transfer enabled at init, large payloads travel as
+  ``{"ok": True, "shm": (name, size), ...}`` instead: the SKRL bytes
+  sit in a ``multiprocessing.shared_memory`` segment the parent
+  consumes and unlinks (see :func:`ship_shared`).
 
 Frame sizes are exactly the *real wire bytes* the transport metrics
 report.  Fault injection (:class:`~repro.distributed.faults.
@@ -30,6 +34,32 @@ from repro.relational.io import decode_relation, encode_relation
 INIT = "init"
 SHUTDOWN = "shutdown"
 CALL = "call"
+
+#: Payloads smaller than this stay inline in the response frame even
+#: when shared-memory transfer is on — a pipe frame beats the segment
+#: create/attach/unlink round trip for small sub-aggregates.
+SHM_MIN_BYTES = 1 << 16
+
+
+def ship_shared(payload: bytes) -> tuple[str, int]:
+    """Copy ``payload`` into a fresh shared-memory segment.
+
+    Returns ``(name, size)``; ownership passes to the parent, which
+    attaches, consumes, and unlinks the segment.  The worker unregisters
+    the segment from its resource tracker first so a clean worker exit
+    does not tear down (or warn about) memory the parent still owns.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+    shm = shared_memory.SharedMemory(create=True, size=max(len(payload), 1))
+    try:
+        shm.buf[:len(payload)] = payload
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker impl detail
+            pass
+    finally:
+        shm.close()
+    return shm.name, len(payload)
 
 
 def _picklable_error(error: BaseException) -> BaseException:
@@ -55,6 +85,7 @@ def serve(connection) -> None:
     """
     site = None
     fault = None
+    use_shm = False
     served = 0
     while True:
         try:
@@ -68,6 +99,7 @@ def serve(connection) -> None:
         if kind == INIT:
             site = message["site"]
             fault = message.get("fault")
+            use_shm = bool(message.get("shared_memory"))
             connection.send_bytes(pickle.dumps({"ok": True,
                                                 "site_id": site.site_id}))
             continue
@@ -91,8 +123,14 @@ def serve(connection) -> None:
                 ship_attrs=tuple(message["ship_attrs"]),
                 independent_reduction=message["independent_reduction"])
             relation, seconds = perform_request(site, request)
-            response = {"ok": True, "payload": encode_relation(relation),
-                        "seconds": seconds}
+            payload = encode_relation(relation)
+            response = {"ok": True, "payload": payload, "seconds": seconds}
+            if use_shm and len(payload) >= SHM_MIN_BYTES:
+                try:
+                    response["shm"] = ship_shared(payload)
+                    del response["payload"]
+                except Exception:  # pragma: no cover - no /dev/shm etc.
+                    pass  # inline payload fallback already in place
         except BaseException as error:  # noqa: BLE001 - must cross the pipe
             response = {"ok": False, "error": _picklable_error(error)}
         try:

@@ -172,6 +172,93 @@ def primitive_merge(name: str, left, right):
     return merge(left, right)
 
 
+#: Array kinds whose addition is exact and associative, so segmented
+#: sums may be computed in any grouping (``np.add.reduceat``) and still
+#: match a per-segment ``.sum()`` bit for bit.  Floats are excluded:
+#: NumPy's pairwise summation is grouping-dependent, so float segments
+#: must reduce through the very same ``.sum()`` call the scalar
+#: reference uses.
+_EXACT_SUM_KINDS = "iub"
+
+
+#: NumPy's pairwise summation runs a plain left-to-right loop below this
+#: length and switches to 8-way unrolled accumulation at it, so a
+#: vectorized sequential accumulation is bit-identical to ``.sum()``
+#: exactly for segments shorter than 8 (verified by tests/test_kernels.py).
+_PAIRWISE_THRESHOLD = 8
+
+
+def _segment_sums(values: np.ndarray, starts: np.ndarray,
+                  lengths: np.ndarray) -> np.ndarray:
+    """Per-segment float sums, bit-identical to ``values[s:e].sum()``.
+
+    Segments shorter than :data:`_PAIRWISE_THRESHOLD` accumulate
+    left-to-right in at most 7 vectorized add steps; longer segments
+    (rare for realistic group sizes) fall back to one ``.sum()`` each to
+    reproduce NumPy's pairwise ordering.
+    """
+    result = np.empty(len(starts), dtype=np.float64)
+    short = lengths < _PAIRWISE_THRESHOLD
+    if short.any():
+        short_starts = starts[short]
+        short_lengths = lengths[short]
+        acc = values[short_starts].astype(np.float64)
+        for step in range(1, int(short_lengths.max())):
+            live = short_lengths > step
+            acc[live] = acc[live] + values[short_starts[live] + step]
+        result[short] = acc
+    for index in np.flatnonzero(~short):
+        result[index] = values[starts[index]:starts[index]
+                               + lengths[index]].sum()
+    return result
+
+
+def primitive_reduce_segments(name: str, values: np.ndarray,
+                              starts: np.ndarray) -> np.ndarray:
+    """Reduce contiguous, non-empty value segments to one state each.
+
+    ``values`` holds the concatenated input values of every segment;
+    ``starts`` are the strictly increasing start offsets (segment ``i``
+    spans ``values[starts[i]:starts[i+1]]``, the last segment runs to the
+    end).  The result is **bit-identical** to calling
+    :func:`primitive_reduce` on each segment in isolation: min/max and
+    integer sums are associative and vectorize through ``reduceat``;
+    float sums, ``sumsq``, ``m2`` and sketch states replicate the scalar
+    reduction per segment (NumPy's pairwise float summation is
+    grouping-sensitive, so there is no faster bit-faithful path).
+    """
+    if name == "count":
+        raise AggregateError(
+            "count needs no input values; use the segment lengths")
+    if len(starts) == 0:
+        return np.empty(0, dtype=values.dtype if name in ("min", "max")
+                        else np.float64)
+    if name in ("min", "max"):
+        ufunc = np.minimum if name == "min" else np.maximum
+        return ufunc.reduceat(values, starts)
+    if name == "sum" and values.dtype.kind in _EXACT_SUM_KINDS:
+        if values.dtype.kind == "b":
+            # reduceat would OR booleans; .sum() counts them.
+            values = values.astype(np.int64)
+        return np.add.reduceat(values, starts)
+    bounds = np.append(starts, len(values))
+    if name == "sum":
+        return _segment_sums(values, starts, np.diff(bounds))
+    if name == "sumsq":
+        squares = np.square(values, dtype=np.float64)
+        return _segment_sums(squares, starts, np.diff(bounds))
+    spans = list(zip(bounds[:-1], bounds[1:]))
+    if name == "m2":
+        return np.array([_reduce_m2(values[s:e]) for s, e in spans])
+    sketch = sketch_primitive(name)
+    if sketch is not None:
+        states = np.empty(len(spans), dtype=object)
+        for index, (s, e) in enumerate(spans):
+            states[index] = primitive_reduce(name, values[s:e])
+        return states
+    raise AggregateError(f"unknown primitive {name!r}")
+
+
 def primitive_grouped(name: str, codes: np.ndarray, values: np.ndarray | None,
                       num_groups: int) -> np.ndarray:
     """Vectorized per-group reduction.

@@ -1,0 +1,101 @@
+"""Cached column factorization shared by grouping and join-key coding.
+
+Factorizing a column (``np.unique`` with ``return_inverse``) is the
+dominant cost of both :meth:`Relation.row_group_codes` and the
+evaluator's base↔detail key matching once the per-tuple Python loops are
+gone.  Columns are immutable by repo convention, so a factorization
+stays valid for the lifetime of the array object; this module memoizes
+it keyed on the array's identity, with a weakref callback evicting the
+entry when the column is collected.  Site fragments and coordinator
+relations live across rounds and queries, which is exactly when
+re-factorizing the (large) detail side would dominate the scan.
+
+Promotions pick the comparison domain for a factorization.  Integer
+columns must stay integral: a float64 staging array would collapse
+distinct keys differing only above 2**53 into one group.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+__all__ = [
+    "column_promotion",
+    "pair_promotion",
+    "convert",
+    "factorize",
+    "lookup_codes",
+]
+
+
+def column_promotion(array: np.ndarray) -> str:
+    """Comparison domain for factorizing a single column."""
+    if array.dtype == object:
+        return "str"
+    if array.dtype.kind in "iub":
+        return "int"
+    return "float"
+
+
+def pair_promotion(base_col: np.ndarray, detail_col: np.ndarray) -> str:
+    """Comparison domain for one key column pair.
+
+    Integer pairs must stay integral: a float64 staging array would
+    collapse distinct keys differing only above 2**53 into one group.
+    Mixed integer/float pairs compare in float64 (NumPy's comparison
+    promotion); object columns compare as strings.
+    """
+    if detail_col.dtype == object or base_col.dtype == object:
+        return "str"
+    if detail_col.dtype.kind in "iub" and base_col.dtype.kind in "iub":
+        return "int"
+    return "float"
+
+
+def convert(array: np.ndarray, promotion: str) -> np.ndarray:
+    if promotion == "str":
+        return array.astype(str)
+    if promotion == "int":
+        return array.astype(np.int64)
+    return array.astype(np.float64)
+
+
+#: (id(column), promotion) -> (weakref to the column, (uniques, codes)).
+_cache: dict[tuple[int, str], tuple[object, tuple]] = {}
+
+
+def factorize(column: np.ndarray, promotion: str) -> tuple:
+    """``(sorted uniques, int64 inverse codes)`` for ``column``, cached."""
+    key = (id(column), promotion)
+    cached = _cache.get(key)
+    if cached is not None and cached[0]() is column:
+        return cached[1]
+    uniques, codes = np.unique(convert(column, promotion),
+                               return_inverse=True)
+    entry = (uniques, codes.astype(np.int64))
+    try:
+        ref = weakref.ref(
+            column, lambda _ref, _key=key: _cache.pop(_key, None))
+    except TypeError:
+        return entry
+    _cache[key] = (ref, entry)
+    return entry
+
+
+def lookup_codes(uniques: np.ndarray, values: np.ndarray,
+                 promotion: str) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of ``values`` in sorted ``uniques`` + found flags."""
+    positions = np.searchsorted(uniques, values)
+    positions = np.minimum(positions, len(uniques) - 1)
+    with np.errstate(invalid="ignore"):
+        hit = uniques[positions] == values
+    if promotion == "float" and np.isnan(uniques[-1]):
+        # np.unique collapses NaNs into one (final) slot; keep the legacy
+        # stacked-factorize behaviour where a NaN base key matches the
+        # NaN detail group.
+        nan_values = np.isnan(values)
+        positions = np.where(nan_values, len(uniques) - 1, positions)
+        hit = hit | nan_values
+    return positions.astype(np.int64), hit

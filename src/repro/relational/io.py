@@ -108,7 +108,18 @@ def read_csv(path: str | Path) -> Relation:
 # ---------------------------------------------------------------------------
 
 _MAGIC = b"SKRL"
-_VERSION = 1
+#: Version 2 adds a per-column encoding byte for STRING/BYTES columns:
+#: ``0`` keeps the version-1 plain layout, ``1`` is dictionary coding
+#: (distinct values once + one u32 code per row).  OLAP group-key
+#: columns are massively repetitive, so the dictionary both shrinks the
+#: payload and turns decode into a single NumPy gather.  The decoder
+#: still accepts version-1 payloads.
+_VERSION = 2
+_PLAIN = 0
+_DICT = 1
+
+#: Rows sampled to choose between plain and dictionary layouts.
+_DICT_SAMPLE = 4096
 
 #: Stable one-byte codes for each datatype (wire compatibility contract).
 _DTYPE_CODES = {
@@ -121,6 +132,82 @@ _DTYPE_CODES = {
 _CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
 
 _HEADER = struct.Struct("<4sBIQ")
+
+#: Variable-width columns store (nrows + 1) uint32 byte offsets, so a
+#: single column's blob must fit in 32 bits.  The encoder checks the
+#: total length *before* building offsets: a silent ``cumsum`` wrap
+#: would corrupt every row past the 4 GiB mark instead of failing.
+_MAX_VARWIDTH_BYTES = 0xFFFFFFFF
+
+
+def _column_pieces(array: np.ndarray, dtype: DataType) -> list:
+    """Column values as a list of ``str``/``bytes`` pieces.
+
+    ``str.join``/``bytes.join`` below reject foreign element types, so
+    no per-element type check is needed here — the conversion fallback
+    in :func:`_pack_pieces` handles mixed columns.
+    """
+    return array.tolist()
+
+
+def _pack_pieces(pieces: list, dtype: DataType, name: str) -> bytes:
+    """Offsets + blob bytes for ``pieces`` (the plain v1 layout)."""
+    if dtype is DataType.STRING:
+        try:
+            blob = "".join(pieces).encode("utf-8")
+        except TypeError:
+            pieces = [str(piece) for piece in pieces]
+            blob = "".join(pieces).encode("utf-8")
+        lengths = np.fromiter(map(len, pieces), dtype=np.int64,
+                              count=len(pieces))
+        if len(blob) != int(lengths.sum()):
+            # Non-ASCII text: character counts are not byte counts.
+            encoded = [piece.encode("utf-8") for piece in pieces]
+            blob = b"".join(encoded)
+            lengths = np.fromiter(map(len, encoded), dtype=np.int64,
+                                  count=len(encoded))
+    else:
+        try:
+            blob = b"".join(pieces)
+        except TypeError:
+            pieces = [bytes(piece) for piece in pieces]
+            blob = b"".join(pieces)
+        lengths = np.fromiter(map(len, pieces), dtype=np.int64,
+                              count=len(pieces))
+    _check_varwidth_total(int(lengths.sum()), name)
+    offsets = np.zeros(len(pieces) + 1, dtype="<u4")
+    offsets[1:] = np.cumsum(lengths)
+    return offsets.tobytes() + blob
+
+
+def _varwidth_column(array: np.ndarray, dtype: DataType,
+                     name: str) -> list[bytes]:
+    """Encoded parts (encoding byte first) for one STRING/BYTES column."""
+    pieces = _column_pieces(array, dtype)
+    sample = pieces[:_DICT_SAMPLE]
+    try:
+        repetitive = pieces and 2 * len(set(sample)) <= len(sample)
+    except TypeError:  # unhashable pieces: dictionary coding impossible
+        repetitive = False
+    if not repetitive:
+        return [bytes([_PLAIN]), _pack_pieces(pieces, dtype, name)]
+    index: dict = {}
+    try:
+        codes = [index.setdefault(piece, len(index)) for piece in pieces]
+    except TypeError:  # unhashable past the sample window
+        return [bytes([_PLAIN]), _pack_pieces(pieces, dtype, name)]
+    return [bytes([_DICT]),
+            struct.pack("<I", len(index)),
+            _pack_pieces(list(index), dtype, name),
+            np.asarray(codes, dtype="<u4").tobytes()]
+
+
+def _check_varwidth_total(total: int, name: str) -> int:
+    if total > _MAX_VARWIDTH_BYTES:
+        raise SchemaError(
+            f"column {name!r} blob is {total} bytes; SKRL uint32 offsets "
+            f"cap a variable-width column at {_MAX_VARWIDTH_BYTES} bytes")
+    return total
 
 
 def encode_relation(relation: Relation) -> bytes:
@@ -143,16 +230,8 @@ def encode_relation(relation: Relation) -> bytes:
     for attribute in relation.schema:
         array = relation.column(attribute.name)
         if attribute.dtype in (DataType.STRING, DataType.BYTES):
-            if attribute.dtype is DataType.STRING:
-                encoded = [str(value).encode("utf-8") for value in array]
-            else:
-                encoded = [bytes(value) for value in array]
-            offsets = np.zeros(len(encoded) + 1, dtype=np.uint32)
-            if encoded:
-                np.cumsum([len(blob) for blob in encoded],
-                          out=offsets[1:], dtype=np.uint32)
-            parts.append(offsets.astype("<u4", copy=False).tobytes())
-            parts.append(b"".join(encoded))
+            parts.extend(_varwidth_column(array, attribute.dtype,
+                                          attribute.name))
         elif attribute.dtype is DataType.BOOL:
             parts.append(np.ascontiguousarray(
                 array, dtype=np.uint8).tobytes())
@@ -163,19 +242,59 @@ def encode_relation(relation: Relation) -> bytes:
     return b"".join(parts)
 
 
-def decode_relation(data: bytes) -> Relation:
+def _unpack_pieces(view: memoryview, cursor: int, count: int,
+                   dtype: DataType, name: str) -> tuple[list, int]:
+    """Decode one plain offsets+blob block into a list of pieces."""
+    width = (count + 1) * 4
+    if cursor + width > len(view):
+        raise SchemaError(f"SKRL payload truncated in column {name!r}")
+    offsets = np.frombuffer(view, dtype="<u4", count=count + 1,
+                            offset=cursor).astype(np.int64)
+    cursor += width
+    blob_len = int(offsets[-1]) if count else 0
+    if cursor + blob_len > len(view):
+        raise SchemaError(f"SKRL payload truncated in column {name!r}")
+    blob_view = view[cursor:cursor + blob_len]
+    cursor += blob_len
+    bounds = offsets.tolist()
+    if dtype is DataType.STRING:
+        # Decode the whole blob once; when it is pure ASCII the byte
+        # offsets are character offsets and each row is a C-level text
+        # slice instead of a per-piece decode.
+        text = str(blob_view, "utf-8")
+        if len(text) == blob_len:
+            pieces = [text[start:end]
+                      for start, end in zip(bounds, bounds[1:])]
+        else:
+            pieces = [str(blob_view[start:end], "utf-8")
+                      for start, end in zip(bounds, bounds[1:])]
+    else:
+        blob = bytes(blob_view)
+        pieces = [blob[start:end] for start, end in zip(bounds, bounds[1:])]
+    return pieces, cursor
+
+
+def decode_relation(data: bytes | bytearray | memoryview) -> Relation:
     """Inverse of :func:`encode_relation`.
+
+    Fixed-width columns are decoded **zero-copy**: the returned arrays
+    are little-endian views over ``data``'s buffer (kept alive through
+    the arrays' ``.base`` chain), so decoding a payload that lives in
+    shared memory materializes no column bytes at all.  Relation columns
+    are immutable by repo convention, so the read-only views are safe.
 
     Raises :class:`~repro.errors.SchemaError` on a malformed or truncated
     payload (wrong magic, unknown version/dtype code, short buffer).
     """
     view = memoryview(data)
+    if view.ndim != 1 or view.itemsize != 1:
+        view = view.cast("B")
     if len(view) < _HEADER.size:
         raise SchemaError("SKRL payload truncated before header")
     magic, version, nattrs, nrows = _HEADER.unpack_from(view, 0)
     if magic != _MAGIC:
         raise SchemaError(f"bad SKRL magic {bytes(magic)!r}")
-    if version != _VERSION:
+    if version not in (1, _VERSION):
         raise SchemaError(f"unsupported SKRL version {version}")
     cursor = _HEADER.size
     attributes: list[Attribute] = []
@@ -199,24 +318,47 @@ def decode_relation(data: bytes) -> Relation:
     columns: dict[str, np.ndarray] = {}
     for attribute in attributes:
         if attribute.dtype in (DataType.STRING, DataType.BYTES):
-            width = (nrows + 1) * 4
-            if cursor + width > len(view):
+            encoding = _PLAIN
+            if version >= 2:
+                if cursor + 1 > len(view):
+                    raise SchemaError(
+                        f"SKRL payload truncated in column "
+                        f"{attribute.name!r}")
+                encoding = view[cursor]
+                cursor += 1
+            if encoding == _PLAIN:
+                pieces, cursor = _unpack_pieces(
+                    view, cursor, nrows, attribute.dtype, attribute.name)
+                values = np.empty(nrows, dtype=object)
+                values[:] = pieces
+            elif encoding == _DICT:
+                if cursor + 4 > len(view):
+                    raise SchemaError(
+                        f"SKRL payload truncated in column "
+                        f"{attribute.name!r}")
+                (nuniq,) = struct.unpack_from("<I", view, cursor)
+                pieces, cursor = _unpack_pieces(
+                    view, cursor + 4, nuniq, attribute.dtype,
+                    attribute.name)
+                width = nrows * 4
+                if cursor + width > len(view):
+                    raise SchemaError(
+                        f"SKRL payload truncated in column "
+                        f"{attribute.name!r}")
+                codes = np.frombuffer(view, dtype="<u4", count=nrows,
+                                      offset=cursor).astype(np.int64)
+                cursor += width
+                if nrows and (not nuniq or int(codes.max()) >= nuniq):
+                    raise SchemaError(
+                        f"SKRL dictionary code out of range in column "
+                        f"{attribute.name!r}")
+                pool = np.empty(nuniq, dtype=object)
+                pool[:] = pieces
+                values = pool[codes]
+            else:
                 raise SchemaError(
-                    f"SKRL payload truncated in column {attribute.name!r}")
-            offsets = np.frombuffer(view, dtype="<u4", count=nrows + 1,
-                                    offset=cursor)
-            cursor += width
-            blob_len = int(offsets[-1]) if nrows else 0
-            if cursor + blob_len > len(view):
-                raise SchemaError(
-                    f"SKRL payload truncated in column {attribute.name!r}")
-            blob = bytes(view[cursor:cursor + blob_len])
-            cursor += blob_len
-            values = np.empty(nrows, dtype=object)
-            decode = attribute.dtype is DataType.STRING
-            for index in range(nrows):
-                piece = blob[offsets[index]:offsets[index + 1]]
-                values[index] = piece.decode("utf-8") if decode else piece
+                    f"unknown SKRL column encoding {encoding} in column "
+                    f"{attribute.name!r}")
             columns[attribute.name] = values
         else:
             if attribute.dtype is DataType.BOOL:
@@ -231,8 +373,15 @@ def decode_relation(data: bytes) -> Relation:
             raw = np.frombuffer(view, dtype=wire_dtype, count=nrows,
                                 offset=cursor)
             cursor += width
-            columns[attribute.name] = raw.astype(
-                attribute.dtype.numpy_dtype)
+            if attribute.dtype is DataType.BOOL:
+                # Same itemsize: a dtype view, not a copy.  The encoder
+                # only ever writes 0/1 bytes, so the view is exact.
+                column = raw.view(np.bool_)
+            else:
+                # No-op on little-endian hosts: same dtype, zero copy.
+                column = raw.astype(attribute.dtype.numpy_dtype,
+                                    copy=False)
+            columns[attribute.name] = column
     if cursor != len(view):
         raise SchemaError(
             f"SKRL payload has {len(view) - cursor} trailing bytes")

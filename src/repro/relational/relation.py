@@ -17,6 +17,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.errors import SchemaError
+from repro.relational.factorize import column_promotion, factorize
 from repro.relational.schema import Attribute, Schema
 from repro.relational.types import DataType, coerce_array, infer_type
 
@@ -267,11 +268,8 @@ class Relation:
         per_column_codes = []
         for name in target_names:
             array = self.column(name)
-            if array.dtype == object:
-                __, codes = np.unique(array.astype(str), return_inverse=True)
-            else:
-                __, codes = np.unique(array, return_inverse=True)
-            per_column_codes.append(codes.astype(np.int64))
+            __, codes = factorize(array, column_promotion(array))
+            per_column_codes.append(codes)
         combined = per_column_codes[0].copy()
         for codes in per_column_codes[1:]:
             cardinality = int(codes.max()) + 1 if len(codes) else 1

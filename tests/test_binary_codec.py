@@ -205,6 +205,108 @@ class TestMalformedPayloads:
             decode_relation(bytes(data))
 
 
+class TestDictionaryEncoding:
+    """SKRL v2 dictionary coding for repetitive var-width columns."""
+
+    def test_repetitive_strings_roundtrip_and_shrink(self):
+        values = [f"status_{i % 3}" for i in range(5000)]
+        schema = Schema([Attribute("s", DataType.STRING)])
+        relation = Relation.from_rows(schema, [[v] for v in values])
+        payload = encode_relation(relation)
+        assert list(decode_relation(payload).column("s")) == values
+        # 3 distinct 8-byte strings + u4 codes beats plain offsets+blob
+        plain_size = 5000 * (4 + 8)
+        assert len(payload) < plain_size
+
+    def test_high_cardinality_strings_stay_plain(self):
+        values = [f"unique_{i}" for i in range(3000)]
+        schema = Schema([Attribute("s", DataType.STRING)])
+        relation = Relation.from_rows(schema, [[v] for v in values])
+        assert list(decode_relation(encode_relation(relation))
+                    .column("s")) == values
+
+    def test_repetitive_bytes_roundtrip(self):
+        blobs = [bytes([i % 4]) * 50 for i in range(2000)]
+        relation = Relation.from_rows(
+            WITH_BYTES, [[i, blob] for i, blob in enumerate(blobs)])
+        decoded = decode_relation(encode_relation(relation))
+        assert list(decoded.column("blob")) == blobs
+
+    def test_corrupt_dictionary_code_rejected(self):
+        from repro.relational import io as io_module
+        values = ["aa"] * 200  # forces _DICT with a 1-entry dictionary
+        schema = Schema([Attribute("s", DataType.STRING)])
+        payload = bytearray(encode_relation(
+            Relation.from_rows(schema, [[v] for v in values])))
+        assert io_module._DICT in payload  # sanity: dict path taken
+        payload[-1] = 9  # last u4 code now exceeds the dictionary
+        with pytest.raises(SchemaError, match="dictionary"):
+            decode_relation(bytes(payload))
+
+
+class TestZeroCopyDecode:
+    def test_fixed_width_columns_view_the_payload(self):
+        schema = Schema([Attribute("i", DataType.INT64),
+                         Attribute("f", DataType.FLOAT64)])
+        relation = Relation.from_rows(
+            schema, [[i, float(i)] for i in range(512)])
+        payload = encode_relation(relation)
+        decoded = decode_relation(payload)
+        for name in ("i", "f"):
+            column = decoded.column(name)
+            assert not column.flags.owndata  # a view into the payload
+            assert np.shares_memory(
+                column, np.frombuffer(payload, dtype=np.uint8))
+
+    def test_memoryview_and_bytearray_inputs(self):
+        relation = Relation.from_rows(ALL_TYPES, [[5, 2.5, "five", True]])
+        payload = encode_relation(relation)
+        for wrapped in (bytearray(payload), memoryview(payload),
+                        memoryview(bytearray(payload))):
+            assert decode_relation(wrapped).multiset_equals(relation)
+
+
+class TestOffsetOverflowGuard:
+    """Var-width blobs beyond 4 GiB must fail loudly, not wrap u32."""
+
+    def test_check_varwidth_total_names_the_column(self):
+        from repro.relational.io import (_MAX_VARWIDTH_BYTES,
+                                         _check_varwidth_total)
+        _check_varwidth_total(_MAX_VARWIDTH_BYTES, "ok")  # at the limit
+        with pytest.raises(SchemaError, match="big_col"):
+            _check_varwidth_total(_MAX_VARWIDTH_BYTES + 1, "big_col")
+        with pytest.raises(SchemaError, match="uint32"):
+            _check_varwidth_total(2**40, "big_col")
+
+    def test_encode_raises_instead_of_wrapping(self, monkeypatch):
+        # Shrink the limit so the overflow is exercised without
+        # allocating gigabytes; pre-guard encoders wrapped the u32
+        # offsets silently and produced a corrupt payload.
+        from repro.relational import io as io_module
+        monkeypatch.setattr(io_module, "_MAX_VARWIDTH_BYTES", 100)
+        schema = Schema([Attribute("oversized", DataType.STRING)])
+        relation = Relation.from_rows(
+            schema, [["x" * 60], ["y" * 60]])  # 120 > 100 total
+        with pytest.raises(SchemaError, match="oversized"):
+            encode_relation(relation)
+
+    def test_encode_bytes_column_guarded_too(self, monkeypatch):
+        from repro.relational import io as io_module
+        monkeypatch.setattr(io_module, "_MAX_VARWIDTH_BYTES", 100)
+        relation = Relation.from_rows(
+            WITH_BYTES, [[0, b"\x01" * 101]])
+        with pytest.raises(SchemaError, match="blob"):
+            encode_relation(relation)
+
+    def test_under_limit_still_encodes(self, monkeypatch):
+        from repro.relational import io as io_module
+        monkeypatch.setattr(io_module, "_MAX_VARWIDTH_BYTES", 100)
+        schema = Schema([Attribute("s", DataType.STRING)])
+        relation = Relation.from_rows(schema, [["x" * 100]])
+        assert decode_relation(encode_relation(relation)) \
+            .multiset_equals(relation)
+
+
 class TestCodecVsModeledWidth:
     def test_fixed_width_columns_close_to_model(self):
         """For numeric columns the codec matches the modeled wire width

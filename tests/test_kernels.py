@@ -1,0 +1,303 @@
+"""Property tests for the vectorized residual-θ kernels.
+
+The rewrite contract is *bit identity*: for every θ shape the batched
+kernels (`_evaluate_scan_kernels`) must reproduce the retired per-base-
+tuple loop (kept as ``_evaluate_scan_reference`` behind the
+``reference_scan`` flag) byte for byte — same values, same dtypes, same
+NaN patterns.  Randomized plans cover range-θ, folded equalities,
+detail-only filters, arbitrary residuals, no-pair conditions, empty
+groups, all-unmatched bases, and BYTES sketch-state columns.
+
+Also here: the two kernel-adjacent regression fixes — ``match_codes``
+integer key coding (keys ≥ 2**53 must not collide through float64) and
+the integer-dtype holistic staging path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AggregateError
+from repro.relational.aggregates import (
+    AggregateFunction, AggregateSpec, count_star, primitive_reduce,
+    primitive_reduce_segments, register_function)
+from repro.relational.expressions import b, r
+from repro.relational.relation import Relation
+from repro.relational.types import DataType
+from repro.core.evaluator import (
+    STATES, evaluate_gmdj, match_codes, reference_scan)
+from repro.core.gmdj import Gmdj
+from repro.core.builder import agg
+
+
+# ---------------------------------------------------------------------------
+# Scenario generation
+# ---------------------------------------------------------------------------
+
+def make_detail(rng, num_rows, num_groups, with_nan=False):
+    values = rng.normal(0.0, 10.0, num_rows)
+    if with_nan and num_rows:
+        values[rng.integers(0, num_rows, max(1, num_rows // 10))] = np.nan
+    return Relation.from_dicts([
+        {"g": int(g), "v": float(v), "name": f"n{int(g) % 5}",
+         "w": float(i % 7)}
+        for i, (g, v) in enumerate(
+            zip(rng.integers(0, max(num_groups, 1), num_rows), values))
+    ] or [{"g": 0, "v": 0.0, "name": "n0", "w": 0.0}]).take(
+        np.arange(num_rows))
+
+
+def make_base(rng, num_rows, num_groups, unmatched=False):
+    offset = 10_000 if unmatched else 0
+    return Relation.from_dicts([
+        {"g": int(g) + offset, "lo": float(lo), "hi": float(hi),
+         "name": f"n{int(g) % 5}"}
+        for g, lo, hi in zip(
+            rng.integers(0, max(num_groups, 1), num_rows),
+            rng.normal(-5.0, 5.0, num_rows),
+            rng.normal(5.0, 5.0, num_rows))
+    ] or [{"g": 0, "lo": 0.0, "hi": 0.0, "name": "n0"}]).take(
+        np.arange(num_rows))
+
+
+CONDITIONS = {
+    "range": lambda: (r.g == b.g) & (r.v >= b.lo) & (r.v < b.hi),
+    "range_open": lambda: (r.g == b.g) & (r.v > b.lo),
+    "range_no_pairs": lambda: (r.v >= b.lo) & (r.v <= b.hi),
+    "fold_equality": lambda: (r.g == b.g) & (r.name == b.name),
+    "detail_filter": lambda: (r.g == b.g) & (r.w >= 3.0) & (r.v < b.hi),
+    "base_filter": lambda: (r.g == b.g) & (b.lo <= 0.0) & (r.v >= b.lo),
+    "arbitrary": lambda: (r.g == b.g) & ((r.v >= b.lo) | (r.name == b.name)),
+    "no_pairs_arbitrary": lambda: (r.v >= b.lo) | (r.v <= b.hi - 20.0),
+    "inset_scalar": lambda: (r.g == b.g) & r.name.isin(["n0", "n2"]),
+}
+
+AGGREGATES = [
+    count_star("cnt"),
+    agg("sum", "v", "total"),
+    agg("avg", "v", "mean"),
+    agg("min", "w", "low"),
+    agg("max", "v", "high"),
+    agg("var", "v", "spread"),
+]
+
+
+def assert_bit_identical(gmdj, base, detail, output="finalized"):
+    fast = evaluate_gmdj(gmdj, base, detail, output=output)
+    with reference_scan():
+        slow = evaluate_gmdj(gmdj, base, detail, output=output)
+    assert fast.schema == slow.schema
+    for name in fast.schema.names:
+        got, want = fast.column(name), slow.column(name)
+        assert got.dtype == want.dtype, name
+        if got.dtype == object:
+            assert all(x == y or (x != x and y != y)
+                       for x, y in zip(got, want)), name
+        else:
+            assert got.tobytes() == want.tobytes(), name
+    return fast
+
+
+class TestKernelBitIdentity:
+    @pytest.mark.parametrize("shape", sorted(CONDITIONS))
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_randomized_plans(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        detail = make_detail(rng, int(rng.integers(0, 120)),
+                             int(rng.integers(1, 12)),
+                             with_nan=bool(rng.integers(0, 2)))
+        base = make_base(rng, int(rng.integers(0, 25)),
+                         int(rng.integers(1, 16)))
+        gmdj = Gmdj.single(AGGREGATES, CONDITIONS[shape]())
+        assert_bit_identical(gmdj, base, detail)
+
+    @pytest.mark.parametrize("shape", ["range", "fold_equality",
+                                       "arbitrary"])
+    def test_all_unmatched_bases(self, shape):
+        rng = np.random.default_rng(3)
+        detail = make_detail(rng, 60, 6)
+        base = make_base(rng, 10, 6, unmatched=True)
+        result = assert_bit_identical(
+            gmdj := Gmdj.single(AGGREGATES, CONDITIONS[shape]()), base,
+            detail)
+        assert int(result.column("cnt").sum()) == 0
+
+    def test_empty_groups_and_empty_relations(self):
+        rng = np.random.default_rng(5)
+        for nd, nb in [(0, 8), (50, 0), (0, 0), (50, 8)]:
+            detail = make_detail(rng, nd, 3)
+            base = make_base(rng, nb, 9)  # base keys beyond detail's range
+            for shape in ("range", "arbitrary", "range_no_pairs"):
+                assert_bit_identical(
+                    Gmdj.single(AGGREGATES, CONDITIONS[shape]()), base,
+                    detail)
+
+    def test_sketch_state_bytes_columns(self):
+        rng = np.random.default_rng(11)
+        detail = make_detail(rng, 80, 5)
+        base = make_base(rng, 12, 7)
+        specs = [count_star("cnt"),
+                 AggregateSpec("approx_count_distinct", "name", "acd",
+                               precision=10)]
+        gmdj = Gmdj.single(specs, CONDITIONS["range"]())
+        states = assert_bit_identical(gmdj, base, detail, output=STATES)
+        sketch_cols = [a.name for a in states.schema
+                       if a.dtype is DataType.BYTES]
+        assert sketch_cols, "expected a BYTES sketch state column"
+
+    def test_nan_range_bounds_give_empty_windows(self):
+        rng = np.random.default_rng(13)
+        detail = make_detail(rng, 40, 4)
+        base = Relation.from_dicts([
+            {"g": 1, "lo": float("nan"), "hi": 5.0, "name": "n1"},
+            {"g": 2, "lo": -50.0, "hi": 50.0, "name": "n2"},
+        ])
+        gmdj = Gmdj.single(AGGREGATES, CONDITIONS["range"]())
+        result = assert_bit_identical(gmdj, base, detail)
+        assert int(result.column("cnt")[0]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Segmented reductions (the kernels' aggregation backend)
+# ---------------------------------------------------------------------------
+
+class TestSegmentedReductions:
+    @pytest.mark.parametrize("primitive", ["sum", "min", "max", "sumsq",
+                                           "m2"])
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_bitwise_matches_per_segment_reduce(self, primitive, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 200))
+        values = rng.normal(0.0, 100.0, n)
+        # strictly increasing starts < n: every segment is non-empty,
+        # as primitive_reduce_segments' contract requires
+        starts = np.unique(rng.integers(0, n, int(rng.integers(1, 20))))
+        segments = primitive_reduce_segments(primitive, values,
+                                             starts.astype(np.int64))
+        bounds = np.append(starts, n)
+        for i, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+            expected = primitive_reduce(primitive, values[lo:hi])
+            got, want = np.float64(segments[i]), np.float64(expected)
+            assert got.tobytes() == want.tobytes(), (primitive, i)
+
+    def test_short_segment_sequential_sum_property(self):
+        # numpy's pairwise summation only kicks in at 8 elements; the
+        # short-segment vectorized path in _segment_sums relies on
+        # sequential left-to-right adds being bit-identical below that.
+        rng = np.random.default_rng(99)
+        for n in range(8):
+            for _ in range(200):
+                values = rng.normal(0.0, 1e6, n)
+                acc = np.float64(0.0) if n == 0 else np.float64(values[0])
+                for x in values[1:]:
+                    acc = acc + x
+                assert np.float64(values.sum()).tobytes() == acc.tobytes()
+
+    def test_bool_sum_counts_not_ors(self):
+        values = np.array([True, True, False, True])
+        out = primitive_reduce_segments("sum", values,
+                                        np.array([0, 2], dtype=np.int64))
+        assert out.tolist() == [2, 1]
+
+
+# ---------------------------------------------------------------------------
+# match_codes: integer join keys must not round through float64
+# ---------------------------------------------------------------------------
+
+class TestMatchCodesLargeKeys:
+    def test_keys_above_2_53_stay_distinct(self):
+        # 2**53 and 2**53 + 1 are the smallest adjacent int64 pair that
+        # collide when staged through float64 — the pre-fix coding
+        # merged them into one group (wrong aggregates, no error).
+        k0, k1 = 2**53, 2**53 + 1
+        base = Relation.from_dicts([{"k": k0}, {"k": k1}])
+        detail = Relation.from_dicts([{"k": k0}, {"k": k0}, {"k": k1}])
+        base_codes, detail_codes, num_groups = match_codes(
+            base, ["k"], detail, ["k"])
+        assert num_groups == 2
+        assert base_codes[0] != base_codes[1]
+        counts = np.bincount(detail_codes, minlength=num_groups)
+        assert sorted(counts.tolist()) == [1, 2]
+
+    def test_large_keys_through_full_evaluation(self):
+        k0, k1 = 2**53, 2**53 + 1
+        base = Relation.from_dicts([{"g": k0}, {"g": k1}])
+        detail = Relation.from_dicts(
+            [{"g": k0, "v": 1.0}, {"g": k0, "v": 2.0}, {"g": k1, "v": 8.0}])
+        gmdj = Gmdj.single([count_star("cnt"), agg("sum", "v", "s")],
+                           r.g == b.g)
+        result = evaluate_gmdj(gmdj, base, detail)
+        assert result.column("cnt").tolist() == [2, 1]
+        assert result.column("s").tolist() == [3.0, 8.0]
+
+    def test_mixed_int_float_keys_still_match(self):
+        base = Relation.from_dicts([{"k": 2.0}, {"k": 3.5}])
+        detail = Relation.from_dicts([{"k": 2}, {"k": 2}, {"k": 4}])
+        base_codes, detail_codes, num_groups = match_codes(
+            base, ["k"], detail, ["k"])
+        assert base_codes[0] >= 0  # 2.0 matches integer 2
+        assert base_codes[1] == -1
+
+
+# ---------------------------------------------------------------------------
+# Holistic staging dtype (INT64 outputs must not stage through float64)
+# ---------------------------------------------------------------------------
+
+class _BigIdHolistic(AggregateFunction):
+    """Holistic test double whose INT64 output exceeds 2**53."""
+
+    name = "test_big_id"
+    decomposable = False
+
+    def output_dtype(self, input_dtype):
+        return DataType.INT64
+
+    def state_primitives(self):
+        raise AggregateError("holistic: no bounded state")
+
+    def compute(self, values, count):
+        if values is None or count == 0:
+            return 0
+        return int(values.max())
+
+
+register_function(_BigIdHolistic())
+
+
+class TestHolisticIntegerStaging:
+    BIG = 2**53 + 1  # survives int64, rounds to 2**53 in float64
+
+    def _relations(self):
+        detail = Relation.from_dicts(
+            [{"g": 0, "id": self.BIG}, {"g": 0, "id": 7},
+             {"g": 1, "id": self.BIG - 2}])
+        base = Relation.from_dicts([{"g": 0}, {"g": 1}, {"g": 2}])
+        return base, detail
+
+    def test_grouped_path_exact(self):
+        base, detail = self._relations()
+        gmdj = Gmdj.single([agg("test_big_id", "id", "big")], r.g == b.g)
+        result = evaluate_gmdj(gmdj, base, detail)
+        assert result.column("big").dtype == np.int64
+        assert result.column("big").tolist() == [self.BIG, self.BIG - 2, 0]
+
+    def test_scan_path_exact_and_bit_identical(self):
+        base, detail = self._relations()
+        gmdj = Gmdj.single([agg("test_big_id", "id", "big")],
+                           (r.g == b.g) & (r.id >= 0))
+        result = assert_bit_identical(gmdj, base, detail)
+        assert result.column("big").dtype == np.int64
+        assert result.column("big").tolist() == [self.BIG, self.BIG - 2, 0]
+
+    def test_builtin_holistics_keep_declared_dtypes(self):
+        rng = np.random.default_rng(2)
+        detail = make_detail(rng, 50, 4)
+        base = make_base(rng, 8, 6)
+        gmdj = Gmdj.single(
+            [agg("count_distinct", "name", "dn"),
+             agg("median", "v", "med")], r.g == b.g)
+        result = evaluate_gmdj(gmdj, base, detail)
+        assert result.column("dn").dtype == np.int64
+        assert result.column("med").dtype == np.float64

@@ -25,7 +25,10 @@ from repro.distributed.plan import ALL_OPTIMIZATIONS, NO_OPTIMIZATIONS
 from repro.distributed.transport import (
     DEFAULT_TRANSPORT, InProcessTransport, MultiprocessTransport,
     RetryPolicy, SiteRequest, ThreadTransport, TRANSPORTS, create_transport)
-from repro.distributed.transport.process import _default_start_method
+from repro.distributed.transport.process import (
+    _claim_shared, _default_start_method)
+from repro.distributed.transport import worker as worker_module
+from repro.distributed.transport.worker import ship_shared
 
 
 @pytest.fixture()
@@ -155,6 +158,37 @@ class TestParity:
         first = relations["inprocess"]
         for name, relation in relations.items():
             assert relation.multiset_equals(first), name
+
+    def test_shared_memory_segment_roundtrip(self):
+        payload = b"SKRL-ish payload " * 101
+        name, size = ship_shared(payload)
+        assert size == len(payload)
+        assert _claim_shared(name, size) == payload
+        # the segment is consumed: a second attach must fail
+        from multiprocessing import shared_memory
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_shared_memory_empty_payload(self):
+        name, size = ship_shared(b"")
+        assert size == 0
+        assert _claim_shared(name, size) == b""
+
+    @pytest.mark.skipif(_default_start_method() != "fork",
+                        reason="threshold patch needs fork inheritance")
+    def test_process_transport_shared_memory_parity(self, detail,
+                                                    monkeypatch):
+        # Force even tiny sub-aggregates through the segment path so the
+        # parity check genuinely exercises ship/claim on every response.
+        monkeypatch.setattr(worker_module, "SHM_MIN_BYTES", 0)
+        query = correlated_query()
+        reference = query.evaluate_centralized(detail)
+        with make_engine(detail, None) as engine:
+            engine.use_transport("process", shared_memory=True)
+            result = engine.execute(query, ALL_OPTIMIZATIONS)
+            assert "shm" in engine.transport.describe()
+        assert result.relation.multiset_equals(reference)
+        assert result.metrics.real_bytes > 0
 
     def test_process_transport_streaming_parity(self, detail):
         query = correlated_query()
