@@ -2,7 +2,7 @@
 
 .PHONY: ci lint test coverage test-differential bench bench-cache \
 	bench-parallel bench-sketches bench-service bench-topology \
-	bench-skew bench-kernels
+	bench-skew bench-kernels bench-cube
 
 ci:
 	sh scripts/ci.sh all
@@ -68,3 +68,10 @@ bench-skew:
 #   PYTHONPATH=src python benchmarks/bench_campaign.py
 bench-kernels:
 	sh scripts/ci.sh bench-kernels
+
+# The CUBE lattice gate: smoke-scale lattice vs naive per-cuboid sweep
+# plus baseline comparison, exactly as the cube CI job runs it.  To
+# refresh the committed baseline (benchmarks/results/ext_cube.json):
+#   PYTHONPATH=src python benchmarks/bench_ext_cube.py
+bench-cube:
+	sh scripts/ci.sh bench-cube

@@ -21,7 +21,12 @@ Two report shapes are understood, dispatched on the ``kind`` field:
   aligned by (rows, sites, θ-shape) and kernel-vs-reference bit
   identity is asserted unconditionally; the fresh kernel ``speedup``
   and per-column codec ``roundtrip_mbps`` may be at most R x below the
-  baseline's.
+  baseline's;
+* ``cube-sweep`` reports (``bench_ext_cube.py``): entries are aligned
+  by cube width, lattice-vs-naive-vs-oracle identity and the
+  zero-round materialized-slice hit are asserted unconditionally, and
+  the fresh wire-``bytes_ratio`` may be at most R x below the
+  baseline's (bytes are modeled, so in practice they match exactly).
 
 Absolute latencies vary across machines, so the threshold is a loose
 2x by design — the gate exists to catch algorithmic regressions (a lost
@@ -172,6 +177,49 @@ def _compare_kernels(baseline: dict, fresh: dict,
     return problems
 
 
+def _compare_cube(baseline: dict, fresh: dict,
+                  max_ratio: float) -> list[str]:
+    """Gate a cube-sweep report: identity always, byte savings loosely.
+
+    A smoke run may sweep fewer cube widths than the committed baseline
+    (extra baseline entries are fine); every fresh entry must have a
+    baseline counterpart to compare against.
+    """
+    problems = []
+    by_dims = {entry.get("dims"): entry
+               for entry in baseline.get("sweep", [])}
+    for entry in fresh.get("sweep", []):
+        dims = entry.get("dims")
+        label = f"dims={dims}"
+        if not entry.get("identical", False):
+            problems.append(
+                f"{label}: lattice, naive, and oracle results "
+                f"are not identical")
+        slice_hit = entry.get("slice", {})
+        if not slice_hit.get("ancestor_hits"):
+            problems.append(
+                f"{label}: slice missed the materialized ancestor")
+        if slice_hit.get("participating_sites"):
+            problems.append(
+                f"{label}: served slice touched "
+                f"{slice_hit['participating_sites']} site(s)")
+        base = by_dims.get(dims)
+        if base is None:
+            problems.append(
+                f"{label}: no baseline entry for this cube width")
+            continue
+        base_value = base.get("bytes_ratio", 0)
+        new_value = entry.get("bytes_ratio", 0)
+        if (base_value > 0 and new_value > 0
+                and base_value > max_ratio * new_value):
+            problems.append(
+                f"{label}: bytes_ratio regressed "
+                f"{base_value / new_value:.2f}x "
+                f"({base_value:.2f} -> {new_value:.2f}, "
+                f"limit {max_ratio:.1f}x)")
+    return problems
+
+
 def compare(baseline: dict, fresh: dict,
             max_ratio: float = DEFAULT_MAX_RATIO) -> list[str]:
     """Return the list of violations (empty means the gate passes)."""
@@ -181,6 +229,8 @@ def compare(baseline: dict, fresh: dict,
         return _compare_skew(baseline, fresh, max_ratio)
     if "kernels-campaign" in (baseline.get("kind"), fresh.get("kind")):
         return _compare_kernels(baseline, fresh, max_ratio)
+    if "cube-sweep" in (baseline.get("kind"), fresh.get("kind")):
+        return _compare_cube(baseline, fresh, max_ratio)
     problems = []
     for window in ("cold", "warm"):
         base, new = baseline.get(window), fresh.get(window)
@@ -247,6 +297,17 @@ def main(argv=None) -> int:
             print(f"codec {entry.get('column'):<13}: roundtrip "
                   f"{base.get('roundtrip_mbps', 0):7.1f} MB/s -> "
                   f"{entry.get('roundtrip_mbps', 0):7.1f} MB/s")
+    elif "cube-sweep" in (baseline.get("kind"), fresh.get("kind")):
+        by_dims = {entry.get("dims"): entry
+                   for entry in baseline.get("sweep", [])}
+        for entry in fresh.get("sweep", []):
+            base = by_dims.get(entry.get("dims"), {})
+            derived = entry.get("lattice", {}).get("cuboids_derived", 0)
+            print(f"dims={entry.get('dims'):<3}: bytes_ratio "
+                  f"{base.get('bytes_ratio', 0):5.2f}x -> "
+                  f"{entry.get('bytes_ratio', 0):5.2f}x | "
+                  f"derived {derived} | "
+                  f"identical={entry.get('identical')}")
     elif "skew-sweep" in (baseline.get("kind"), fresh.get("kind")):
         by_zipf = {entry.get("s"): entry
                    for entry in baseline.get("sweep", [])}

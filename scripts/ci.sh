@@ -41,9 +41,17 @@
 #                               compared against the committed baseline
 #                               (fails on a >2x speedup/codec
 #                               throughput regression)
+#   scripts/ci.sh bench-cube    the CUBE lattice gate: lattice vs
+#                               naive per-cuboid rounds on TPCR at
+#                               smoke scale (bit-reproducible, modeled
+#                               bytes), asserted bit-identical, leaner
+#                               on the wire, and serving slices from
+#                               the materialized ancestor, then
+#                               compared against the committed baseline
 #   scripts/ci.sh all           lint + test + differential + bench +
 #                               bench-service + bench-topology +
-#                               bench-skew + bench-kernels (the default)
+#                               bench-skew + bench-kernels + bench-cube
+#                               (the default)
 #
 # Exit code: non-zero as soon as any stage fails.
 
@@ -181,6 +189,22 @@ bench_kernels() {
         benchmarks/results/ext_kernels_ci.json
 }
 
+# The CUBE lattice gate (tentpole of the cube PR): run the lattice vs
+# naive per-cuboid sweep at smoke scale (modeled bytes, so the numbers
+# are bit-reproducible), assert lattice/naive/oracle bit-identity, a
+# measurable wire-byte saving, and a zero-round materialized-slice hit,
+# then diff against the committed baseline.  The fresh JSON is left at
+# benchmarks/results/ext_cube_ci.json for artifact upload.
+bench_cube() {
+    echo "== bench-cube: CUBE lattice gate =="
+    "$PYTHON" benchmarks/bench_ext_cube.py --smoke \
+        --json benchmarks/results/ext_cube_ci.json
+    echo "== bench-cube: compare against committed baseline =="
+    "$PYTHON" scripts/bench_compare.py \
+        benchmarks/results/ext_cube.json \
+        benchmarks/results/ext_cube_ci.json
+}
+
 stage=${1:-all}
 case "$stage" in
     lint)           lint ;;
@@ -192,10 +216,12 @@ case "$stage" in
     bench-topology) bench_topology ;;
     bench-skew)     bench_skew ;;
     bench-kernels)  bench_kernels ;;
+    bench-cube)     bench_cube ;;
     all)            lint; tests; differential; bench; bench_service;
-                    bench_topology; bench_skew; bench_kernels ;;
+                    bench_topology; bench_skew; bench_kernels;
+                    bench_cube ;;
     *)  echo "usage: scripts/ci.sh [lint|test|coverage|differential|" \
             "bench|bench-service|bench-topology|bench-skew|" \
-            "bench-kernels|all]" \
+            "bench-kernels|bench-cube|all]" \
             >&2; exit 2 ;;
 esac

@@ -134,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--cache-budget-mb", type=float, default=64.0,
                        help="cache memory budget in MiB of SKRL-encoded "
                             "sub-results (default 64)")
+    query.add_argument("--cube-materialize", action="store_true",
+                       help="for CUBE/ROLLUP/GROUPING SETS: keep the "
+                            "lattice sources' merged states in a "
+                            "materialized-cuboid store so repeated runs "
+                            "serve coarser slices by local rollup")
     query.add_argument("--repeat", type=int, default=1,
                        help="execute the query N times in one process "
                             "(warm runs demonstrate the cache; the last "
@@ -304,26 +309,59 @@ def _cmd_query(args) -> int:
     if not args.no_skew_split:
         from repro.skew import SkewPolicy
         engine.enable_skew(SkewPolicy(threshold=args.skew_threshold))
-    compiled = compile_query(args.sql, engine.detail_schema,
-                             sketch_precision=args.sketch_precision)
-    expression = compiled.expression
+    from repro.sql.parser import parse
+    statement = parse(args.sql)
     flags = _resolve_flags(args.optimize)
     repeats = max(1, args.repeat)
-    try:
-        for __ in range(repeats):
-            result = engine.execute(expression, flags,
-                                    streaming=args.streaming)
-    finally:
-        engine.close()
-    if args.explain:
-        from repro.distributed.explain import explain_analyze
-        print(explain_analyze(result))
-        print()
-    table = compiled.post_process(result.relation)
-    if not compiled.order_by:
-        table = table.sort(list(expression.key))
-    print(table.pretty(args.limit))
-    metrics = result.metrics
+    if statement.cube_family:
+        from repro.cube import (
+            CuboidStore, compile_lattice, execute_lattice)
+        if args.streaming:
+            raise SystemExit("--streaming is not supported with "
+                             "CUBE/ROLLUP/GROUPING SETS")
+        plan = compile_lattice(statement, engine.detail_schema,
+                               sketch_precision=args.sketch_precision)
+        store = CuboidStore() if args.cube_materialize else None
+        try:
+            for __ in range(repeats):
+                execution = execute_lattice(engine, plan, flags,
+                                            store=store)
+        finally:
+            engine.close()
+        result = execution.runs[0]
+        table = execution.relation.sort(
+            [*plan.attrs, *(alias for __, alias in plan.groupings)])
+        metrics = execution.metrics
+        if args.explain:
+            from repro.distributed.explain import explain_analyze
+            from repro.distributed.engine import ExecutionResult
+            print(explain_analyze(ExecutionResult(
+                execution.relation, metrics, result.plan)))
+            print()
+        print(table.pretty(args.limit))
+        if store is not None:
+            stats = store.stats()
+            print(f"\ncuboid store: {stats['entries']} cuboid(s), "
+                  f"{stats['total_bytes']:,} encoded bytes")
+    else:
+        compiled = compile_query(args.sql, engine.detail_schema,
+                                 sketch_precision=args.sketch_precision)
+        expression = compiled.expression
+        try:
+            for __ in range(repeats):
+                result = engine.execute(expression, flags,
+                                        streaming=args.streaming)
+        finally:
+            engine.close()
+        if args.explain:
+            from repro.distributed.explain import explain_analyze
+            print(explain_analyze(result))
+            print()
+        table = compiled.post_process(result.relation)
+        if not compiled.order_by:
+            table = table.sort(list(expression.key))
+        metrics = result.metrics
+        print(table.pretty(args.limit))
     print(f"\n{table.num_rows} rows; "
           f"{metrics.num_synchronizations} synchronization(s); "
           f"{metrics.total_bytes:,} bytes moved (modeled); "
@@ -356,6 +394,13 @@ def _cmd_query(args) -> int:
               f"{metrics.virtual_sites} virtual scan(s); "
               f"{metrics.heavy_hitter_keys} heavy-hitter key(s); "
               f"{metrics.rebalanced_bytes:,} bytes rebalanced")
+    if metrics.cuboids_total:
+        print(f"cube: {metrics.cuboids_total} cuboid(s), "
+              f"{metrics.cuboids_derived} derived coordinator-side; "
+              f"{metrics.lattice_levels} scatter level(s)")
+    if metrics.ancestor_hits:
+        print(f"cuboid serving: {metrics.ancestor_hits} "
+              f"ancestor hit(s), answered by local rollup")
     if metrics.cache_enabled:
         print(f"cache: {metrics.cache_hits} hit(s), "
               f"{metrics.cache_misses} miss(es), "

@@ -1,0 +1,27 @@
+"""Distributed CUBE/ROLLUP: lattice planning, rollup, materialization.
+
+The cuboid lattice (Gray et al. [12]) meets the source paper's
+Theorem 1: only maximal requested groupings run distributed rounds;
+coarser cuboids are derived coordinator-side by merging the captured
+sub-aggregate states, and materialized cuboids answer slice queries
+without touching a site.
+"""
+
+from repro.cube.lattice import (
+    CubeLatticePlan, compile_lattice, cube_sets, requested_sets,
+    rollup_sets)
+from repro.cube.executor import (
+    CubeExecution, execute_lattice, run_centralized, stitch_cuboids)
+from repro.cube.rollup import (
+    derive_cuboid, finalize_states_relation, rollup_states)
+from repro.cube.store import (
+    CuboidStore, MaterializedCuboid, aggregate_fingerprint)
+from repro.cube.serving import serve_statement, servable_grouping
+
+__all__ = [
+    "CubeLatticePlan", "compile_lattice", "cube_sets", "requested_sets",
+    "rollup_sets", "CubeExecution", "execute_lattice", "run_centralized",
+    "stitch_cuboids", "derive_cuboid", "finalize_states_relation",
+    "rollup_states", "CuboidStore", "MaterializedCuboid",
+    "aggregate_fingerprint", "serve_statement", "servable_grouping",
+]

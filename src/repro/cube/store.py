@@ -1,0 +1,162 @@
+"""Materialized cuboids: SKRL-budgeted storage + ancestor serving.
+
+A :class:`CuboidStore` keeps the *state relations* of evaluated source
+cuboids (not their finalized output): states stay mergeable, so one
+stored cuboid answers every coarser grouping over the same aggregates
+by Theorem-1 rollup — the lattice-aware serving path.  Entries are
+byte-budgeted in SKRL-encoded size (the same accounting as the
+sub-aggregate cache and the wire) with strict LRU eviction, and each is
+stamped with the engine ``data_version`` it was built at; an append
+bumps the version and the entry becomes *stale* — still present, but a
+refresh round (which the sub-aggregate cache turns into a cheap DELTA
+upgrade) must re-stamp it before it serves again.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PlanError
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.relation import Relation
+from repro.cache.store import encoded_size
+
+#: Default budget: 64 MB of SKRL-encoded cuboid states.
+DEFAULT_BUDGET_BYTES = 64 * 1024 * 1024
+
+
+def aggregate_fingerprint(aggregates: Sequence[AggregateSpec],
+                          ) -> tuple[tuple, ...]:
+    """A hashable identity for an aggregate list (order-sensitive)."""
+    return tuple((spec.func, spec.column, spec.alias, spec.param,
+                  spec.precision)
+                 for spec in aggregates)
+
+
+@dataclass
+class MaterializedCuboid:
+    """One stored source cuboid: its key, aggregates, and states."""
+
+    key: tuple[str, ...]
+    fingerprint: tuple[tuple, ...]
+    aggregates: tuple[AggregateSpec, ...]
+    states: Relation
+    #: engine ``data_version`` the states were computed at
+    data_version: int
+    encoded_bytes: int
+    hits: int = 0
+
+
+class CuboidStore:
+    """Byte-budgeted LRU of materialized cuboid state relations."""
+
+    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES):
+        if budget_bytes <= 0:
+            raise PlanError("cuboid store budget must be positive")
+        self.budget_bytes = budget_bytes
+        self._entries: "OrderedDict[tuple, MaterializedCuboid]" = \
+            OrderedDict()
+        self.total_bytes = 0
+        self.evictions = 0
+        self.ancestor_hits = 0
+        self.refreshes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[MaterializedCuboid]:
+        return list(self._entries.values())
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, key: Sequence[str],
+            aggregates: Sequence[AggregateSpec],
+            states: Relation, data_version: int) -> MaterializedCuboid | None:
+        """Materialize (or re-stamp) one source cuboid's states.
+
+        Returns the entry, or ``None`` when the states alone exceed the
+        whole budget (refused, like the sub-aggregate cache).
+        """
+        fingerprint = aggregate_fingerprint(aggregates)
+        store_key = (tuple(key), fingerprint)
+        size = encoded_size(states)
+        if size > self.budget_bytes:
+            return None
+        previous = self._entries.pop(store_key, None)
+        if previous is not None:
+            self.total_bytes -= previous.encoded_bytes
+        while self.total_bytes + size > self.budget_bytes and self._entries:
+            __, evicted = self._entries.popitem(last=False)
+            self.total_bytes -= evicted.encoded_bytes
+            self.evictions += 1
+        entry = MaterializedCuboid(
+            key=tuple(key), fingerprint=fingerprint,
+            aggregates=tuple(aggregates), states=states,
+            data_version=data_version, encoded_bytes=size,
+            hits=previous.hits if previous is not None else 0)
+        self._entries[store_key] = entry
+        self.total_bytes += size
+        return entry
+
+    def invalidate(self) -> None:
+        """Drop every entry (stale entries normally lazily refresh)."""
+        self._entries.clear()
+        self.total_bytes = 0
+
+    # -- serving --------------------------------------------------------------
+
+    def find_ancestor(self, subset: Sequence[str],
+                      aggregates: Sequence[AggregateSpec],
+                      data_version: int | None = None,
+                      ) -> MaterializedCuboid | None:
+        """The cheapest stored cuboid covering ``subset``.
+
+        The requested aggregates must each appear (same function,
+        column, parameter, and alias — aliases name the state columns)
+        in the stored cuboid.  ``data_version`` of ``None`` accepts
+        stale entries, for refresh-then-serve; otherwise only entries
+        stamped exactly at that version qualify.  Cheapest = fewest
+        state rows.
+        """
+        wanted = set(aggregate_fingerprint(aggregates))
+        best: MaterializedCuboid | None = None
+        for entry in self._entries.values():
+            if data_version is not None and \
+                    entry.data_version != data_version:
+                continue
+            if not set(subset) <= set(entry.key):
+                continue
+            if not wanted <= set(entry.fingerprint):
+                continue
+            if best is None or entry.states.num_rows < best.states.num_rows:
+                best = entry
+        return best
+
+    def serve(self, entry: MaterializedCuboid,
+              subset: Sequence[str],
+              aggregates: Sequence[AggregateSpec],
+              detail_schema) -> Relation:
+        """Answer a grouping from a stored ancestor: rollup + finalize."""
+        from repro.cube.rollup import derive_cuboid
+        store_key = (entry.key, entry.fingerprint)
+        if store_key in self._entries:
+            self._entries.move_to_end(store_key)
+        entry.hits += 1
+        self.ancestor_hits += 1
+        return derive_cuboid(entry.states, entry.key, tuple(subset),
+                             aggregates, detail_schema)
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "entries": len(self._entries),
+            "total_bytes": self.total_bytes,
+            "budget_bytes": self.budget_bytes,
+            "evictions": self.evictions,
+            "ancestor_hits": self.ancestor_hits,
+            "refreshes": self.refreshes,
+        }

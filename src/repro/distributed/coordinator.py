@@ -24,7 +24,7 @@ from repro.errors import PlanError
 from repro.relational.aggregates import (
     merge_spec_states_grouped, place_grouped)
 from repro.relational.relation import Relation
-from repro.relational.schema import Schema
+from repro.relational.schema import Attribute, Schema
 from repro.core.evaluator import finalize_states, match_codes
 from repro.core.expression_tree import GmdjExpression
 from repro.distributed.plan import LocalStep
@@ -39,6 +39,10 @@ class Coordinator:
         self.key = expression.key
         self.base_schema = expression.base_schema(detail_schema)
         self.result: Relation | None = None
+        #: the last synchronized round's *pre-finalize* merged states,
+        #: keyed on ``key`` — the Theorem-1 sub-aggregates the cube
+        #: lattice rolls up to coarser granularities coordinator-side.
+        self.state_relation: Relation | None = None
 
     # -- round 0 -----------------------------------------------------------------
 
@@ -97,6 +101,8 @@ class Coordinator:
         gather = np.where(matched, base_codes, 0)
 
         current = base
+        state_attrs: list[Attribute] = []
+        state_columns: dict[str, np.ndarray] = {}
         for gmdj in step.gmdjs:
             merged_states: dict[str, np.ndarray] = {}
             for spec in gmdj.all_aggregates:
@@ -113,6 +119,8 @@ class Coordinator:
                     merged_states[field.name] = place_grouped(
                         field, per_group[field.name], matched, gather,
                         base.num_rows)
+                    state_attrs.append(Attribute(field.name, field.dtype))
+            state_columns.update(merged_states)
             finalized = finalize_states(gmdj, merged_states,
                                         self.detail_schema)
             current = current.append_columns(
@@ -120,6 +128,12 @@ class Coordinator:
                  for spec in gmdj.all_aggregates],
                 finalized)
 
+        key_names = [name for name in self.key]
+        self.state_relation = Relation(
+            Schema([*(base.schema[name] for name in key_names),
+                    *state_attrs]),
+            {**{name: base.column(name) for name in key_names},
+             **state_columns})
         self.result = current
         return current, time.perf_counter() - started
 

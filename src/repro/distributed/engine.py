@@ -67,11 +67,18 @@ from repro.skew import SiteView, SkewPlanner, SkewPolicy, is_virtual
 
 @dataclass
 class ExecutionResult:
-    """What one distributed execution produced."""
+    """What one distributed execution produced.
+
+    ``states`` carries the final round's pre-finalize Theorem-1
+    sub-aggregate relation (key columns + ``<alias>__<primitive>``
+    state columns) when the coordinator captured one — the cube
+    lattice rolls these up to coarser cuboids without another round.
+    """
 
     relation: Relation
     metrics: QueryMetrics
     plan: DistributedPlan
+    states: Relation | None = None
 
 
 class SkallaEngine:
@@ -155,6 +162,10 @@ class SkallaEngine:
         #: version dispatch each site scan once.  Requires the
         #: sub-aggregate cache (the fingerprints are the cache's own).
         self.scan_registry = None
+        #: monotone counter bumped by every :meth:`append` — the
+        #: freshness stamp for materialized cuboids and other derived
+        #: artifacts built from a point-in-time snapshot.
+        self.data_version = 0
         #: optional sub-aggregate result cache (``None`` = disabled).
         self._cache: SubAggregateCache | None = None
         if isinstance(cache, SubAggregateCache):
@@ -308,6 +319,9 @@ class SkallaEngine:
                         f"constraint on {attr!r}: {list(bad)}")
         site = self.sites[site_id]
         site.fragment = site.fragment.union_all(rows)
+        # Monotone warehouse-wide version: materialized cuboids stamp
+        # the version they were built at and go stale when it moves.
+        self.data_version += 1
         # Bump the site's fragment version and retain the delta so
         # cached sub-results can be upgraded instead of recomputed.
         if self._cache is not None:
@@ -486,7 +500,8 @@ class SkallaEngine:
         if self._cache is not None:
             self._cache.prune_deltas()
         result = coordinator.final_result()
-        return ExecutionResult(result, metrics, plan)
+        return ExecutionResult(result, metrics, plan,
+                               states=coordinator.state_relation)
 
     # -- topology hooks -----------------------------------------------------------
     #

@@ -98,6 +98,20 @@ def explain_analyze(result: ExecutionResult) -> str:
                      f"key(s) spread across sub-sites")
         lines.append(f"  rebalanced     : {metrics.rebalanced_bytes:,} B "
                      f"moved off split sites' critical paths")
+    if metrics.cuboids_total:
+        lines.append("")
+        lines.append("cube lattice:")
+        lines.append(f"  cuboids        : {metrics.cuboids_total} "
+                     f"requested, {metrics.cuboids_derived} derived "
+                     f"coordinator-side (Theorem-1 rollup)")
+        lines.append(f"  scatter levels : {metrics.lattice_levels} "
+                     f"(distributed rounds instead of "
+                     f"{metrics.cuboids_total})")
+    if metrics.ancestor_hits:
+        lines.append("")
+        lines.append("materialized-cuboid serving:")
+        lines.append(f"  ancestor hits  : {metrics.ancestor_hits} "
+                     f"(answered by local rollup, no site scans)")
     if metrics.cache_enabled:
         lines.append("")
         lines.append("sub-aggregate cache:")

@@ -220,6 +220,14 @@ class QueryMetrics:
     #: compact shape of the aggregation tree ("" for the flat star),
     #: e.g. "depth=3 fanout<=4 interior=21 sites=64".
     tree_shape: str = ""
+    #: cuboids requested by a CUBE/ROLLUP/GROUPING SETS query
+    cuboids_total: int = 0
+    #: cuboids derived coordinator-side by Theorem-1 rollup (no round)
+    cuboids_derived: int = 0
+    #: lattice levels dispatched as distributed rounds
+    lattice_levels: int = 0
+    #: queries answered locally from a materialized cuboid ancestor
+    ancestor_hits: int = 0
 
     # -- time -------------------------------------------------------------
 
@@ -498,6 +506,10 @@ class QueryMetrics:
             "tree_level_skew": {str(level): round(ratio, 4)
                                 for level, ratio
                                 in sorted(self.tree_level_skew.items())},
+            "cuboids_total": self.cuboids_total,
+            "cuboids_derived": self.cuboids_derived,
+            "lattice_levels": self.lattice_levels,
+            "ancestor_hits": self.ancestor_hits,
         }
 
     def as_dict(self) -> dict[str, object]:

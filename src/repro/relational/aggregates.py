@@ -453,6 +453,12 @@ class AggregateFunction:
     #: whether the state columns must merge jointly (cross-field
     #: formulas like Chan's m2 merge) instead of primitive-by-primitive
     composite_merge: bool = False
+    #: whether states grouped at one granularity may be re-merged to a
+    #: coarser grouping (Theorem 1 applied up the cuboid lattice).
+    #: True for every built-in decomposable aggregate; an extension
+    #: whose state depends on the grouping itself must opt out, and the
+    #: cube executor then falls back to one round per cuboid.
+    rollup_safe: bool = True
 
     def configured(self, param: float | None = None,
                    precision: int | None = None) -> "AggregateFunction":

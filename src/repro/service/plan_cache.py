@@ -83,12 +83,19 @@ def plan_fingerprint(sql: str, detail_schema: Schema,
 
 @dataclass
 class CachedPlan:
-    """One memoized compile+plan artifact."""
+    """One memoized compile+plan artifact.
+
+    For a cube-family statement ``cube`` carries the compiled lattice
+    plan; ``compiled``/``plan`` then describe the finest source round
+    (for reporting), and execution goes through
+    :func:`repro.cube.execute_lattice` instead of ``execute_plan``.
+    """
 
     fingerprint: str
     compiled: CompiledQuery
     plan: DistributedPlan
     hits: int = 0
+    cube: object | None = None
 
 
 class PlanCache:
@@ -168,6 +175,17 @@ class PlanCache:
         # Imported here: the optimizer builds plans *for* the engine,
         # and a module-scope import would be circular via the engine.
         from repro.optimizer.planner import build_plan
+        statement = parse(sql)
+        if statement.cube_family:
+            from repro.cube import compile_lattice
+            lattice = compile_lattice(statement, self.detail_schema,
+                                      sketch_precision=sketch_precision)
+            compiled = CompiledQuery(lattice.finest_expression)
+            compiled.expression.validate(self.detail_schema)
+            plan = build_plan(compiled.expression, flags, self.info,
+                              self.detail_schema, sites=self.site_ids)
+            return CachedPlan(fingerprint=fingerprint, compiled=compiled,
+                              plan=plan, cube=lattice)
         compiled = compile_query(sql, self.detail_schema,
                                  sketch_precision=sketch_precision)
         compiled.expression.validate(self.detail_schema)

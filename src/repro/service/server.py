@@ -42,7 +42,7 @@ from typing import Mapping
 
 from repro.errors import ServiceError
 from repro.relational.relation import Relation
-from repro.distributed.engine import SkallaEngine
+from repro.distributed.engine import ExecutionResult, SkallaEngine
 from repro.distributed.metrics import QueryMetrics
 from repro.distributed.messages import SiteId
 from repro.distributed.plan import OptimizationFlags
@@ -104,10 +104,20 @@ class QueryService:
                  sketch_precision: int | None = None,
                  plan_cache_entries: int = DEFAULT_MAX_ENTRIES,
                  share_scans: bool = True,
-                 enable_cache: bool = True):
+                 enable_cache: bool = True,
+                 cube_materialize: bool = False,
+                 cube_budget_mb: float = 64.0):
         if workers < 1:
             raise ServiceError("a service needs at least one worker")
         self.engine = engine
+        #: optional materialized-cuboid store: cube queries deposit
+        #: their source states here, and plain GROUP BY slices over a
+        #: stored cuboid are answered by local Theorem-1 rollup.
+        self.cuboid_store = None
+        if cube_materialize:
+            from repro.cube import CuboidStore
+            self.cuboid_store = CuboidStore(
+                int(cube_budget_mb * 1024 * 1024))
         self.default_flags = flags if flags is not None \
             else OptimizationFlags.all()
         self.default_sketch_precision = sketch_precision
@@ -269,12 +279,28 @@ class QueryService:
                 ticket.sql, ticket.flags, ticket.sketch_precision)
             self._enter_query()
             try:
-                execution = self.engine.execute_plan(entry.plan)
+                if entry.cube is not None:
+                    # Cube-family: run the lattice inside the barrier so
+                    # every source round sees one fragment snapshot.
+                    from repro.cube import execute_lattice
+                    execution = execute_lattice(
+                        self.engine, entry.cube, ticket.flags,
+                        store=self.cuboid_store)
+                    table = execution.relation.sort(
+                        [*entry.cube.attrs,
+                         *(alias for __, alias in entry.cube.groupings)])
+                else:
+                    execution = self._maybe_serve_from_cuboids(
+                        ticket, entry)
+                    if execution is None:
+                        execution = self.engine.execute_plan(entry.plan)
+                    table = entry.compiled.post_process(
+                        execution.relation)
+                    if not entry.compiled.order_by:
+                        table = table.sort(
+                            list(entry.compiled.expression.key))
             finally:
                 self._exit_query()
-            table = entry.compiled.post_process(execution.relation)
-            if not entry.compiled.order_by:
-                table = table.sort(list(entry.compiled.expression.key))
         except BaseException as error:
             ticket._resolve(FAILED, error=error)
             self.metrics.record(QueryRecord(
@@ -301,6 +327,24 @@ class QueryService:
             cache_hits=execution.metrics.cache_hits,
             cache_delta_merges=execution.metrics.cache_delta_merges))
 
+    def _maybe_serve_from_cuboids(self, ticket: QueryTicket,
+                                  entry) -> ExecutionResult | None:
+        """Answer a plain grouping from a materialized cuboid, if any.
+
+        Runs inside the append barrier, so the ancestor's freshness
+        check against ``engine.data_version`` cannot race an append.
+        """
+        if self.cuboid_store is None or not len(self.cuboid_store):
+            return None
+        from repro.sql.parser import parse
+        from repro.cube import serve_statement
+        served = serve_statement(self.cuboid_store, self.engine,
+                                 parse(ticket.sql))
+        if served is None:
+            return None
+        relation, metrics = served
+        return ExecutionResult(relation, metrics, entry.plan)
+
     # -- introspection ------------------------------------------------------
 
     def snapshot(self) -> dict[str, object]:
@@ -316,6 +360,8 @@ class QueryService:
             exported["shared_scans"] = self.scan_registry.stats()
         if self.engine.cache is not None:
             exported["subagg_cache"] = self.engine.cache.stats()
+        if self.cuboid_store is not None:
+            exported["cuboid_store"] = self.cuboid_store.stats()
         return exported
 
     def describe(self) -> str:

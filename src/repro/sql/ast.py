@@ -84,6 +84,28 @@ class AggCall(SqlExpr):
 
 
 @dataclass(frozen=True)
+class GroupingCall(SqlExpr):
+    """``GROUPING(a, b, …)`` inside the select list (Gray et al. §3).
+
+    Only meaningful with ``GROUP BY CUBE/ROLLUP/GROUPING SETS``: per
+    output row, a bit vector with bit *i* set iff the *i*-th listed
+    attribute is rolled up in that row's granularity (first argument
+    most significant) — the disambiguator between a rolled-up position
+    and a group value that merely collides with the ALL marker.
+    """
+
+    attrs: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class GroupingItem:
+    """``GROUPING(attrs…) AS alias`` in a cube-family select list."""
+
+    attrs: tuple[str, ...]
+    alias: str
+
+
+@dataclass(frozen=True)
 class AggregateItem:
     """``FUNC(column|* [, number]) AS alias`` in a select/compute list.
 
@@ -146,6 +168,18 @@ class SelectStatement:
     computed: tuple[ComputedItem, ...] = ()
     #: True for GROUP BY CUBE(...): aggregate at every granularity
     cube: bool = False
+    #: True for GROUP BY ROLLUP(...): aggregate at every prefix
+    rollup: bool = False
+    #: explicit GROUPING SETS granularities (``()`` = grand total);
+    #: ``None`` when the clause is absent
+    grouping_sets: tuple[tuple[str, ...], ...] | None = None
+    #: ``GROUPING(...) AS alias`` select items (cube-family only)
+    groupings: tuple[GroupingItem, ...] = ()
+
+    @property
+    def cube_family(self) -> bool:
+        """Whether this is a CUBE/ROLLUP/GROUPING SETS statement."""
+        return self.cube or self.rollup or self.grouping_sets is not None
 
     def round_count(self) -> int:
         """GMDJ rounds this statement compiles to."""

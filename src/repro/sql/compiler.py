@@ -182,10 +182,11 @@ def compile_query(source: str, detail_schema: Schema,
     computed select expressions included.  ``sketch_precision`` tunes
     the APPROX_* aggregates (see :func:`_spec_precision`)."""
     statement = parse(source)
-    if statement.cube:
+    if statement.cube_family:
         raise ParseError(
-            "GROUP BY CUBE statements compile to multiple expressions; "
-            "use repro.sql.cube_support.compile_cube")
+            "GROUP BY CUBE/ROLLUP/GROUPING SETS statements compile to a "
+            "cuboid lattice; use repro.sql.cube_support.compile_cube or "
+            "repro.cube.compile_lattice")
     statement, derived, hidden = _materialize_computed(statement)
     expression = compile_statement(statement, detail_schema,
                                    sketch_precision=sketch_precision)

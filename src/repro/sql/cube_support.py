@@ -123,6 +123,7 @@ def compile_cube_statement(statement: SelectStatement,
         ("HAVING", statement.having is not None),
         ("ORDER BY", bool(statement.order_by)),
         ("LIMIT", statement.limit is not None),
+        ("GROUPING()", bool(statement.groupings)),
     ]
     for clause, present in unsupported:
         if present:
@@ -133,7 +134,8 @@ def compile_cube_statement(statement: SelectStatement,
         if attr not in detail_schema:
             raise ParseError(
                 f"CUBE attribute {attr!r} is not in the detail schema")
-    aggregates = tuple(AggregateSpec(item.func, item.column, item.alias)
+    aggregates = tuple(AggregateSpec(item.func, item.column, item.alias,
+                                     param=item.param)
                        for item in statement.aggregates)
     granularities = tuple(
         (subset, expression)

@@ -14,7 +14,7 @@ from repro.errors import ParseError
 KEYWORDS = {
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT",
     "IN", "THEN", "COMPUTE", "TRUE", "FALSE", "HAVING", "ORDER", "ASC",
-    "DESC", "LIMIT", "CUBE",
+    "DESC", "LIMIT", "CUBE", "ROLLUP", "GROUPING", "SETS",
 }
 
 #: token kinds

@@ -3,14 +3,20 @@
 Grammar (informal)::
 
     statement     := SELECT select_list FROM ident [WHERE condition]
-                     GROUP BY ident ("," ident)*
+                     GROUP BY group_clause
                      (THEN COMPUTE agg_list [WHERE condition])*
                      [HAVING condition]
                      [ORDER BY ident [ASC|DESC] ("," ...)*]
                      [LIMIT integer] [";"]
+    group_clause  := ident ("," ident)*
+                   | CUBE "(" ident ("," ident)* ")"
+                   | ROLLUP "(" ident ("," ident)* ")"
+                   | GROUPING SETS "(" set ("," set)* ")"
+    set           := "(" [ident ("," ident)*] ")"   -- () = grand total
     select_list   := select_item ("," select_item)*
     select_item   := ident                      -- grouping attribute
                    | agg_call AS ident          -- plain aggregate
+                   | GROUPING "(" ident,* ")" AS ident  -- cube-family
                    | sum AS ident               -- computed expression
     agg_list      := aggregate ("," aggregate)*
     aggregate     := ident "(" agg_args ")" AS ident
@@ -37,8 +43,8 @@ from __future__ import annotations
 from repro.errors import ParseError
 from repro.sql.ast import (
     AggCall, AggregateItem, Binary, ComputedItem, ComputeRound, Constant,
-    Logical, Membership, Name, Negation, OrderItem, SelectStatement,
-    SqlExpr)
+    GroupingCall, GroupingItem, Logical, Membership, Name, Negation,
+    OrderItem, SelectStatement, SqlExpr)
 from repro.sql.lexer import (
     EOF, IDENT, NUMBER, OP, PUNCT, STRING, Token, tokenize)
 
@@ -101,7 +107,7 @@ class _Parser:
 
     def parse_statement(self) -> SelectStatement:
         self._expect_keyword("SELECT")
-        group_attrs, aggregates, computed = self._select_list()
+        group_attrs, aggregates, computed, groupings = self._select_list()
         self._expect_keyword("FROM")
         table = self._expect_ident().text
         where = None
@@ -110,18 +116,44 @@ class _Parser:
         self._expect_keyword("GROUP")
         self._expect_keyword("BY")
         cube = self._match_keyword("CUBE")
-        if cube:
-            self._expect_punct("(")
-        group_by = [self._expect_ident().text]
-        while self._match_punct(","):
-            group_by.append(self._expect_ident().text)
-        if cube:
-            self._expect_punct(")")
+        rollup = False if cube else self._match_keyword("ROLLUP")
+        grouping_sets: tuple[tuple[str, ...], ...] | None = None
+        if not cube and not rollup and self._peek().is_keyword("GROUPING"):
+            self._advance()
+            self._expect_keyword("SETS")
+            grouping_sets = self._grouping_sets()
+            group_by: list[str] = []
+            for subset in grouping_sets:
+                for attr in subset:
+                    if attr not in group_by:
+                        group_by.append(attr)
+            if not group_by:
+                raise ParseError(
+                    "GROUPING SETS needs at least one non-empty set")
+        else:
+            if cube or rollup:
+                self._expect_punct("(")
+            group_by = [self._expect_ident().text]
+            while self._match_punct(","):
+                group_by.append(self._expect_ident().text)
+            if cube or rollup:
+                self._expect_punct(")")
 
         if set(group_by) != set(group_attrs):
             raise ParseError(
                 f"GROUP BY attributes {group_by} must match the plain "
                 f"select-list attributes {list(group_attrs)}")
+        cube_family = cube or rollup or grouping_sets is not None
+        if groupings and not cube_family:
+            raise ParseError(
+                "GROUPING() requires GROUP BY CUBE, ROLLUP, or "
+                "GROUPING SETS")
+        for item in groupings:
+            for attr in item.attrs:
+                if attr not in group_by:
+                    raise ParseError(
+                        f"GROUPING({attr!r}) refers to an attribute "
+                        f"that is not grouped")
 
         rounds: list[ComputeRound] = []
         while self._match_keyword("THEN"):
@@ -147,7 +179,27 @@ class _Parser:
                              token.position)
         return SelectStatement(tuple(group_by), tuple(aggregates), table,
                                where, tuple(rounds), having, order_by,
-                               limit, computed, cube)
+                               limit, computed, cube, rollup,
+                               grouping_sets, groupings)
+
+    def _grouping_sets(self) -> tuple[tuple[str, ...], ...]:
+        """``( set ("," set)* )`` where ``set := "(" [idents] ")"``."""
+        self._expect_punct("(")
+        sets = [self._grouping_set()]
+        while self._match_punct(","):
+            sets.append(self._grouping_set())
+        self._expect_punct(")")
+        return tuple(sets)
+
+    def _grouping_set(self) -> tuple[str, ...]:
+        self._expect_punct("(")
+        if self._match_punct(")"):
+            return ()
+        attrs = [self._expect_ident().text]
+        while self._match_punct(","):
+            attrs.append(self._expect_ident().text)
+        self._expect_punct(")")
+        return tuple(attrs)
 
     def _order_by_clause(self) -> tuple[OrderItem, ...]:
         if not self._match_keyword("ORDER"):
@@ -180,10 +232,12 @@ class _Parser:
 
     def _select_list(self) -> tuple[tuple[str, ...],
                                     tuple[AggregateItem, ...],
-                                    tuple[ComputedItem, ...]]:
+                                    tuple[ComputedItem, ...],
+                                    tuple[GroupingItem, ...]]:
         group_attrs: list[str] = []
         aggregates: list[AggregateItem] = []
         computed: list[ComputedItem] = []
+        groupings: list[GroupingItem] = []
         while True:
             self._in_select_expr = True
             try:
@@ -195,6 +249,8 @@ class _Parser:
                 if isinstance(expr, AggCall):
                     aggregates.append(AggregateItem(expr.func, expr.column,
                                                     alias, expr.param))
+                elif isinstance(expr, GroupingCall):
+                    groupings.append(GroupingItem(expr.attrs, alias))
                 else:
                     computed.append(ComputedItem(expr, alias))
             elif isinstance(expr, Name):
@@ -210,7 +266,8 @@ class _Parser:
             raise ParseError("the select list needs at least one aggregate")
         if not group_attrs:
             raise ParseError("the select list needs grouping attributes")
-        return tuple(group_attrs), tuple(aggregates), tuple(computed)
+        return (tuple(group_attrs), tuple(aggregates), tuple(computed),
+                tuple(groupings))
 
     def _agg_arguments(self) -> tuple[str | None, float | None]:
         """``( "*" | ident ["," number] )`` — shared by both call forms.
@@ -247,6 +304,16 @@ class _Parser:
         func = self._expect_ident().text.lower()
         column, param = self._agg_arguments()
         return AggCall(func, column, param)
+
+    def _grouping_call(self) -> GroupingCall:
+        """``GROUPING "(" ident ("," ident)* ")"`` in a select list."""
+        self._expect_keyword("GROUPING")
+        self._expect_punct("(")
+        attrs = [self._expect_ident().text]
+        while self._match_punct(","):
+            attrs.append(self._expect_ident().text)
+        self._expect_punct(")")
+        return GroupingCall(tuple(attrs))
 
     def _aggregate(self) -> AggregateItem:
         func = self._expect_ident().text.lower()
@@ -349,6 +416,8 @@ class _Parser:
         if token.is_keyword("FALSE"):
             self._advance()
             return Constant(False)
+        if token.is_keyword("GROUPING") and self._in_select_expr:
+            return self._grouping_call()
         if token.kind == IDENT:
             following = self._tokens[self._index + 1]
             if self._in_select_expr and following.kind == PUNCT \

@@ -68,10 +68,20 @@ class Warehouse:
         unless flags are passed explicitly.
     """
 
-    def __init__(self, engine: SkallaEngine, auto_optimize: bool = True):
+    def __init__(self, engine: SkallaEngine, auto_optimize: bool = True,
+                 cube_materialize: bool = False,
+                 cube_budget_mb: float = 64.0):
         self.engine = engine
         self.auto_optimize = auto_optimize
         self._stats_cache: dict[tuple[str, ...], TableStats] = {}
+        #: optional materialized-cuboid store: cube runs deposit their
+        #: source states, and plain GROUP BY slices over a stored
+        #: cuboid's attributes are answered by local Theorem-1 rollup.
+        self.cuboid_store = None
+        if cube_materialize:
+            from repro.cube import CuboidStore
+            self.cuboid_store = CuboidStore(
+                int(cube_budget_mb * 1024 * 1024))
 
     # -- constructors -----------------------------------------------------------
 
@@ -79,10 +89,12 @@ class Warehouse:
     def from_partitions(cls, partitions: Mapping[SiteId, Relation],
                         info: DistributionInfo | None = None,
                         auto_optimize: bool = True,
+                        cube_materialize: bool = False,
                         **engine_kwargs) -> "Warehouse":
         """Build from per-site fragments (see :class:`SkallaEngine`)."""
         return cls(SkallaEngine(partitions, info, **engine_kwargs),
-                   auto_optimize=auto_optimize)
+                   auto_optimize=auto_optimize,
+                   cube_materialize=cube_materialize)
 
     @classmethod
     def load(cls, directory: str | Path,
@@ -130,32 +142,53 @@ class Warehouse:
         """
         from repro.sql.parser import parse
         statement = parse(text)
-        if statement.cube:
+        if statement.cube_family:
             return self._run_cube(statement, flags)
         compiled = compile_query(text, self.engine.detail_schema)
+        if self.cuboid_store is not None:
+            served = self._serve_from_cuboids(compiled, statement)
+            if served is not None:
+                return served
         return self.execute(compiled, flags=flags, streaming=streaming)
 
     def _run_cube(self, statement,
                   flags: OptimizationFlags | None) -> QueryResult:
-        from repro.sql.cube_support import compile_cube_statement
-        compiled = compile_cube_statement(statement,
-                                          self.engine.detail_schema)
-        finest = compiled.granularities[0][1]
+        """Run a cube-family statement over the cuboid lattice.
+
+        Only the lattice's maximal groupings run distributed rounds;
+        coarser cuboids are derived coordinator-side by Theorem-1
+        rollup of the captured states (see :mod:`repro.cube`).  With
+        ``cube_materialize`` the source states are also deposited in
+        the cuboid store for later slice serving.
+        """
+        from repro.cube import compile_lattice, execute_lattice
+        plan = compile_lattice(statement, self.engine.detail_schema)
+        finest = plan.finest_expression
         if flags is None:
             flags = (self.pick_flags(finest) if self.auto_optimize
                      else OptimizationFlags())
-        stitched, runs = compiled.execute(self.engine, flags)
-        combined = QueryMetrics(
-            num_participating_sites=len(self.engine.site_ids))
-        for run in runs:
-            combined.phases.extend(run.metrics.phases)
-            combined.num_synchronizations += \
-                run.metrics.num_synchronizations
-            combined.retries += run.metrics.retries
-            combined.log.messages.extend(run.metrics.log.messages)
-        return QueryResult(relation=stitched, metrics=combined,
-                           plan=runs[0].plan, flags=flags,
+        execution = execute_lattice(self.engine, plan, flags,
+                                    store=self.cuboid_store)
+        return QueryResult(relation=execution.relation,
+                           metrics=execution.metrics,
+                           plan=execution.runs[0].plan, flags=flags,
                            compiled=CompiledQuery(finest))
+
+    def _serve_from_cuboids(self, compiled: CompiledQuery,
+                            statement) -> QueryResult | None:
+        """Answer a plain grouping from a materialized cuboid ancestor."""
+        from repro.cube import serve_statement
+        served = serve_statement(self.cuboid_store, self.engine,
+                                 statement)
+        if served is None:
+            return None
+        relation, metrics = served
+        final = compiled.post_process(relation)
+        plan = build_plan(compiled.expression, OptimizationFlags(),
+                          self.engine.info, self.engine.detail_schema,
+                          sites=self.engine.site_ids)
+        return QueryResult(relation=final, metrics=metrics, plan=plan,
+                           flags=OptimizationFlags(), compiled=compiled)
 
     def execute(self, query: CompiledQuery | GmdjExpression,
                 flags: OptimizationFlags | None = None,

@@ -531,3 +531,224 @@ class TestSkewProcessDifferential(SkewPooledMixin):
     @given(data=st.data())
     def test_matches_oracle(self, skew_process_engine, data):
         self.run_case(skew_process_engine, data)
+
+
+# ---------------------------------------------------------------------------
+# CUBE / ROLLUP / GROUPING SETS: lattice vs the centralized oracle
+# ---------------------------------------------------------------------------
+#
+# Random cube-family statements run through the lattice pipeline
+# (:mod:`repro.cube`): one distributed scatter per lattice level,
+# coarser cuboids derived coordinator-side by Theorem-1 rollup of the
+# captured states.  The oracle stitches per-cuboid *centralized*
+# evaluations, so every derived row is checked bit-for-bit — rollup
+# must commute with distribution.  Measures are integers (exact sums;
+# AVG divides identical sum/count pairs) and APPROX_COUNT_DISTINCT
+# joins because HyperLogLog's register-max merge is both partition-
+# and rollup-order-insensitive.  (The quantile sketch is merge-tree-
+# sensitive; its lattice coverage lives in ``test_cube_lattice.py``
+# with a rank-containment oracle.)
+
+CUBE_SCHEMA = Schema.of(("g", DataType.INT64), ("h", DataType.INT64),
+                        ("k", DataType.INT64), ("q", DataType.INT64))
+CUBE_DIMS = ["g", "h", "k"]
+CUBE_FUNCS = ["SUM", "MIN", "MAX", "AVG", "APPROX_COUNT_DISTINCT"]
+
+
+@st.composite
+def cube_details(draw, min_rows=1, max_rows=60):
+    rows = draw(st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 3), st.integers(0, 2),
+                  st.integers(-50, 50)),
+        min_size=min_rows, max_size=max_rows))
+    return Relation.from_rows(CUBE_SCHEMA, rows)
+
+
+@st.composite
+def cube_statements(draw, dims_pool, measure_pool, table):
+    """SQL text for a random CUBE / ROLLUP / GROUPING SETS statement."""
+    dims = draw(st.lists(st.sampled_from(dims_pool), min_size=1,
+                         max_size=min(3, len(dims_pool)), unique=True))
+    construct = draw(st.sampled_from(["CUBE", "ROLLUP", "SETS"]))
+    if construct == "SETS":
+        # The full set is always a member so the select-list dims equal
+        # the union; extra subsets (possibly () — the grand total) make
+        # multi-source, multi-level lattices.
+        extra = draw(st.lists(
+            st.lists(st.sampled_from(dims), max_size=len(dims),
+                     unique=True),
+            max_size=3))
+        rendered = ", ".join(
+            "(" + ", ".join(subset) + ")"
+            for subset in [list(dims), *extra])
+        clause = f"GROUPING SETS ({rendered})"
+    else:
+        clause = f"{construct} ({', '.join(dims)})"
+    items = ["COUNT(*) AS n"]
+    for index, func in enumerate(draw(st.lists(
+            st.sampled_from(CUBE_FUNCS), max_size=2))):
+        column = draw(st.sampled_from(measure_pool))
+        items.append(f"{func}({column}) AS x{index}")
+    if draw(st.booleans()):
+        bits = draw(st.lists(st.sampled_from(dims), min_size=1,
+                             max_size=len(dims), unique=True))
+        items.append(f"GROUPING({', '.join(bits)}) AS gbits")
+    select = ", ".join([*dims, *items])
+    return f"SELECT {select} FROM {table} GROUP BY {clause}"
+
+
+def _lattice_case(sql, detail_schema):
+    from repro.cube import compile_lattice, run_centralized
+    from repro.sql.parser import parse
+    plan = compile_lattice(parse(sql), detail_schema)
+    return plan, run_centralized
+
+
+class TestCubeDifferential:
+    """Fresh random data + partitioning + cube statement per example."""
+
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_centralized(self, data):
+        from repro.cube import execute_lattice
+        detail = data.draw(cube_details())
+        sql = data.draw(cube_statements(CUBE_DIMS, ["q"], "T"))
+        plan, run_centralized = _lattice_case(sql, CUBE_SCHEMA)
+        num_sites = data.draw(st.integers(1, 4))
+        assignment = np.array(data.draw(st.lists(
+            st.integers(0, num_sites - 1), min_size=detail.num_rows,
+            max_size=detail.num_rows)))
+        partitions = {site: detail.filter(assignment == site)
+                      for site in range(num_sites)}
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        use_cache = data.draw(st.booleans())
+        reference = run_centralized(plan, detail)
+        engine = SkallaEngine(partitions, cache=use_cache)
+        execution = execute_lattice(engine, plan, flags)
+        assert execution.relation.multiset_equals(reference), sql
+        assert execution.metrics.cuboids_total == len(plan.requested)
+        assert execution.metrics.lattice_levels <= len(plan.requested)
+        if use_cache:
+            warm = execute_lattice(engine, plan, flags)
+            assert warm.relation.multiset_equals(reference), sql
+
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_out_of_order_gather_matches_centralized(self, data):
+        from repro.cube import execute_lattice
+        detail = data.draw(cube_details())
+        sql = data.draw(cube_statements(CUBE_DIMS, ["q"], "T"))
+        plan, run_centralized = _lattice_case(sql, CUBE_SCHEMA)
+        partitions = partition_round_robin(
+            detail, data.draw(st.integers(2, 4)))
+        engine = SkallaEngine(partitions,
+                              cache=data.draw(st.booleans()))
+        engine.use_transport(ShufflingTransport(
+            engine.sites, seed=data.draw(st.integers(0, 2**16))))
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        execution = execute_lattice(engine, plan, flags)
+        assert execution.relation.multiset_equals(
+            run_centralized(plan, detail)), sql
+
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_tree_matches_centralized(self, data):
+        from repro.cube import execute_lattice
+        detail = data.draw(cube_details())
+        sql = data.draw(cube_statements(CUBE_DIMS, ["q"], "T"))
+        plan, run_centralized = _lattice_case(sql, CUBE_SCHEMA)
+        num_sites = data.draw(st.integers(2, 6))
+        engine = TreeEngine(
+            partition_round_robin(detail, num_sites),
+            wan=clustered_wan(num_sites,
+                              seed=data.draw(st.integers(0, 2**16))),
+            fanout=data.draw(st.integers(1, 3)),
+            cache=data.draw(st.booleans()))
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        execution = execute_lattice(engine, plan, flags)
+        assert execution.relation.multiset_equals(
+            run_centralized(plan, detail)), sql
+
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_skewed_matches_centralized(self, data):
+        from repro.cube import execute_lattice
+        detail = data.draw(skew_details())
+        sql = data.draw(cube_statements(["g", "h"], ["q"], "T"))
+        plan, run_centralized = _lattice_case(sql, SKEW_SCHEMA)
+        num_sites = data.draw(st.integers(2, 4))
+        partitions = skewed_placement(data, detail, num_sites)
+        engine = SkallaEngine(partitions,
+                              cache=data.draw(st.booleans()),
+                              skew=FORCED_SKEW)
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        execution = execute_lattice(engine, plan, flags)
+        assert execution.relation.multiset_equals(
+            run_centralized(plan, detail)), sql
+
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_append_delta_matches_centralized(self, data):
+        """Cold run, append, delta-merged rerun — both bit-identical."""
+        from repro.cube import execute_lattice
+        detail = data.draw(cube_details())
+        extra = data.draw(cube_details(max_rows=20))
+        sql = data.draw(cube_statements(CUBE_DIMS, ["q"], "T"))
+        plan, run_centralized = _lattice_case(sql, CUBE_SCHEMA)
+        num_sites = data.draw(st.integers(2, 4))
+        partitions = partition_round_robin(detail, num_sites)
+        engine = SkallaEngine(partitions, cache=True)
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        cold = execute_lattice(engine, plan, flags)
+        assert cold.relation.multiset_equals(
+            run_centralized(plan, detail)), sql
+        engine.append(data.draw(st.integers(0, num_sites - 1)), extra)
+        delta = execute_lattice(engine, plan, flags)
+        assert delta.relation.multiset_equals(
+            run_centralized(plan, detail.union_all(extra))), sql
+
+
+class CubePooledMixin:
+    """Fixed flow warehouse, random cube statements, cold + warm."""
+
+    def run_case(self, engine, data):
+        from repro.cube import execute_lattice
+        sql = data.draw(cube_statements(FLOW_GROUPS, FLOW_MEASURES,
+                                        "Flow"))
+        plan, run_centralized = _lattice_case(sql, engine.detail_schema)
+        flags = data.draw(st.sampled_from(FLAG_CHOICES))
+        reference = run_centralized(plan,
+                                    engine.total_detail_relation())
+        cold = execute_lattice(engine, plan, flags)
+        assert cold.relation.multiset_equals(reference), sql
+        warm = execute_lattice(engine, plan, flags)
+        assert warm.relation.multiset_equals(reference), sql
+
+
+class TestCubeThreadDifferential(CubePooledMixin):
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_centralized(self, thread_engine, data):
+        self.run_case(thread_engine, data)
+
+
+class TestCubeProcessDifferential(CubePooledMixin):
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_centralized(self, process_engine, data):
+        self.run_case(process_engine, data)
+
+
+class TestCubeTreeThreadDifferential(CubePooledMixin):
+    @seeded
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_matches_centralized(self, tree_thread_engine, data):
+        self.run_case(tree_thread_engine, data)

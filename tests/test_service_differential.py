@@ -228,3 +228,121 @@ class TestServiceUnderFaults:
                         ticket.result(timeout=60)  # resolves: no hang
         finally:
             engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Cube-family statements under the concurrent service
+# ---------------------------------------------------------------------------
+
+CUBE_SQL = ("SELECT g, h, SUM(v) AS total, COUNT(*) AS n "
+            "FROM t GROUP BY CUBE (g, h)")
+SETS_SQL = ("SELECT g, h, COUNT(*) AS n, GROUPING(g, h) AS bits "
+            "FROM t GROUP BY GROUPING SETS ((g, h), (g), ())")
+CUBE_STATEMENTS = (*STATEMENTS, CUBE_SQL, SETS_SQL)
+
+
+def cube_reference(engine, sql):
+    """Centralized oracle for one cube-family statement."""
+    from repro.cube import compile_lattice, run_centralized
+    from repro.sql.parser import parse
+    plan = compile_lattice(parse(sql), engine.detail_schema)
+    return run_centralized(plan, engine.total_detail_relation())
+
+
+def cube_references(engine, statements=CUBE_STATEMENTS):
+    from repro.sql.parser import parse
+    serial = references(engine, tuple(
+        sql for sql in statements if not parse(sql).cube_family))
+    for sql in statements:
+        if parse(sql).cube_family:
+            serial[sql] = cube_reference(engine, sql)
+    return serial
+
+
+@pytest.mark.parametrize("transport", ["inprocess", "thread", "process"])
+def test_concurrent_cube_load_matches_serial(detail, transport):
+    """Cube lattices interleave with plain queries under load."""
+    engine = make_engine(detail, transport)
+    try:
+        serial = cube_references(engine)
+        with QueryService(engine, workers=6) as service:
+            report = run_closed_loop(service, CUBE_STATEMENTS,
+                                     clients=CLIENTS, rounds=2,
+                                     references=serial)
+            snapshot = service.snapshot()
+    finally:
+        engine.close()
+    assert_clean(report, expected_completed=CLIENTS * 2
+                 * len(CUBE_STATEMENTS))
+    # cube plans are cached like any other statement
+    assert snapshot["plan_cache"]["hits"] > 0
+
+
+def test_append_racing_cube_sees_one_snapshot(detail):
+    """A cube query racing an append answers from one consistent
+    snapshot — every lattice round inside the quiesce barrier sees the
+    same fragments, so the stitched cube equals the serial answer at
+    exactly one of the two versions, never a torn mix."""
+    engine = make_engine(detail, "process")
+    delta = Relation.from_dicts(
+        [{"g": i % 5, "h": i % 3, "v": 900.0 + i} for i in range(40)])
+    try:
+        with QueryService(engine, workers=6) as service:
+            before = {sql: cube_reference(engine, sql)
+                      for sql in (CUBE_SQL, SETS_SQL)}
+            results = []
+            errors = []
+
+            def client(index):
+                sql = (CUBE_SQL, SETS_SQL)[index % 2]
+                try:
+                    for __ in range(3):
+                        outcome = service.execute(sql, timeout=120)
+                        results.append((sql, outcome.relation))
+                except Exception as error:  # noqa: BLE001 - fail the test
+                    errors.append(repr(error))
+
+            threads = [threading.Thread(target=client, args=(index,))
+                       for index in range(CLIENTS)]
+            for thread in threads:
+                thread.start()
+            service.append(0, delta)
+            after = {sql: cube_reference(engine, sql)
+                     for sql in (CUBE_SQL, SETS_SQL)}
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(thread.is_alive() for thread in threads)
+    finally:
+        engine.close()
+    assert errors == []
+    assert len(results) == CLIENTS * 3
+    for sql, relation in results:
+        assert relation.multiset_equals(before[sql]) \
+            or relation.multiset_equals(after[sql]), sql
+
+
+def test_materialized_cuboids_serve_slices_consistently(detail):
+    """cube_materialize: slices served by rollup match engine runs,
+    and an append refreshes the stale cuboid before serving again."""
+    slice_sql = "SELECT g, SUM(v) AS total, COUNT(*) AS n FROM t GROUP BY g"
+    engine = make_engine(detail, "inprocess", cache=True)
+    try:
+        with QueryService(engine, workers=4,
+                          cube_materialize=True) as service:
+            service.execute(CUBE_SQL, timeout=60)     # deposits (g, h)
+            served = service.execute(slice_sql, timeout=60)
+            assert served.metrics.ancestor_hits == 1
+            serial = references(engine, (slice_sql,))[slice_sql]
+            assert served.relation.sort(["g"]).multiset_equals(serial)
+            # append → the stored cuboid is stale → refresh, then serve
+            service.append(1, Relation.from_dicts(
+                [{"g": 9, "h": 1, "v": 77.0}]))
+            refreshed = service.execute(slice_sql, timeout=60)
+            serial_after = references(engine, (slice_sql,))[slice_sql]
+            assert refreshed.relation.sort(["g"]).multiset_equals(
+                serial_after)
+            snapshot = service.snapshot()
+    finally:
+        engine.close()
+    assert snapshot["cuboid_store"]["ancestor_hits"] >= 2
+    assert snapshot["cuboid_store"]["refreshes"] >= 1
